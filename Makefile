@@ -1,0 +1,38 @@
+# QLEC reproduction — convenience targets (stdlib-only Go module).
+
+GO ?= go
+
+.PHONY: all build test race bench figs examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure at full scale into ./figs (a few minutes).
+figs:
+	mkdir -p figs
+	$(GO) run ./cmd/qlecfig -fig 3 -out figs | tee figs/fig3.txt
+	$(GO) run ./cmd/qlecfig -fig 3a -k 11 | tee figs/fig3_k11.txt
+	$(GO) run ./cmd/qlecfig -fig 4 -out figs | tee figs/fig4.txt
+	$(GO) run ./cmd/qlecfig -fig ablation | tee figs/ablation.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/underwater
+	$(GO) run ./examples/mountain
+	$(GO) run ./examples/largescale -quick
+	$(GO) run ./examples/harsh
+
+clean:
+	rm -rf figs test_output.txt bench_output.txt

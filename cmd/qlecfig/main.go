@@ -1,0 +1,299 @@
+// Command qlecfig regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	qlecfig -fig 3a|3b|3c|3|4|latency [-out DIR] [-quick]
+//
+// Each figure is printed as an ASCII chart on stdout and, when -out is
+// given, written as CSV (figures 3*) or x,y,z,value CSV (figure 4) for
+// external plotting. -quick shrinks seeds/rounds for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"qlec"
+	"qlec/internal/dataset"
+	"qlec/internal/experiment"
+	"qlec/internal/geom"
+	"qlec/internal/network"
+	"qlec/internal/plot"
+	"qlec/internal/rng"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "3", "figure to regenerate: 1, 3a, 3b, 3c, 3 (all), latency, 4, ablation, ksweep, nsweep")
+		out   = flag.String("out", "", "directory for CSV output (optional)")
+		quick = flag.Bool("quick", false, "fast smoke run (fewer seeds/rounds/nodes)")
+		kOver = flag.Int("k", 0, "override the cluster count (0 = paper default)")
+		data  = flag.String("data", "", "figure 4 only: run over an x,y,z,energy_j CSV instead of the synthetic dataset")
+	)
+	flag.Parse()
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fail(err)
+		}
+	}
+	switch *fig {
+	case "1":
+		runFig1(*kOver)
+	case "3", "3a", "3b", "3c", "latency":
+		runFig3(*fig, *out, *quick, *kOver)
+	case "4":
+		runFig4(*out, *quick, *kOver, *data)
+	case "ablation":
+		runAblation(*quick, *kOver)
+	case "ksweep":
+		runKSweep(*quick)
+	case "nsweep":
+		runNSweep(*quick)
+	default:
+		fail(fmt.Errorf("unknown figure %q", *fig))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "qlecfig:", err)
+	os.Exit(1)
+}
+
+func runFig3(which, out string, quick bool, kOver int) {
+	cfg := experiment.PaperConfig()
+	if kOver > 0 {
+		cfg.K = kOver
+	}
+	if quick {
+		cfg.Rounds = 5
+		cfg.Seeds = []uint64{1, 2}
+		cfg.Lambdas = []float64{8, 2}
+		cfg.LifespanDeathLine = 4.9
+		cfg.LifespanMaxRounds = 200
+	}
+	fmt.Fprintf(os.Stderr, "running Figure 3 sweep: %d protocols × %d λ × %d seeds (×2 run kinds)...\n",
+		len(qlec.Protocols()), len(cfg.Lambdas), len(cfg.Seeds))
+	f, err := qlec.ReproduceFigure3(cfg, nil)
+	if err != nil {
+		fail(err)
+	}
+	panels := map[string]*plot.Chart{
+		"3a": f.PDR, "3b": f.Energy, "3c": f.Life, "latency": f.Latency,
+	}
+	order := []string{"3a", "3b", "3c", "latency"}
+	for _, name := range order {
+		if which != "3" && which != name {
+			continue
+		}
+		ch := panels[name]
+		s, err := ch.RenderASCII(72, 18)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(s)
+		if out != "" {
+			path := filepath.Join(out, "fig"+name+".csv")
+			fh, err := os.Create(path)
+			if err != nil {
+				fail(err)
+			}
+			if err := ch.WriteCSV(fh); err != nil {
+				fail(err)
+			}
+			if err := fh.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	fmt.Println(experiment.Fig3Table(f.Sweep))
+}
+
+// runFig1 reproduces the paper's Figure 1: the clustered network
+// structure after one round of head selection — members, heads and the
+// central base station, XY-projected.
+func runFig1(kOver int) {
+	cfg := experiment.PaperConfig()
+	if kOver > 0 {
+		cfg.K = kOver
+	}
+	w, err := network.Deploy(network.Deployment{
+		N: cfg.N, Side: cfg.Side, InitialEnergy: cfg.InitialEnergy,
+	}, rng.NewNamed(1, "experiment/deploy"))
+	if err != nil {
+		fail(err)
+	}
+	proto, err := cfg.BuildProtocol(experiment.QLEC, w, cfg.Rounds, 0, 1)
+	if err != nil {
+		fail(err)
+	}
+	heads := proto.StartRound(0)
+	isHead := map[int]bool{}
+	for _, h := range heads {
+		isHead[h] = true
+	}
+	var members, headPts []geom.Vec3
+	for _, n := range w.Nodes {
+		if isHead[n.ID] {
+			headPts = append(headPts, n.Pos)
+		} else {
+			members = append(members, n.Pos)
+		}
+	}
+	sc := &plot.Scatter{
+		Title: fmt.Sprintf("Figure 1: network structure after DEEC clustering (N=%d, k=%d)", cfg.N, len(heads)),
+		Box:   w.Box,
+		Cols:  72, Rows: 24,
+		Categories: []plot.ScatterCategory{
+			{Name: "member", Marker: '.', Points: members},
+			{Name: "cluster head", Marker: 'H', Points: headPts},
+			{Name: "base station", Marker: 'B', Points: []geom.Vec3{w.BS}},
+		},
+	}
+	out, err := sc.RenderASCII()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(out)
+	fmt.Printf("(XY projection; the deployment spans %.0f m of height too)\n", sc.ZSpread())
+}
+
+// runKSweep prints QLEC's sensitivity to the cluster count around
+// Theorem 1's optimum (DESIGN.md §6.2).
+func runKSweep(quick bool) {
+	cfg := experiment.PaperConfig()
+	lambda := 2.0
+	ks := []int{3, 5, 8, 11, 15, 20}
+	if quick {
+		cfg.Rounds = 5
+		cfg.Seeds = []uint64{1, 2}
+		cfg.LifespanDeathLine = 4.9
+		cfg.LifespanMaxRounds = 200
+		ks = []int{5, 11}
+	}
+	fmt.Fprintf(os.Stderr, "running k sweep %v at λ=%g, %d seeds (×2 run kinds)...\n", ks, lambda, len(cfg.Seeds))
+	points, err := cfg.RunKSweep(experiment.QLEC, ks, lambda)
+	if err != nil {
+		fail(err)
+	}
+	ch, err := experiment.KSweepChart(points, experiment.QLEC, lambda)
+	if err != nil {
+		fail(err)
+	}
+	rendered, err := ch.RenderASCII(72, 16)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(rendered)
+	fmt.Println(experiment.KSweepTable(points))
+}
+
+// runNSweep prints QLEC's constant-density scalability sweep.
+func runNSweep(quick bool) {
+	cfg := experiment.PaperConfig()
+	lambda := 4.0
+	ns := []int{50, 100, 200, 400, 800}
+	if quick {
+		cfg.Rounds = 5
+		cfg.Seeds = []uint64{1, 2}
+		cfg.LifespanDeathLine = 4.9
+		cfg.LifespanMaxRounds = 100
+		ns = []int{50, 200}
+	}
+	fmt.Fprintf(os.Stderr, "running N sweep %v at λ=%g, %d seeds (×2 run kinds)...\n", ns, lambda, len(cfg.Seeds))
+	points, err := cfg.RunNSweep(experiment.QLEC, ns, lambda)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(experiment.NSweepTable(points))
+}
+
+// runAblation prints the design-choice ladder of DESIGN.md §4 under
+// congestion: full QLEC, each §3.1 improvement removed in turn, classic
+// DEEC/LEACH, the paper's baselines and the unclustered strawman.
+func runAblation(quick bool, kOver int) {
+	cfg := experiment.PaperConfig()
+	cfg.Lambdas = []float64{1.5}
+	cfg.K = 8 // rerouting needs alternatives near k_opt; see EXPERIMENTS.md
+	if kOver > 0 {
+		cfg.K = kOver
+	}
+	cfg.LifespanDeathLine = 2.5
+	if quick {
+		cfg.Rounds = 5
+		cfg.Seeds = []uint64{1, 2}
+		cfg.LifespanDeathLine = 4.9
+		cfg.LifespanMaxRounds = 200
+	}
+	ladder := []experiment.ProtocolID{
+		experiment.QLEC, experiment.QLECNoFloor, experiment.QLECNoRR,
+		experiment.DEECNearest, experiment.DEECPlain, experiment.LEACH,
+		experiment.KMeans, experiment.FCM, experiment.Direct,
+	}
+	fmt.Fprintf(os.Stderr, "running ablation ladder: %d variants × %d seeds (×2 run kinds)...\n",
+		len(ladder), len(cfg.Seeds))
+	sweep, err := cfg.RunFig3(ladder)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(experiment.Fig3Table(sweep))
+}
+
+func runFig4(out string, quick bool, kOver int, dataPath string) {
+	cfg := experiment.PaperFig4Config()
+	if kOver > 0 {
+		cfg.K = kOver
+	}
+	if quick {
+		cfg.Synth.N = 400
+		cfg.K = 30
+		cfg.Rounds = 3
+	}
+	n := cfg.Synth.N
+	if dataPath != "" {
+		fh, err := os.Open(dataPath)
+		if err != nil {
+			fail(err)
+		}
+		ds, err := dataset.LoadCSV(fh)
+		fh.Close()
+		if err != nil {
+			fail(err)
+		}
+		cfg.Data = ds
+		n = len(ds.Positions)
+		if kOver == 0 {
+			cfg.K = 0 // derive from Theorem 1 for foreign datasets
+		}
+	}
+	fmt.Fprintf(os.Stderr, "running Figure 4: %d nodes, k=%d, %d rounds...\n",
+		n, cfg.K, cfg.Rounds)
+	res, err := qlec.ReproduceFigure4(cfg)
+	if err != nil {
+		fail(err)
+	}
+	hm := experiment.Fig4Heatmap(res, 72, 24)
+	s, err := hm.RenderASCII()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(s)
+	fmt.Println(experiment.Fig4Summary(res))
+	if out != "" {
+		path := filepath.Join(out, "fig4.csv")
+		fh, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := hm.WriteCSV(fh); err != nil {
+			fail(err)
+		}
+		if err := fh.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+}

@@ -1,0 +1,97 @@
+// Command qlecopt evaluates Theorem 1 (optimal cluster count in a 3-D
+// network) and cross-checks it against a brute-force sweep of Eq. (6).
+//
+// Usage:
+//
+//	qlecopt [-n 100] [-side 200] [-dtobs 0] [-bits 4000] [-sweep]
+//
+// With -dtobs 0 the mean node→BS distance is taken for a center-mounted
+// base station (the paper's Fig. 1 geometry). -sweep prints E_r(k) around
+// the optimum so the argmin is visible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"qlec/internal/energy"
+	"qlec/internal/geom"
+	"qlec/internal/plot"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 100, "node count")
+		side  = flag.Float64("side", 200, "cube side length (meters)")
+		dtobs = flag.Float64("dtobs", 0, "mean node→BS distance; 0 = cube-center BS closed form")
+		bits  = flag.Int("bits", 4000, "packet size (bits)")
+		sweep = flag.Bool("sweep", false, "print the E_r(k) sweep around k_opt")
+	)
+	flag.Parse()
+
+	model := energy.DefaultModel()
+	d := *dtobs
+	if d == 0 {
+		d = geom.ExpectedMeanDistCubeToCenter(*side)
+	}
+	kopt := model.OptimalClusterCount(*n, *side, d)
+
+	fmt.Println(plot.Table(
+		[]string{"quantity", "value"},
+		[][]string{
+			{"N", fmt.Sprintf("%d", *n)},
+			{"M (side)", fmt.Sprintf("%g m", *side)},
+			{"d_toBS", fmt.Sprintf("%.3f m", d)},
+			{"ε_fs", fmt.Sprintf("%g J/bit/m²", float64(model.FreeSpace))},
+			{"ε_mp", fmt.Sprintf("%g J/bit/m⁴", float64(model.MultiPath))},
+			{"d₀ (crossover)", fmt.Sprintf("%.3f m", model.CrossoverDistance())},
+			{"k_opt (Theorem 1)", fmt.Sprintf("%.3f", kopt)},
+			{"k_opt rounded", fmt.Sprintf("%d", int(math.Round(kopt)))},
+			{"d_c at k_opt (Eq. 5)", fmt.Sprintf("%.3f m", geom.CoverageRadius(*side, maxInt(1, int(math.Round(kopt)))))},
+			{"estimated R ([7], 5 J/node)", fmt.Sprintf("%d rounds", model.EstimatedLifespanRounds(
+				energy.Joules(5*float64(*n)), *bits, *n, maxInt(1, int(math.Round(kopt))), *side, d))},
+		},
+	))
+
+	// Cross-check: the discrete argmin of Eq. (6) composed with Lemma 1.
+	bestK, bestE := 1, math.Inf(1)
+	for k := 1; k <= *n; k++ {
+		e := float64(model.RoundEnergyAtK(*bits, *n, float64(k), *side, d))
+		if e < bestE {
+			bestK, bestE = k, e
+		}
+	}
+	fmt.Printf("\nbrute-force argmin of Eq. (6): k=%d (E_r=%.6g J)\n", bestK, bestE)
+	if math.Abs(float64(bestK)-kopt) > 1.5 {
+		fmt.Fprintf(os.Stderr, "warning: closed form %.2f and brute force %d disagree\n", kopt, bestK)
+	}
+
+	if *sweep {
+		lo := maxInt(1, int(kopt/3))
+		hi := int(kopt * 3)
+		var rows [][]string
+		for k := lo; k <= hi; k++ {
+			e := float64(model.RoundEnergyAtK(*bits, *n, float64(k), *side, d))
+			marker := ""
+			if k == bestK {
+				marker = "← argmin"
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", k),
+				fmt.Sprintf("%.6g", e),
+				marker,
+			})
+		}
+		fmt.Println()
+		fmt.Println(plot.Table([]string{"k", "E_r (J/round)", ""}, rows))
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

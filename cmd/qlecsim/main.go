@@ -1,0 +1,172 @@
+// Command qlecsim runs a single clustering-protocol simulation under the
+// paper's settings and prints a metric summary.
+//
+// Usage:
+//
+//	qlecsim [-protocol QLEC|FCM|k-means|LEACH|DEEC-nearest]
+//	        [-lambda 4] [-rounds 20] [-n 100] [-side 200] [-k 5]
+//	        [-seed 1] [-lifespan] [-deathline 2.5] [-perround]
+//
+// With -lifespan the run uses the death-line / stop-on-first-death
+// methodology of Figure 3(c); otherwise it runs exactly -rounds rounds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qlec"
+	"qlec/internal/dataset"
+	"qlec/internal/energy"
+	"qlec/internal/experiment"
+	"qlec/internal/plot"
+	"qlec/internal/sim"
+)
+
+func main() {
+	var (
+		protocol  = flag.String("protocol", "QLEC", "protocol: QLEC, FCM, k-means, LEACH, DEEC-nearest, QLEC-nofloor, QLEC-norr")
+		lambda    = flag.Float64("lambda", 4, "mean packet inter-arrival time per node (seconds); smaller = more congested")
+		rounds    = flag.Int("rounds", 20, "rounds to simulate (fixed-round mode)")
+		n         = flag.Int("n", 100, "node count")
+		side      = flag.Float64("side", 200, "cube side length (meters)")
+		k         = flag.Int("k", 5, "cluster count per round")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		lifespan  = flag.Bool("lifespan", false, "measure lifespan (stop at first node death)")
+		deathline = flag.Float64("deathline", 2.5, "death line in Joules (lifespan mode)")
+		maxRounds = flag.Int("maxrounds", 3000, "round cap in lifespan mode")
+		perRound  = flag.Bool("perround", false, "print per-round statistics")
+		csvPath   = flag.String("csv", "", "write the per-round time series as CSV to this path")
+		shadow    = flag.Float64("shadow", 0, "per-link log-normal shadowing sigma (0 = off)")
+		speed     = flag.Float64("speed", 0, "random-waypoint mobility max speed in m/s (0 = static)")
+		topoPath  = flag.String("topology", "", "load node positions/energies from an x,y,z,energy_j CSV instead of a uniform cube")
+		contend   = flag.Float64("contention", 0, "interference factor gamma (0 = off)")
+		tracePath = flag.String("trace", "", "write a JSONL packet-event trace to this path")
+	)
+	flag.Parse()
+
+	s := qlec.DefaultScenario()
+	s.Protocol = experiment.ProtocolID(*protocol)
+	s.Lambda = *lambda
+	s.Seed = *seed
+	s.MeasureLifespan = *lifespan
+	s.Config.N = *n
+	s.Config.Side = *side
+	s.Config.K = *k
+	s.Config.Rounds = *rounds
+	s.Config.LifespanDeathLine = energy.Joules(*deathline)
+	s.Config.LifespanMaxRounds = *maxRounds
+	s.Config.Seeds = []uint64{*seed}
+	if *topoPath != "" {
+		fh, err := os.Open(*topoPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qlecsim:", err)
+			os.Exit(1)
+		}
+		topo, err := dataset.LoadCSV(fh)
+		fh.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qlecsim:", err)
+			os.Exit(1)
+		}
+		s.Config.Topology = topo
+	}
+	s.Config.Sim.ShadowSigma = *shadow
+	s.Config.Sim.ContentionGamma = *contend
+	if *speed > 0 {
+		s.Config.Sim.MobilitySpeedMin = *speed / 2
+		s.Config.Sim.MobilitySpeedMax = *speed
+	}
+
+	var flushTrace func() error
+	if *tracePath != "" {
+		fh, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qlecsim:", err)
+			os.Exit(1)
+		}
+		defer fh.Close()
+		tracer, flush := sim.JSONLTracer(fh)
+		s.Config.Tracer = tracer
+		flushTrace = flush
+	}
+
+	res, err := qlec.Run(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qlecsim:", err)
+		os.Exit(1)
+	}
+	if flushTrace != nil {
+		if err := flushTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "qlecsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *tracePath)
+	}
+
+	fmt.Println(plot.Table(
+		[]string{"metric", "value"},
+		[][]string{
+			{"protocol", res.Protocol},
+			{"rounds executed", fmt.Sprintf("%d", res.Rounds)},
+			{"packets generated", fmt.Sprintf("%d", res.Generated)},
+			{"packets delivered", fmt.Sprintf("%d", res.Delivered)},
+			{"packet delivery rate", fmt.Sprintf("%.4f", res.PDR())},
+			{"dropped (link)", fmt.Sprintf("%d", res.Dropped[0])},
+			{"dropped (queue)", fmt.Sprintf("%d", res.Dropped[1])},
+			{"dropped (batch)", fmt.Sprintf("%d", res.Dropped[2])},
+			{"dropped (dead)", fmt.Sprintf("%d", res.Dropped[3])},
+			{"total energy (J)", fmt.Sprintf("%.4f", float64(res.TotalEnergy))},
+			{"  tx / rx (J)", fmt.Sprintf("%.4f / %.4f", float64(res.Energy.Tx), float64(res.Energy.Rx))},
+			{"  fusion / control (J)", fmt.Sprintf("%.4f / %.4f", float64(res.Energy.Fusion), float64(res.Energy.Control))},
+			{"mean latency (s)", fmt.Sprintf("%.4f", res.Latency.Mean)},
+			{"mean hops", fmt.Sprintf("%.3f", res.Hops.Mean)},
+			{"lifespan (rounds)", lifespanString(res.Lifespan)},
+			{"first dead node", fmt.Sprintf("%d", res.FirstDead)},
+		},
+	))
+
+	if *csvPath != "" {
+		fh, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qlecsim:", err)
+			os.Exit(1)
+		}
+		if err := res.WriteRoundsCSV(fh); err != nil {
+			fmt.Fprintln(os.Stderr, "qlecsim:", err)
+			os.Exit(1)
+		}
+		if err := fh.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "qlecsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+
+	if *perRound {
+		headers := []string{"round", "heads", "generated", "delivered", "dropped", "energy (J)", "alive", "latency (s)"}
+		var rows [][]string
+		for _, rs := range res.PerRound {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", rs.Round),
+				fmt.Sprintf("%d", rs.Heads),
+				fmt.Sprintf("%d", rs.Generated),
+				fmt.Sprintf("%d", rs.Delivered),
+				fmt.Sprintf("%d", rs.DroppedTotal()),
+				fmt.Sprintf("%.4f", float64(rs.Energy)),
+				fmt.Sprintf("%d", rs.AliveAtEnd),
+				fmt.Sprintf("%.4f", rs.MeanLatency),
+			})
+		}
+		fmt.Println()
+		fmt.Println(plot.Table(headers, rows))
+	}
+}
+
+func lifespanString(l int) string {
+	if l == 0 {
+		return "survived"
+	}
+	return fmt.Sprintf("%d", l)
+}

@@ -1,0 +1,101 @@
+// Command qlectrace analyzes a JSONL packet trace produced by
+// qlecsim -trace (or any sim.JSONLTracer output): per-kind event counts,
+// drop reasons, retry behaviour, access delay, per-head load and
+// per-round tallies.
+//
+// Usage:
+//
+//	qlecsim -rounds 5 -trace run.jsonl
+//	qlectrace run.jsonl            # or: qlectrace - < run.jsonl
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"qlec/internal/network"
+	"qlec/internal/plot"
+	"qlec/internal/sim"
+	"qlec/internal/traceio"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: qlectrace <trace.jsonl | ->")
+		os.Exit(2)
+	}
+	var src io.Reader
+	if os.Args[1] == "-" {
+		src = os.Stdin
+	} else {
+		fh, err := os.Open(os.Args[1])
+		if err != nil {
+			fail(err)
+		}
+		defer fh.Close()
+		src = fh
+	}
+	events, err := traceio.ParseJSONL(src)
+	if err != nil {
+		fail(err)
+	}
+	s, err := traceio.Analyze(events)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Println(plot.Table(
+		[]string{"quantity", "value"},
+		[][]string{
+			{"events", fmt.Sprintf("%d", s.Events)},
+			{"packets generated", fmt.Sprintf("%d", s.Generated)},
+			{"packets delivered", fmt.Sprintf("%d", s.Delivered)},
+			{"packets dropped", fmt.Sprintf("%d", s.Dropped)},
+			{"radio sends", fmt.Sprintf("%d", s.ByKind[sim.TraceSend])},
+			{"accepts / rejects", fmt.Sprintf("%d / %d", s.ByKind[sim.TraceAccept], s.ByKind[sim.TraceReject])},
+			{"mean attempts per packet", fmt.Sprintf("%.3f", s.AttemptsPerPacket.Mean)},
+			{"max attempts per packet", fmt.Sprintf("%.0f", s.AttemptsPerPacket.Max)},
+			{"mean access delay (s)", fmt.Sprintf("%.4f", s.AccessDelay.Mean)},
+		},
+	))
+
+	if len(s.DropReasons) > 0 {
+		fmt.Println()
+		var rows [][]string
+		for _, reason := range []string{"link", "queue", "batch", "dead"} {
+			if c, ok := s.DropReasons[reason]; ok {
+				rows = append(rows, []string{reason, fmt.Sprintf("%d", c)})
+			}
+		}
+		fmt.Println(plot.Table([]string{"drop reason", "count"}, rows))
+	}
+
+	fmt.Println()
+	var loadRows [][]string
+	for _, kv := range s.TopLoads(10) {
+		name := fmt.Sprintf("node %d", kv[0])
+		if kv[0] == network.BSID {
+			name = "base station"
+		}
+		loadRows = append(loadRows, []string{name, fmt.Sprintf("%d", kv[1])})
+	}
+	fmt.Println(plot.Table([]string{"busiest accept targets", "packets"}, loadRows))
+
+	fmt.Println()
+	var roundRows [][]string
+	for _, rt := range s.Rounds {
+		roundRows = append(roundRows, []string{
+			fmt.Sprintf("%d", rt.Round),
+			fmt.Sprintf("%d", rt.Generated),
+			fmt.Sprintf("%d", rt.Delivered),
+			fmt.Sprintf("%d", rt.Dropped),
+		})
+	}
+	fmt.Println(plot.Table([]string{"round", "generated", "delivered", "dropped"}, roundRows))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "qlectrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Large-scale dataset experiment (§5.3): run QLEC over the synthetic
+// Global-Power-Plant-style dataset (2896 nodes, k_opt = 272) and verify
+// the paper's Figure 4 claim that energy consumption spreads evenly
+// across the network.
+//
+//	go run ./examples/largescale          # full 2896-node run
+//	go run ./examples/largescale -quick   # 500-node smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"qlec"
+	"qlec/internal/experiment"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run a reduced 500-node version")
+	flag.Parse()
+
+	cfg := experiment.PaperFig4Config()
+	if *quick {
+		cfg.Synth.N = 500
+		cfg.K = 40
+		cfg.Rounds = 5
+	}
+	fmt.Printf("large-scale run: %d nodes, k=%d, %d rounds\n\n", cfg.Synth.N, cfg.K, cfg.Rounds)
+
+	res, err := qlec.ReproduceFigure4(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(experiment.Fig4Summary(res))
+	fmt.Println()
+	hm := experiment.Fig4Heatmap(res, 72, 22)
+	rendered, err := hm.RenderASCII()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rendered)
+	fmt.Println("the paper's claim: 'nodes with high energy consumption rate ... are")
+	fmt.Println("evenly distributed in the network'. Low binned CV and Moran's I ≈ 0")
+	fmt.Println("above quantify that evenness; hot rows concentrated in one region of")
+	fmt.Println("the map would refute it.")
+}

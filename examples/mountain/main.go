@@ -1,0 +1,84 @@
+// Mountainous terrain: the paper's other motivating 3-D scenario
+// ("in many environments like mountainous areas ... node deployment is
+// often not flat"). Sensors follow a synthetic ridge-and-valley surface;
+// the base station sits in the central valley. The example runs the QLEC
+// ablations to show what each design choice of §3.1 contributes.
+//
+//	go run ./examples/mountain
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"qlec"
+	"qlec/internal/rng"
+)
+
+// terrain returns the surface elevation at (x, y): two ridges with a
+// valley between them.
+func terrain(x, y, side float64) float64 {
+	u := x / side
+	v := y / side
+	ridges := 60*math.Exp(-40*(u-0.25)*(u-0.25)) + 80*math.Exp(-30*(u-0.75)*(u-0.75))
+	roll := 15 * math.Sin(4*math.Pi*v)
+	return 20 + ridges + roll
+}
+
+func main() {
+	const (
+		side  = 250.0
+		nodes = 150
+	)
+	r := rng.NewNamed(11, "examples/mountain")
+	var pos []qlec.Vec3
+	var energies []float64
+	for i := 0; i < nodes; i++ {
+		x := r.Range(0, side)
+		y := r.Range(0, side)
+		// Sensors sit on the surface with a little mast-height jitter.
+		z := terrain(x, y, side) + r.Range(0, 3)
+		pos = append(pos, qlec.Vec3{X: x, Y: y, Z: z})
+		energies = append(energies, 5)
+	}
+	// The base station is in the central valley (u = 0.5).
+	bs := qlec.Vec3{X: side / 2, Y: side / 2, Z: terrain(side/2, side/2, side) + 10}
+	topo, err := qlec.NewTopology(pos, energies, bs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := qlec.DefaultScenario()
+	s.Config.Topology = topo
+	s.Config.K = 8
+	s.Config.Rounds = 20
+	s.Config.Seeds = []uint64{1, 2, 3}
+	s.Config.LifespanDeathLine = 1.0
+	s.Config.LifespanMaxRounds = 2000
+	s.Lambda = 4 // steady monitoring traffic
+
+	fmt.Printf("mountain deployment: %d sensors on a %gx%g m ridge-and-valley surface\n", nodes, side, side)
+	fmt.Printf("base station in the central valley at %v\n\n", bs)
+
+	// The ablation ladder: full QLEC, QLEC without the Eq. (4) energy
+	// floor, without Algorithm 3 redundancy reduction, without
+	// Q-learning, and classic LEACH as the floor.
+	ladder := []qlec.Protocol{
+		qlec.QLEC, qlec.QLECNoFloor, qlec.QLECNoRR, qlec.DEECNearest, qlec.LEACH,
+	}
+	rows, err := qlec.Compare(s, ladder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("variant          PDR      energy(J)  lifespan(rounds)")
+	for _, row := range rows {
+		fmt.Printf("%-15s  %.4f   %8.2f   %8.1f\n",
+			row.Protocol, row.PDR.Mean, row.EnergyJ.Mean, row.Lifespan.Mean)
+	}
+	fmt.Println("\nexpected shape: energy-blind LEACH burns the most energy and dies")
+	fmt.Println("first; the DEEC-based variants cluster together on this homogeneous,")
+	fmt.Println("moderate-load terrain — the §3.1 improvements pay off mainly under")
+	fmt.Println("congestion and heterogeneous batteries (see examples/underwater and")
+	fmt.Println("the ablation benchmarks).")
+}

@@ -1,0 +1,3 @@
+module qlec
+
+go 1.22

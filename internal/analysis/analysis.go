@@ -1,0 +1,188 @@
+// Package analysis quantifies *why* the protocols differ: cluster-size
+// balance, member→head distance structure, and head-placement quality.
+// EXPERIMENTS.md uses these diagnostics to explain the Figure 3 shapes —
+// e.g. k-means' geometric balance is what keeps its delivery rate close
+// to QLEC's under overload, while QLEC's energy-weighted (position-blind)
+// head choice is what trades per-round energy for lifespan.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"qlec/internal/cluster"
+	"qlec/internal/network"
+	"qlec/internal/stats"
+)
+
+// ClusterReport summarizes one round's clustering.
+type ClusterReport struct {
+	// Heads is the cluster count.
+	Heads int
+	// Sizes summarizes cluster sizes (members + head).
+	Sizes stats.Summary
+	// SizeCV is the coefficient of variation of cluster sizes: 0 means
+	// perfectly balanced load under uniform traffic.
+	SizeCV float64
+	// MaxLoadShare is the largest cluster's share of all nodes — the
+	// fraction of traffic hitting the busiest head under uniform
+	// generation.
+	MaxLoadShare float64
+	// MeanSqDistToHead is the empirical E[d²_toCH] (Lemma 1's quantity).
+	MeanSqDistToHead float64
+	// MeanHeadResidual is the average residual energy of head nodes in
+	// Joules — high for energy-aware selectors.
+	MeanHeadResidual float64
+	// MeanHeadDistToBS is the average head→BS distance.
+	MeanHeadDistToBS float64
+	// Unassigned counts nodes with no reachable head.
+	Unassigned int
+}
+
+// AnalyzeClustering builds a report for one head set over a network
+// using nearest-head assignment (protocols with custom assignments can
+// pass their own).
+func AnalyzeClustering(w *network.Network, heads []int) (*ClusterReport, error) {
+	if err := cluster.ValidateHeads(w, heads, -1); err != nil {
+		return nil, err
+	}
+	a := cluster.AssignNearest(w, heads)
+	return AnalyzeAssignment(w, heads, a)
+}
+
+// AnalyzeAssignment builds a report for an explicit assignment.
+func AnalyzeAssignment(w *network.Network, heads []int, a cluster.Assignment) (*ClusterReport, error) {
+	if len(a.Head) != w.N() {
+		return nil, fmt.Errorf("analysis: assignment covers %d of %d nodes", len(a.Head), w.N())
+	}
+	r := &ClusterReport{Heads: len(heads)}
+	if len(heads) == 0 {
+		r.Unassigned = w.N()
+		return r, nil
+	}
+	sizes := a.Sizes()
+	var sizeVals []float64
+	total := 0
+	maxSize := 0
+	for _, h := range heads {
+		s := sizes[h]
+		sizeVals = append(sizeVals, float64(s))
+		total += s
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	r.Unassigned = w.N() - total
+	r.Sizes = stats.Summarize(sizeVals)
+	if r.Sizes.Mean > 0 {
+		r.SizeCV = r.Sizes.StdDev / r.Sizes.Mean
+	}
+	if w.N() > 0 {
+		r.MaxLoadShare = float64(maxSize) / float64(w.N())
+	}
+	r.MeanSqDistToHead = cluster.MeanSqDistToHead(w, a)
+
+	var resid, dist float64
+	for _, h := range heads {
+		resid += float64(w.Nodes[h].Battery.Residual())
+		dist += w.DistToBS(h)
+	}
+	r.MeanHeadResidual = resid / float64(len(heads))
+	r.MeanHeadDistToBS = dist / float64(len(heads))
+	return r, nil
+}
+
+// BalanceIndex returns Jain's fairness index of cluster sizes:
+// (Σx)² / (n·Σx²), 1 for perfect balance, →1/n for total concentration.
+func BalanceIndex(sizes []int) (float64, error) {
+	if len(sizes) == 0 {
+		return 0, fmt.Errorf("analysis: no cluster sizes")
+	}
+	var sum, sumSq float64
+	for _, s := range sizes {
+		if s < 0 {
+			return 0, fmt.Errorf("analysis: negative cluster size %d", s)
+		}
+		f := float64(s)
+		sum += f
+		sumSq += f * f
+	}
+	if sumSq == 0 {
+		return 0, fmt.Errorf("analysis: all clusters empty")
+	}
+	return sum * sum / (float64(len(sizes)) * sumSq), nil
+}
+
+// RotationReport measures how evenly head duty rotated over a run.
+type RotationReport struct {
+	// Rounds observed.
+	Rounds int
+	// DistinctHeads counts nodes that served at least once.
+	DistinctHeads int
+	// ServiceCounts summarizes per-node head-duty counts over nodes
+	// that served.
+	ServiceCounts stats.Summary
+	// DutyGini is the Gini coefficient of head-duty counts over ALL
+	// nodes: 0 = everyone served equally, →1 = a few nodes did all the
+	// work (LEACH/k-means pathologies).
+	DutyGini float64
+}
+
+// AnalyzeRotation folds per-round head sets into a rotation report for
+// a network of n nodes.
+func AnalyzeRotation(n int, rounds [][]int) (*RotationReport, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("analysis: node count must be positive")
+	}
+	counts := make([]float64, n)
+	for _, heads := range rounds {
+		for _, h := range heads {
+			if h < 0 || h >= n {
+				return nil, fmt.Errorf("analysis: head id %d out of range", h)
+			}
+			counts[h]++
+		}
+	}
+	r := &RotationReport{Rounds: len(rounds)}
+	var served []float64
+	for _, c := range counts {
+		if c > 0 {
+			r.DistinctHeads++
+			served = append(served, c)
+		}
+	}
+	r.ServiceCounts = stats.Summarize(served)
+	g, err := stats.GiniCoefficient(counts)
+	if err != nil {
+		return nil, err
+	}
+	r.DutyGini = g
+	return r, nil
+}
+
+// ExpectedOverflowShare estimates, from cluster sizes and an M/D/1-style
+// capacity argument, the share of traffic offered beyond head service
+// capacity: Σ max(0, load_i − cap) / Σ load_i, where load_i is cluster
+// size × rate and cap the per-head service rate. It is the first-order
+// predictor of queue drops under overload and explains why balanced
+// clusterings (k-means) hold PDR longer than unbalanced ones.
+func ExpectedOverflowShare(sizes []int, perNodeRate, headServiceRate float64) (float64, error) {
+	if perNodeRate <= 0 || headServiceRate <= 0 {
+		return 0, fmt.Errorf("analysis: rates must be positive")
+	}
+	if len(sizes) == 0 {
+		return 0, fmt.Errorf("analysis: no cluster sizes")
+	}
+	var offered, excess float64
+	for _, s := range sizes {
+		load := float64(s) * perNodeRate
+		offered += load
+		if over := load - headServiceRate; over > 0 {
+			excess += over
+		}
+	}
+	if offered == 0 {
+		return 0, nil
+	}
+	return math.Min(1, excess/offered), nil
+}

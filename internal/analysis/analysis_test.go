@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"qlec/internal/cluster"
+	"qlec/internal/network"
+	"qlec/internal/rng"
+)
+
+func testNet(t *testing.T, n int, seed uint64) *network.Network {
+	t.Helper()
+	w, err := network.Deploy(network.Deployment{N: n, Side: 200, InitialEnergy: 5}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestAnalyzeClusteringBasics(t *testing.T) {
+	w := testNet(t, 100, 1)
+	heads := []int{10, 30, 50, 70, 90}
+	r, err := AnalyzeClustering(w, heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Heads != 5 {
+		t.Fatalf("heads = %d", r.Heads)
+	}
+	if r.Unassigned != 0 {
+		t.Fatalf("unassigned = %d", r.Unassigned)
+	}
+	// Sizes sum to N.
+	if got := r.Sizes.Mean * 5; math.Abs(got-100) > 1e-9 {
+		t.Fatalf("sizes sum to %v", got)
+	}
+	if r.MaxLoadShare <= 0 || r.MaxLoadShare > 1 {
+		t.Fatalf("MaxLoadShare = %v", r.MaxLoadShare)
+	}
+	if r.MeanSqDistToHead <= 0 {
+		t.Fatal("zero mean squared distance for spread heads")
+	}
+	if r.MeanHeadResidual != 5 {
+		t.Fatalf("head residual = %v", r.MeanHeadResidual)
+	}
+	if r.MeanHeadDistToBS <= 0 {
+		t.Fatal("zero head→BS distance")
+	}
+}
+
+func TestAnalyzeClusteringNoHeads(t *testing.T) {
+	w := testNet(t, 10, 2)
+	r, err := AnalyzeClustering(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Unassigned != 10 || r.Heads != 0 {
+		t.Fatalf("report = %+v", r)
+	}
+}
+
+func TestAnalyzeClusteringRejectsBadHeads(t *testing.T) {
+	w := testNet(t, 10, 3)
+	if _, err := AnalyzeClustering(w, []int{55}); err == nil {
+		t.Fatal("out-of-range head accepted")
+	}
+	if _, err := AnalyzeClustering(w, []int{1, 1}); err == nil {
+		t.Fatal("duplicate head accepted")
+	}
+}
+
+func TestAnalyzeAssignmentSizeMismatch(t *testing.T) {
+	w := testNet(t, 10, 4)
+	if _, err := AnalyzeAssignment(w, []int{1}, cluster.Assignment{Head: []int{1}}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+}
+
+func TestBalanceIndex(t *testing.T) {
+	perfect, err := BalanceIndex([]int{10, 10, 10, 10})
+	if err != nil || math.Abs(perfect-1) > 1e-12 {
+		t.Fatalf("balanced index = %v, %v", perfect, err)
+	}
+	// One cluster holds everything: index = 1/n.
+	skew, err := BalanceIndex([]int{40, 0, 0, 0})
+	if err != nil || math.Abs(skew-0.25) > 1e-12 {
+		t.Fatalf("skewed index = %v, %v", skew, err)
+	}
+	if _, err := BalanceIndex(nil); err == nil {
+		t.Fatal("empty sizes accepted")
+	}
+	if _, err := BalanceIndex([]int{-1}); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if _, err := BalanceIndex([]int{0, 0}); err == nil {
+		t.Fatal("all-empty accepted")
+	}
+}
+
+func TestBalanceOrdersByEvenness(t *testing.T) {
+	even, _ := BalanceIndex([]int{20, 20, 21, 19})
+	uneven, _ := BalanceIndex([]int{50, 10, 10, 10})
+	if even <= uneven {
+		t.Fatalf("balance index failed to order: even %v vs uneven %v", even, uneven)
+	}
+}
+
+func TestAnalyzeRotation(t *testing.T) {
+	rounds := [][]int{{0, 1}, {2, 3}, {4, 5}, {0, 6}}
+	r, err := AnalyzeRotation(10, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rounds != 4 || r.DistinctHeads != 7 {
+		t.Fatalf("report = %+v", r)
+	}
+	// Node 0 served twice, six others once; three never → Gini > 0.
+	if r.DutyGini <= 0 || r.DutyGini >= 1 {
+		t.Fatalf("DutyGini = %v", r.DutyGini)
+	}
+	if r.ServiceCounts.Max != 2 {
+		t.Fatalf("max service count = %v", r.ServiceCounts.Max)
+	}
+}
+
+func TestAnalyzeRotationPerfectVsConcentrated(t *testing.T) {
+	// Perfect rotation: each of 10 nodes serves once.
+	perfect, _ := AnalyzeRotation(10, [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}})
+	// Concentrated: node 0 serves every round.
+	conc, _ := AnalyzeRotation(10, [][]int{{0}, {0}, {0}, {0}, {0}})
+	if perfect.DutyGini >= conc.DutyGini {
+		t.Fatalf("rotation Gini failed to order: %v vs %v", perfect.DutyGini, conc.DutyGini)
+	}
+	if perfect.DutyGini != 0 {
+		t.Fatalf("perfect rotation Gini = %v", perfect.DutyGini)
+	}
+}
+
+func TestAnalyzeRotationErrors(t *testing.T) {
+	if _, err := AnalyzeRotation(0, nil); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := AnalyzeRotation(5, [][]int{{7}}); err == nil {
+		t.Fatal("out-of-range head accepted")
+	}
+}
+
+func TestExpectedOverflowShare(t *testing.T) {
+	// Balanced: 4 clusters of 20 nodes at 0.25 pkt/s = 5 pkt/s per head,
+	// capacity 10 → no overflow.
+	share, err := ExpectedOverflowShare([]int{20, 20, 20, 20}, 0.25, 10)
+	if err != nil || share != 0 {
+		t.Fatalf("balanced share = %v, %v", share, err)
+	}
+	// Skewed: one cluster of 60 at 0.25 = 15 pkt/s vs capacity 10 →
+	// 5/20 of total offered (80·0.25=20) overflows.
+	share, err = ExpectedOverflowShare([]int{60, 10, 5, 5}, 0.25, 10)
+	if err != nil || math.Abs(share-0.25) > 1e-12 {
+		t.Fatalf("skewed share = %v, %v", share, err)
+	}
+	if _, err := ExpectedOverflowShare(nil, 1, 1); err == nil {
+		t.Fatal("empty sizes accepted")
+	}
+	if _, err := ExpectedOverflowShare([]int{1}, 0, 1); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+// The mechanism behind Figure 3(a): k-means' geometric clustering is
+// better balanced than DEEC's energy lottery, so its predicted overflow
+// under load is lower. This pins the explanation used in EXPERIMENTS.md.
+func TestKMeansBalancesBetterThanRandomHeads(t *testing.T) {
+	w := testNet(t, 200, 5)
+	// Random head set (a DEEC-like draw).
+	random := []int{3, 17, 59, 101, 151}
+	randReport, err := AnalyzeClustering(w, random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Geometrically spread heads: nearest nodes to a 5-point lattice.
+	var lattice []int
+	for _, c := range [][3]float64{{50, 50, 50}, {150, 50, 100}, {50, 150, 100}, {150, 150, 50}, {100, 100, 150}} {
+		best, bestD := -1, math.Inf(1)
+		for _, n := range w.Nodes {
+			d := (n.Pos.X-c[0])*(n.Pos.X-c[0]) + (n.Pos.Y-c[1])*(n.Pos.Y-c[1]) + (n.Pos.Z-c[2])*(n.Pos.Z-c[2])
+			if d < bestD {
+				best, bestD = n.ID, d
+			}
+		}
+		lattice = append(lattice, best)
+	}
+	latReport, err := AnalyzeClustering(w, lattice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latReport.SizeCV >= randReport.SizeCV {
+		t.Fatalf("lattice heads CV %v not below random heads CV %v",
+			latReport.SizeCV, randReport.SizeCV)
+	}
+}

@@ -1,0 +1,356 @@
+package baseline
+
+import (
+	"testing"
+
+	"qlec/internal/cluster"
+	"qlec/internal/energy"
+	"qlec/internal/network"
+	"qlec/internal/rng"
+	"qlec/internal/sim"
+)
+
+func paperNet(t *testing.T, seed uint64) *network.Network {
+	t.Helper()
+	w, err := network.Deploy(network.Deployment{N: 100, Side: 200, InitialEnergy: 5}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestKMeansValidation(t *testing.T) {
+	w := paperNet(t, 1)
+	if _, err := NewKMeans(w, 0, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewKMeans(w, 101, 0, 1); err == nil {
+		t.Fatal("k>N accepted")
+	}
+	if _, err := NewKMeans(w, 5, -1, 1); err == nil {
+		t.Fatal("negative death line accepted")
+	}
+}
+
+func TestKMeansStartRound(t *testing.T) {
+	w := paperNet(t, 2)
+	p, err := NewKMeans(w, 5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads := p.StartRound(0)
+	if len(heads) != 5 {
+		t.Fatalf("%d heads", len(heads))
+	}
+	if err := cluster.ValidateHeads(w, heads, 0); err != nil {
+		t.Fatal(err)
+	}
+	isHead := map[int]bool{}
+	for _, h := range heads {
+		isHead[h] = true
+	}
+	for id := 0; id < w.N(); id++ {
+		hop := p.NextHop(id)
+		if isHead[id] {
+			if hop != network.BSID {
+				t.Fatalf("head %d hops to %d", id, hop)
+			}
+		} else if !isHead[hop] {
+			t.Fatalf("member %d routed to non-head %d", id, hop)
+		}
+	}
+	if p.RelayMode() != cluster.HoldAndBurst {
+		t.Fatal("k-means relay mode wrong")
+	}
+}
+
+func TestKMeansReclustersWhenNodesDie(t *testing.T) {
+	w := paperNet(t, 3)
+	p, _ := NewKMeans(w, 5, 0, 1)
+	first := p.StartRound(0)
+	// Kill the first round's heads.
+	for _, h := range first {
+		w.Nodes[h].Battery.Draw(5)
+	}
+	second := p.StartRound(1)
+	for _, h := range second {
+		for _, dead := range first {
+			if h == dead {
+				t.Fatalf("dead node %d selected as head again", h)
+			}
+		}
+	}
+}
+
+func TestKMeansAllDead(t *testing.T) {
+	w := paperNet(t, 4)
+	for _, n := range w.Nodes {
+		n.Battery.Draw(5)
+	}
+	p, _ := NewKMeans(w, 5, 0, 1)
+	if heads := p.StartRound(0); len(heads) != 0 {
+		t.Fatalf("heads from a dead network: %v", heads)
+	}
+}
+
+func TestFCMValidation(t *testing.T) {
+	w := paperNet(t, 5)
+	if _, err := NewFCM(w, 0, 3, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewFCM(w, 5, 0, 0, 1); err == nil {
+		t.Fatal("levels=0 accepted")
+	}
+	if _, err := NewFCM(w, 5, 3, -1, 1); err == nil {
+		t.Fatal("negative death line accepted")
+	}
+}
+
+func TestFCMHierarchyMakesProgress(t *testing.T) {
+	// Every head's relay chain must reach the BS without cycles, and
+	// each relay hop moves to a strictly lower tier.
+	w := paperNet(t, 6)
+	p, err := NewFCM(w, 6, 3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads := p.StartRound(0)
+	if len(heads) == 0 {
+		t.Fatal("no heads")
+	}
+	isHead := map[int]bool{}
+	for _, h := range heads {
+		isHead[h] = true
+	}
+	for _, h := range heads {
+		seen := map[int]bool{h: true}
+		cur := h
+		for hop := 0; hop < 10; hop++ {
+			next := p.NextHop(cur)
+			if next == network.BSID {
+				cur = network.BSID
+				break
+			}
+			if !isHead[next] {
+				t.Fatalf("relay %d -> non-head %d", cur, next)
+			}
+			if seen[next] {
+				t.Fatalf("relay cycle at %d", next)
+			}
+			// Strict progress toward the BS.
+			if w.DistToBS(next) >= w.DistToBS(cur) {
+				t.Fatalf("relay hop %d->%d moves away from BS", cur, next)
+			}
+			seen[next] = true
+			cur = next
+		}
+		if cur != network.BSID {
+			t.Fatalf("head %d's chain never reached the BS", h)
+		}
+	}
+	if p.RelayMode() != cluster.ForwardPerPacket {
+		t.Fatal("FCM relay mode wrong")
+	}
+}
+
+func TestFCMFavorsEnergyInHeadChoice(t *testing.T) {
+	// Drain 80 of 100 nodes; heads should mostly come from the fresh 20.
+	w := paperNet(t, 7)
+	for i := 0; i < 80; i++ {
+		w.Nodes[i].Battery.Draw(4.5)
+	}
+	p, _ := NewFCM(w, 5, 3, 0, 1)
+	fresh := 0
+	heads := p.StartRound(0)
+	for _, h := range heads {
+		if h >= 80 {
+			fresh++
+		}
+	}
+	if fresh*2 < len(heads) {
+		t.Fatalf("only %d of %d heads fresh; FCM head choice ignores energy", fresh, len(heads))
+	}
+}
+
+func TestFCMMembersRouteToTheirHead(t *testing.T) {
+	w := paperNet(t, 8)
+	p, _ := NewFCM(w, 5, 3, 0, 1)
+	heads := p.StartRound(0)
+	isHead := map[int]bool{}
+	for _, h := range heads {
+		isHead[h] = true
+	}
+	for id := 0; id < w.N(); id++ {
+		if isHead[id] {
+			continue
+		}
+		if hop := p.NextHop(id); !isHead[hop] {
+			t.Fatalf("member %d routed to %d (not a head)", id, hop)
+		}
+	}
+}
+
+func TestLEACHValidation(t *testing.T) {
+	w := paperNet(t, 9)
+	if _, err := NewLEACH(w, 0, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewLEACH(w, 100, 0, 1); err == nil {
+		t.Fatal("k=N accepted")
+	}
+}
+
+func TestLEACHRoutesToNearest(t *testing.T) {
+	w := paperNet(t, 10)
+	p, err := NewLEACH(w, 5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var heads []int
+	for r := 0; r < 5 && len(heads) == 0; r++ {
+		heads = p.StartRound(r)
+	}
+	if len(heads) == 0 {
+		t.Fatal("LEACH never selected heads in 5 rounds")
+	}
+	isHead := map[int]bool{}
+	for _, h := range heads {
+		isHead[h] = true
+	}
+	for id := 0; id < w.N(); id++ {
+		hop := p.NextHop(id)
+		if isHead[id] {
+			if hop != network.BSID {
+				t.Fatalf("head %d hops to %d", id, hop)
+			}
+			continue
+		}
+		if hop == network.BSID {
+			continue // legal when no head was selected
+		}
+		d := w.Nodes[id].Pos.Dist(w.Nodes[hop].Pos)
+		for _, h := range heads {
+			if w.Nodes[id].Pos.Dist(w.Nodes[h].Pos) < d-1e-9 {
+				t.Fatalf("member %d not at nearest head", id)
+			}
+		}
+	}
+}
+
+// All three baselines must run cleanly on the engine and deliver traffic.
+func TestBaselinesRunOnEngine(t *testing.T) {
+	build := func(name string, w *network.Network) cluster.Protocol {
+		switch name {
+		case "kmeans":
+			p, _ := NewKMeans(w, 5, 0, 1)
+			return p
+		case "fcm":
+			p, _ := NewFCM(w, 5, 3, 0, 1)
+			return p
+		default:
+			p, _ := NewLEACH(w, 5, 0, 1)
+			return p
+		}
+	}
+	for _, name := range []string{"kmeans", "fcm", "leach"} {
+		w := paperNet(t, 11)
+		proto := build(name, w)
+		e, err := sim.NewEngine(w, proto, energy.DefaultModel(), sim.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(10)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.PDR() < 0.5 {
+			t.Fatalf("%s: PDR %v under moderate load", name, res.PDR())
+		}
+		if res.TotalEnergy <= 0 {
+			t.Fatalf("%s: no energy consumed", name)
+		}
+	}
+}
+
+func TestDirectProtocol(t *testing.T) {
+	p := NewDirect()
+	if p.Name() != "direct-to-BS" {
+		t.Fatal(p.Name())
+	}
+	if heads := p.StartRound(0); heads != nil {
+		t.Fatalf("direct protocol selected heads: %v", heads)
+	}
+	if hop := p.NextHop(17); hop != network.BSID {
+		t.Fatalf("NextHop = %d", hop)
+	}
+	if p.RelayMode() != cluster.HoldAndBurst {
+		t.Fatal("relay mode")
+	}
+}
+
+// The paper's founding premise (§1): clustering turns global into local
+// communication and saves energy. The saving comes from the d⁴
+// multi-path law on long hauls, so it shows on fields whose node→BS
+// distances sit well past the d₀ ≈ 88 m crossover; a 400 m cube (mean
+// distance ≈ 192 m) makes direct-to-BS several times more expensive
+// than clustering. (At the paper's M=200 the central BS keeps most
+// distances near d₀ and the gap nearly vanishes — an honest limit of
+// the premise, noted in EXPERIMENTS.md.)
+func TestClusteringSavesEnergyOverDirect(t *testing.T) {
+	bigNet := func() *network.Network {
+		w, err := network.Deploy(network.Deployment{N: 100, Side: 400, InitialEnergy: 5}, rng.New(13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	energyOf := func(proto cluster.Protocol, w *network.Network) float64 {
+		cfg := sim.DefaultConfig()
+		cfg.MeanInterArrival = 6
+		e, _ := sim.NewEngine(w, proto, energy.DefaultModel(), cfg)
+		res, err := e.Run(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.TotalEnergy)
+	}
+	wDirect := bigNet()
+	direct := energyOf(NewDirect(), wDirect)
+
+	wKM := bigNet()
+	km, _ := NewKMeans(wKM, 5, 0, 1)
+	clustered := energyOf(km, wKM)
+
+	if direct < 2*clustered {
+		t.Fatalf("direct-to-BS energy %v not ≫ clustered %v; clustering premise broken",
+			direct, clustered)
+	}
+}
+
+// FCM's multi-hop relaying must show up as a higher mean hop count than
+// the single-hop-plus-burst protocols.
+func TestFCMMultiHopVsKMeans(t *testing.T) {
+	hops := func(makeProto func(w *network.Network) cluster.Protocol) float64 {
+		w := paperNet(t, 12)
+		e, _ := sim.NewEngine(w, makeProto(w), energy.DefaultModel(), sim.DefaultConfig())
+		res, err := e.Run(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Hops.Mean
+	}
+	fcmHops := hops(func(w *network.Network) cluster.Protocol {
+		p, _ := NewFCM(w, 5, 3, 0, 1)
+		return p
+	})
+	kmHops := hops(func(w *network.Network) cluster.Protocol {
+		p, _ := NewKMeans(w, 5, 0, 1)
+		return p
+	})
+	if fcmHops <= kmHops {
+		t.Fatalf("FCM mean hops %v not above k-means %v", fcmHops, kmHops)
+	}
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"testing"
+
+	"qlec/internal/cluster"
+	"qlec/internal/energy"
+	"qlec/internal/network"
+	"qlec/internal/rng"
+	"qlec/internal/sim"
+)
+
+func paperNet(t *testing.T, seed uint64) *network.Network {
+	t.Helper()
+	w, err := network.Deploy(network.Deployment{N: 100, Side: 200, InitialEnergy: 5}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func newQLEC(t *testing.T, w *network.Network, cfg Config) *QLEC {
+	t.Helper()
+	q, err := New(w, energy.DefaultModel(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestNewValidation(t *testing.T) {
+	w := paperNet(t, 1)
+	if _, err := New(w, energy.DefaultModel(), Config{TotalRounds: -1, Bits: 4000}); err == nil {
+		t.Fatal("negative rounds accepted")
+	}
+	if _, err := New(w, energy.DefaultModel(), Config{TotalRounds: 20, Bits: 0}); err == nil {
+		t.Fatal("zero bits accepted")
+	}
+	if _, err := New(w, energy.DefaultModel(), Config{TotalRounds: 20, Bits: 4000, K: 1000}); err == nil {
+		t.Fatal("K > N accepted")
+	}
+}
+
+func TestAutoRFromEnergyModel(t *testing.T) {
+	// The paper's reference [7] route: R = E_total / E_round. For the
+	// paper deployment (500 J total, ≈0.054 J/round at k=11), R lands in
+	// the thousands — far beyond the paper's R=20, which only schedules
+	// the first 20 rounds of the network's life.
+	w := paperNet(t, 13)
+	k := AutoK(w, energy.DefaultModel())
+	r := AutoR(w, energy.DefaultModel(), 4000, k)
+	if r < 2000 || r > 50000 {
+		t.Fatalf("AutoR = %d, want thousands for the paper deployment", r)
+	}
+	// TotalRounds=0 wires it through New.
+	q, err := New(w, energy.DefaultModel(), Config{Bits: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.cfg.TotalRounds != r {
+		t.Fatalf("New auto-R = %d, AutoR = %d", q.cfg.TotalRounds, r)
+	}
+}
+
+func TestAutoKMatchesTheorem1(t *testing.T) {
+	w := paperNet(t, 2)
+	k := AutoK(w, energy.DefaultModel())
+	// BS at cube center: Theorem 1 gives ≈ 11 (see energy tests and
+	// DESIGN.md §6.2).
+	if k < 10 || k > 13 {
+		t.Fatalf("AutoK = %d, want ~11 for the paper deployment", k)
+	}
+}
+
+func TestDefaultConfigAutoK(t *testing.T) {
+	w := paperNet(t, 3)
+	q := newQLEC(t, w, DefaultConfig(20))
+	if q.K() != AutoK(w, energy.DefaultModel()) {
+		t.Fatalf("K = %d, want auto", q.K())
+	}
+}
+
+func TestStartRoundSelectsKHeads(t *testing.T) {
+	w := paperNet(t, 4)
+	cfg := DefaultConfig(20)
+	cfg.K = 5
+	q := newQLEC(t, w, cfg)
+	for r := 0; r < 20; r++ {
+		heads := q.StartRound(r)
+		if len(heads) != 5 {
+			t.Fatalf("round %d: %d heads", r, len(heads))
+		}
+		if err := cluster.ValidateHeads(w, heads, 0); err != nil {
+			t.Fatal(err)
+		}
+		q.EndRound(r)
+	}
+}
+
+func TestNextHopMembersAvoidBS(t *testing.T) {
+	w := paperNet(t, 5)
+	cfg := DefaultConfig(20)
+	cfg.K = 5
+	q := newQLEC(t, w, cfg)
+	heads := q.StartRound(0)
+	isHead := map[int]bool{}
+	for _, h := range heads {
+		isHead[h] = true
+	}
+	for id := 0; id < w.N(); id++ {
+		hop := q.NextHop(id)
+		if isHead[id] {
+			if hop != network.BSID {
+				t.Fatalf("head %d hops to %d, want BS", id, hop)
+			}
+			continue
+		}
+		if hop == network.BSID {
+			t.Fatalf("member %d routed directly to BS with %d heads up", id, len(heads))
+		}
+		if !isHead[hop] {
+			t.Fatalf("member %d routed to non-head %d", id, hop)
+		}
+	}
+}
+
+func TestQLECRunsOnEngine(t *testing.T) {
+	w := paperNet(t, 6)
+	cfg := DefaultConfig(20)
+	cfg.K = 5
+	q := newQLEC(t, w, cfg)
+	e, err := sim.NewEngine(w, q, energy.DefaultModel(), sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != "QLEC" {
+		t.Fatalf("protocol name %q", res.Protocol)
+	}
+	if res.PDR() < 0.95 {
+		t.Fatalf("QLEC PDR under default (moderate) load = %v, paper reports ≈1", res.PDR())
+	}
+	if q.Learner().Updates() == 0 {
+		t.Fatal("Q-learning never updated")
+	}
+}
+
+func TestQLECDeterministic(t *testing.T) {
+	run := func() (float64, float64) {
+		w := paperNet(t, 7)
+		cfg := DefaultConfig(10)
+		cfg.K = 5
+		q := newQLEC(t, w, cfg)
+		e, _ := sim.NewEngine(w, q, energy.DefaultModel(), sim.DefaultConfig())
+		res, err := e.Run(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PDR(), float64(res.TotalEnergy)
+	}
+	p1, e1 := run()
+	p2, e2 := run()
+	if p1 != p2 || e1 != e2 {
+		t.Fatalf("identical QLEC runs differ: (%v,%v) vs (%v,%v)", p1, e1, p2, e2)
+	}
+}
+
+func TestAblationNamesDiffer(t *testing.T) {
+	w := paperNet(t, 8)
+	cfg := DefaultConfig(20)
+	cfg.K = 5
+	cfg.DisableQLearning = true
+	q := newQLEC(t, w, cfg)
+	if q.Name() != "DEEC-nearest" {
+		t.Fatalf("ablation name %q", q.Name())
+	}
+	cfg2 := DefaultConfig(20)
+	cfg2.K = 5
+	cfg2.PlainDEEC = true
+	q2 := newQLEC(t, paperNet(t, 8), cfg2)
+	if q2.Name() != "DEEC-plain" {
+		t.Fatalf("plain name %q", q2.Name())
+	}
+}
+
+func TestPlainDEECHeadCountVaries(t *testing.T) {
+	// Classic DEEC has no top-up/trim: the lottery's head count varies
+	// round to round, unlike improved DEEC's pinned K.
+	w := paperNet(t, 12)
+	cfg := DefaultConfig(20)
+	cfg.K = 5
+	cfg.PlainDEEC = true
+	q := newQLEC(t, w, cfg)
+	counts := map[int]bool{}
+	for r := 0; r < 20; r++ {
+		counts[len(q.StartRound(r))] = true
+		q.EndRound(r)
+	}
+	if len(counts) < 2 {
+		t.Fatalf("plain DEEC head count constant: %v", counts)
+	}
+}
+
+func TestAblationNearestRoutesToNearestHead(t *testing.T) {
+	w := paperNet(t, 9)
+	cfg := DefaultConfig(20)
+	cfg.K = 5
+	cfg.DisableQLearning = true
+	q := newQLEC(t, w, cfg)
+	heads := q.StartRound(0)
+	for id := 0; id < w.N(); id++ {
+		hop := q.NextHop(id)
+		if q.isHead[id] {
+			continue
+		}
+		d := w.Nodes[id].Pos.Dist(w.Nodes[hop].Pos)
+		for _, h := range heads {
+			if w.Nodes[id].Pos.Dist(w.Nodes[h].Pos) < d-1e-9 {
+				t.Fatalf("member %d not routed to nearest head", id)
+			}
+		}
+	}
+	// Outcome feedback must be a no-op (no learner updates).
+	before := q.Learner().Updates()
+	q.OnOutcome(0, heads[0], true)
+	q.EndRound(0)
+	if q.Learner().Updates() != before {
+		t.Fatal("ablation still updates the learner")
+	}
+}
+
+// Under congestion, QLEC's reroute must beat the nearest-head ablation
+// on delivery — the paper's central claim isolated to its mechanism.
+// Rerouting needs alternative heads at comparable distance to pay off
+// (the α₂ distance penalty otherwise dominates the congestion signal),
+// so the head count sits near the deployment's true k_opt ≈ 11, not the
+// paper's k=5; EXPERIMENTS.md discusses the sensitivity.
+func TestQLearningBeatsNearestUnderCongestion(t *testing.T) {
+	run := func(disableQL bool) float64 {
+		w := paperNet(t, 10)
+		cfg := DefaultConfig(10)
+		cfg.K = 8
+		cfg.DisableQLearning = disableQL
+		q := newQLEC(t, w, cfg)
+		// Overload: offered exceeds total head service capacity, so
+		// *balance* decides delivery — QLEC's strength.
+		scfg := sim.DefaultConfig()
+		scfg.MeanInterArrival = 1.5
+		scfg.QueueCapacity = 12
+		e, _ := sim.NewEngine(w, q, energy.DefaultModel(), scfg)
+		res, err := e.Run(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PDR()
+	}
+	ql := run(false)
+	nearest := run(true)
+	if ql <= nearest {
+		t.Fatalf("Q-learning PDR %v not above nearest-head PDR %v under congestion", ql, nearest)
+	}
+}
+
+// Under persistent per-link shadowing at light load, link learning is
+// the only advantage in play: QLEC's ACK-driven estimator routes around
+// permanently bad links, while the nearest-head ablation keeps hammering
+// them. This isolates the paper's claim that baselines "lose some
+// packets when the network is relatively idle" (Fig. 3a).
+func TestLinkLearningPaysUnderShadowing(t *testing.T) {
+	run := func(disableQL bool) float64 {
+		w := paperNet(t, 11)
+		cfg := DefaultConfig(10)
+		cfg.K = 8
+		cfg.DisableQLearning = disableQL
+		q := newQLEC(t, w, cfg)
+		scfg := sim.DefaultConfig()
+		scfg.MeanInterArrival = 4 // light-moderate load: queues not the issue
+		scfg.ShadowSigma = 1.0    // strong persistent link heterogeneity
+		scfg.MaxRetries = 2
+		e, _ := sim.NewEngine(w, q, energy.DefaultModel(), scfg)
+		res, err := e.Run(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PDR()
+	}
+	learning := run(false)
+	static := run(true)
+	if learning <= static {
+		t.Fatalf("link learning PDR %v not above static assignment %v under shadowing",
+			learning, static)
+	}
+}
+
+func BenchmarkQLECRound(b *testing.B) {
+	w, _ := network.Deploy(network.Deployment{N: 100, Side: 200, InitialEnergy: 5}, rng.New(1))
+	cfg := DefaultConfig(1 << 30)
+	cfg.K = 5
+	q, _ := New(w, energy.DefaultModel(), cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.StartRound(i)
+		for id := 0; id < 100; id++ {
+			q.NextHop(id)
+		}
+		q.EndRound(i)
+	}
+}

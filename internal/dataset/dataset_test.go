@@ -1,0 +1,244 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qlec/internal/geom"
+	"qlec/internal/rng"
+	"qlec/internal/stats"
+)
+
+func TestSynthesizeDefaults(t *testing.T) {
+	d, err := Synthesize(DefaultSynthConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Positions) != 2896 {
+		t.Fatalf("N = %d, paper's China subset has 2896", len(d.Positions))
+	}
+	for i, p := range d.Positions {
+		if !d.Box.Contains(p) && p != d.Box.Clamp(p) {
+			t.Fatalf("node %d outside box: %v", i, p)
+		}
+	}
+	if !d.Box.Contains(d.BS) {
+		t.Fatalf("BS outside box: %v", d.BS)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a, _ := Synthesize(DefaultSynthConfig())
+	b, _ := Synthesize(DefaultSynthConfig())
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] || a.Energies[i] != b.Energies[i] {
+			t.Fatalf("node %d differs across identical configs", i)
+		}
+	}
+	c := DefaultSynthConfig()
+	c.Seed = 777
+	alt, _ := Synthesize(c)
+	if alt.Positions[0] == a.Positions[0] && alt.Positions[1] == a.Positions[1] {
+		t.Fatal("different seeds produced identical placements")
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	for _, mut := range []func(*SynthConfig){
+		func(c *SynthConfig) { c.N = 0 },
+		func(c *SynthConfig) { c.Side = 0 },
+		func(c *SynthConfig) { c.MaxHeight = -1 },
+		func(c *SynthConfig) { c.MeanEnergy = 0 },
+	} {
+		c := DefaultSynthConfig()
+		mut(&c)
+		if _, err := Synthesize(c); err == nil {
+			t.Fatalf("invalid config %+v accepted", c)
+		}
+	}
+}
+
+func TestSynthesizeEnergyDistribution(t *testing.T) {
+	d, _ := Synthesize(DefaultSynthConfig())
+	vals := make([]float64, len(d.Energies))
+	for i, e := range d.Energies {
+		vals[i] = float64(e)
+	}
+	s := stats.Summarize(vals)
+	// Mean near the configured 5 J (log-normal mu chosen for that mean).
+	if math.Abs(s.Mean-5)/5 > 0.15 {
+		t.Fatalf("mean energy = %v, want ~5", s.Mean)
+	}
+	// Heavy tail: the max should be several times the median.
+	if s.Max < 4*stats.Median(vals) {
+		t.Fatalf("energy distribution not heavy-tailed: max %v median %v", s.Max, stats.Median(vals))
+	}
+	for _, v := range vals {
+		if v <= 0 {
+			t.Fatal("non-positive synthesized energy")
+		}
+	}
+}
+
+func TestSynthesizeSpatialClumping(t *testing.T) {
+	// The synthetic field must be clumped (unlike a uniform cube):
+	// node density CV over XY bins should far exceed a uniform draw's.
+	d, _ := Synthesize(DefaultSynthConfig())
+	countsCV := func(pts []geom.Vec3, side float64) float64 {
+		const bins = 8
+		counts := make([]float64, bins*bins)
+		for _, p := range pts {
+			cx := int(float64(bins) * p.X / side)
+			cy := int(float64(bins) * p.Y / side)
+			if cx >= bins {
+				cx = bins - 1
+			}
+			if cy >= bins {
+				cy = bins - 1
+			}
+			counts[cy*bins+cx]++
+		}
+		return stats.CoefficientOfVariation(counts)
+	}
+	synthCV := countsCV(d.Positions, 1000)
+
+	r := rng.New(1)
+	uniform := geom.Cube(1000).SampleUniformN(r, len(d.Positions))
+	uniformCV := countsCV(uniform, 1000)
+
+	if synthCV < 2*uniformCV {
+		t.Fatalf("synthetic field not clumped: CV %v vs uniform %v", synthCV, uniformCV)
+	}
+}
+
+const wriSample = `country,country_long,name,capacity_mw,latitude,longitude,primary_fuel
+CHN,China,Plant A,1000,31.2,121.5,Coal
+CHN,China,Plant B,500,23.1,113.3,Gas
+USA,United States,Plant C,800,40.7,-74.0,Coal
+CHN,China,Bad Row,,31.0,120.0,Coal
+CHN,China,Plant D,250,39.9,116.4,Hydro
+`
+
+func TestLoadWRICSV(t *testing.T) {
+	r := rng.New(2)
+	d, err := LoadWRICSV(strings.NewReader(wriSample), "CHN", 1000, 100, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 CHN rows, one with missing capacity → 3 nodes.
+	if len(d.Positions) != 3 {
+		t.Fatalf("loaded %d nodes, want 3", len(d.Positions))
+	}
+	// Mean energy maps to 5 J.
+	var total float64
+	for _, e := range d.Energies {
+		total += float64(e)
+	}
+	if math.Abs(total/3-5) > 1e-9 {
+		t.Fatalf("mean loaded energy = %v", total/3)
+	}
+	// Capacity ordering preserved: Plant A (1000 MW) > Plant B (500).
+	if d.Energies[0] <= d.Energies[1] {
+		t.Fatalf("energy ordering lost: %v vs %v", d.Energies[0], d.Energies[1])
+	}
+	// Heights within [0, 100).
+	for _, p := range d.Positions {
+		if p.Z < 0 || p.Z >= 100 {
+			t.Fatalf("height out of range: %v", p.Z)
+		}
+	}
+}
+
+func TestLoadWRICSVErrors(t *testing.T) {
+	r := rng.New(3)
+	if _, err := LoadWRICSV(strings.NewReader("a,b\n1,2\n"), "CHN", 1000, 100, 5, r); err == nil {
+		t.Fatal("missing columns accepted")
+	}
+	if _, err := LoadWRICSV(strings.NewReader(wriSample), "FRA", 1000, 100, 5, r); err == nil {
+		t.Fatal("country with no rows accepted")
+	}
+	if _, err := LoadWRICSV(strings.NewReader(""), "CHN", 1000, 100, 5, r); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+func TestDatasetWriteCSV(t *testing.T) {
+	c := DefaultSynthConfig()
+	c.N = 4
+	d, _ := Synthesize(c)
+	var sb strings.Builder
+	if err := d.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 || lines[0] != "x,y,z,energy_j" {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	c := DefaultSynthConfig()
+	c.N = 25
+	orig, _ := Synthesize(c)
+	var sb strings.Builder
+	if err := orig.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Positions) != 25 {
+		t.Fatalf("round trip lost nodes: %d", len(back.Positions))
+	}
+	for i := range back.Positions {
+		if back.Positions[i].Dist(orig.Positions[i]) > 1e-9 {
+			t.Fatalf("position %d drifted: %v vs %v", i, back.Positions[i], orig.Positions[i])
+		}
+		if math.Abs(float64(back.Energies[i]-orig.Energies[i])) > 1e-9 {
+			t.Fatalf("energy %d drifted", i)
+		}
+		if !back.Box.Contains(back.Positions[i]) {
+			t.Fatalf("node %d outside inferred box", i)
+		}
+	}
+	if !back.Box.Contains(back.BS) {
+		t.Fatal("BS outside inferred box")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"wrong header":    "a,b,c,d\n1,2,3,4\n",
+		"no rows":         "x,y,z,energy_j\n",
+		"bad field":       "x,y,z,energy_j\n1,2,zz,4\n",
+		"zero energy":     "x,y,z,energy_j\n1,2,3,0\n",
+		"negative energy": "x,y,z,energy_j\n1,2,3,-1\n",
+		"short row":       "x,y,z,energy_j\n1,2,3\n",
+	}
+	for name, csv := range cases {
+		if _, err := LoadCSV(strings.NewReader(csv)); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestDatasetValidateErrors(t *testing.T) {
+	d := &Dataset{}
+	if err := d.Validate(); err == nil {
+		t.Fatal("empty dataset validated")
+	}
+	good, _ := Synthesize(SynthConfig{N: 2, Side: 10, MaxHeight: 5, MeanEnergy: 1, Seed: 1})
+	good.Energies[1] = 0
+	if err := good.Validate(); err == nil {
+		t.Fatal("zero energy validated")
+	}
+}

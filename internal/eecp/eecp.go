@@ -1,0 +1,238 @@
+// Package eecp formalizes the paper's §3.4 Energy-Efficient Clustering
+// Problem (Definition 1) and provides an exhaustive solver for instances
+// small enough to enumerate, so the heuristics can be measured against
+// the true optimum of the NP-Complete problem (Theorem 2).
+//
+// EECP: given nodes with positions and residual energies, partition them
+// into k clusters minimizing the average lifespan-decrease function
+// f(E_i, d_toCH) over nodes, where d_toCH is each node's distance to its
+// cluster head. Theorem 2 reduces the classic k-means problem
+// (Definition 2) to EECP by picking f(E, d) = d — this package's tests
+// verify that reduction concretely: the EECP optimum under f = d² with
+// centroid heads equals the k-means optimum.
+package eecp
+
+import (
+	"fmt"
+	"math"
+
+	"qlec/internal/energy"
+	"qlec/internal/geom"
+)
+
+// CostFn is the lifespan-decrease function f(E_i(r), d_toCH) of
+// Definition 1. d2 is the squared distance to the cluster head (squared
+// to avoid needless square roots; take math.Sqrt inside f when the
+// objective needs plain distance).
+type CostFn func(residual energy.Joules, d2 float64) float64
+
+// DistanceOnly is Theorem 2's reduction choice, f = d_toCH (so EECP
+// collapses onto the geometry-only clustering problem).
+func DistanceOnly(_ energy.Joules, d2 float64) float64 { return math.Sqrt(d2) }
+
+// SquaredDistance is the k-means objective f = d², used to check the
+// reduction against the exhaustive k-means solver.
+func SquaredDistance(_ energy.Joules, d2 float64) float64 { return d2 }
+
+// EnergyWeighted is a representative genuinely-energy-aware lifespan
+// decrease: transmission cost over residual energy — a node's share of
+// lifetime spent per report. Nodes with little energy or long hops decay
+// fastest, matching the paper's motivation for LS = 1/f.
+func EnergyWeighted(model energy.Model, bits int) CostFn {
+	return func(residual energy.Joules, d2 float64) float64 {
+		if residual <= 0 {
+			return math.Inf(1)
+		}
+		cost := float64(model.Tx(bits, math.Sqrt(d2)))
+		return cost / float64(residual)
+	}
+}
+
+// HeadMode selects how a cluster's center is chosen.
+type HeadMode int
+
+const (
+	// CentroidHead uses the geometric centroid (Definition 2's
+	// "center"; not necessarily a node).
+	CentroidHead HeadMode = iota
+	// MedoidHead requires the head to be one of the cluster's nodes
+	// (Definition 1's cluster head) and picks the node minimizing the
+	// cluster's summed cost.
+	MedoidHead
+)
+
+// Instance is one EECP problem.
+type Instance struct {
+	Points   []geom.Vec3
+	Residual []energy.Joules
+	K        int
+	F        CostFn
+	Heads    HeadMode
+}
+
+// Validate checks instance well-formedness and tractability for the
+// exhaustive solver.
+func (in *Instance) Validate() error {
+	n := len(in.Points)
+	if n == 0 {
+		return fmt.Errorf("eecp: no points")
+	}
+	if len(in.Residual) != n {
+		return fmt.Errorf("eecp: %d residuals for %d points", len(in.Residual), n)
+	}
+	if in.K <= 0 || in.K > n {
+		return fmt.Errorf("eecp: k=%d outside [1,%d]", in.K, n)
+	}
+	if in.F == nil {
+		return fmt.Errorf("eecp: nil cost function")
+	}
+	if n > 14 {
+		return fmt.Errorf("eecp: exhaustive solver is exponential; %d points exceeds the cap of 14 (Theorem 2: EECP is NP-Complete)", n)
+	}
+	return nil
+}
+
+// Solution is an optimal partition.
+type Solution struct {
+	// Assign maps each point to a cluster label in [0, K).
+	Assign []int
+	// Heads holds, per cluster, the medoid node index (MedoidHead) or
+	// -1 (CentroidHead).
+	Heads []int
+	// Cost is the summed f over all nodes (the paper's objective is the
+	// average, which differs by the constant 1/n).
+	Cost float64
+}
+
+// Solve exhaustively enumerates set partitions into at most K labeled-
+// canonical clusters and returns the minimum-cost solution.
+func Solve(in *Instance) (*Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.Points)
+	assign := make([]int, n)
+	best := &Solution{Cost: math.Inf(1)}
+
+	var recurse func(i, used int)
+	recurse = func(i, used int) {
+		if i == n {
+			if used != in.K {
+				return
+			}
+			cost, heads := evaluate(in, assign)
+			if cost < best.Cost {
+				best.Cost = cost
+				best.Assign = append(best.Assign[:0], assign...)
+				best.Heads = heads
+			}
+			return
+		}
+		// Canonical labeling kills label permutations: point i may only
+		// open cluster `used`.
+		lim := used
+		if lim >= in.K {
+			lim = in.K - 1
+		}
+		for c := 0; c <= lim; c++ {
+			assign[i] = c
+			next := used
+			if c == used {
+				next++
+			}
+			recurse(i+1, next)
+		}
+	}
+	recurse(0, 0)
+	if math.IsInf(best.Cost, 1) {
+		return nil, fmt.Errorf("eecp: no feasible partition (k=%d, n=%d)", in.K, n)
+	}
+	return best, nil
+}
+
+// evaluate computes the instance cost of an assignment, choosing each
+// cluster's head per the head mode.
+func evaluate(in *Instance, assign []int) (float64, []int) {
+	heads := make([]int, in.K)
+	total := 0.0
+	for c := 0; c < in.K; c++ {
+		var members []int
+		for i, a := range assign {
+			if a == c {
+				members = append(members, i)
+			}
+		}
+		cost, head := clusterCost(in, members)
+		total += cost
+		heads[c] = head
+	}
+	return total, heads
+}
+
+func clusterCost(in *Instance, members []int) (float64, int) {
+	if len(members) == 0 {
+		return 0, -1
+	}
+	switch in.Heads {
+	case CentroidHead:
+		var ctr geom.Vec3
+		for _, i := range members {
+			ctr = ctr.Add(in.Points[i])
+		}
+		ctr = ctr.Scale(1 / float64(len(members)))
+		total := 0.0
+		for _, i := range members {
+			total += in.F(in.Residual[i], in.Points[i].DistSq(ctr))
+		}
+		return total, -1
+	default: // MedoidHead
+		best := math.Inf(1)
+		bestHead := members[0]
+		for _, h := range members {
+			total := 0.0
+			for _, i := range members {
+				total += in.F(in.Residual[i], in.Points[i].DistSq(in.Points[h]))
+			}
+			if total < best {
+				best = total
+				bestHead = h
+			}
+		}
+		return best, bestHead
+	}
+}
+
+// HeuristicCost evaluates a concrete (assignment, heads) produced by any
+// heuristic under the instance's objective, for approximation-ratio
+// measurements against Solve. heads[c] must be a node index for
+// MedoidHead instances; for CentroidHead instances heads is ignored and
+// centroids are recomputed from the assignment.
+func HeuristicCost(in *Instance, assign []int, heads []int) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	if len(assign) != len(in.Points) {
+		return 0, fmt.Errorf("eecp: assignment covers %d of %d points", len(assign), len(in.Points))
+	}
+	for _, a := range assign {
+		if a < 0 || a >= in.K {
+			return 0, fmt.Errorf("eecp: label %d outside [0,%d)", a, in.K)
+		}
+	}
+	if in.Heads == CentroidHead {
+		cost, _ := evaluate(in, assign)
+		return cost, nil
+	}
+	if len(heads) != in.K {
+		return 0, fmt.Errorf("eecp: %d heads for k=%d", len(heads), in.K)
+	}
+	total := 0.0
+	for i, a := range assign {
+		h := heads[a]
+		if h < 0 || h >= len(in.Points) {
+			return 0, fmt.Errorf("eecp: head %d out of range", h)
+		}
+		total += in.F(in.Residual[i], in.Points[i].DistSq(in.Points[h]))
+	}
+	return total, nil
+}

@@ -1,0 +1,250 @@
+package eecp
+
+import (
+	"math"
+	"testing"
+
+	"qlec/internal/energy"
+	"qlec/internal/geom"
+	"qlec/internal/kmeans"
+	"qlec/internal/rng"
+)
+
+func uniformResiduals(n int) []energy.Joules {
+	out := make([]energy.Joules, n)
+	for i := range out {
+		out[i] = 5
+	}
+	return out
+}
+
+func TestValidate(t *testing.T) {
+	pts := geom.Cube(10).SampleUniformN(rng.New(1), 5)
+	good := &Instance{Points: pts, Residual: uniformResiduals(5), K: 2, F: DistanceOnly}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Instance{
+		{K: 2, F: DistanceOnly},
+		{Points: pts, Residual: uniformResiduals(3), K: 2, F: DistanceOnly},
+		{Points: pts, Residual: uniformResiduals(5), K: 0, F: DistanceOnly},
+		{Points: pts, Residual: uniformResiduals(5), K: 9, F: DistanceOnly},
+		{Points: pts, Residual: uniformResiduals(5), K: 2},
+		{Points: geom.Cube(10).SampleUniformN(rng.New(1), 20), Residual: uniformResiduals(20), K: 2, F: DistanceOnly},
+	}
+	for i, in := range cases {
+		if err := in.Validate(); err == nil {
+			t.Fatalf("case %d validated", i)
+		}
+	}
+}
+
+func TestSolveObviousPartition(t *testing.T) {
+	// Two tight pairs far apart: optimal 2-clustering must split them.
+	pts := []geom.Vec3{{X: 0}, {X: 1}, {X: 100}, {X: 101}}
+	in := &Instance{Points: pts, Residual: uniformResiduals(4), K: 2, F: DistanceOnly, Heads: MedoidHead}
+	sol, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Assign[0] != sol.Assign[1] || sol.Assign[2] != sol.Assign[3] || sol.Assign[0] == sol.Assign[2] {
+		t.Fatalf("assignment %v does not split the pairs", sol.Assign)
+	}
+	// Medoid head of a pair is either node; cost = 1 per pair (one member
+	// at distance 1, the head at 0).
+	if math.Abs(sol.Cost-2) > 1e-9 {
+		t.Fatalf("cost = %v, want 2", sol.Cost)
+	}
+	for _, h := range sol.Heads {
+		if h < 0 || h >= 4 {
+			t.Fatalf("bad medoid head %d", h)
+		}
+	}
+}
+
+// Theorem 2's reduction, concretely: the EECP optimum with f = d² and
+// centroid heads equals the k-means optimum from the independent
+// exhaustive solver in internal/kmeans.
+func TestReductionToKMeans(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 8; trial++ {
+		pts := geom.Cube(50).SampleUniformN(r, 9)
+		in := &Instance{
+			Points: pts, Residual: uniformResiduals(9),
+			K: 3, F: SquaredDistance, Heads: CentroidHead,
+		}
+		sol, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		km, err := kmeans.OptimalCost(pts, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sol.Cost-km) > 1e-6*(1+km) {
+			t.Fatalf("trial %d: EECP(f=d², centroid) = %v but k-means optimum = %v "+
+				"(Theorem 2 reduction broken)", trial, sol.Cost, km)
+		}
+	}
+}
+
+// With an energy-aware objective, the optimum must genuinely depend on
+// residual energies — the property that makes EECP more than k-means.
+// Definition 1's f(E_i, d_toCH) weights each *member's* transmission by
+// its own residual energy, so relieving a nearly-drained node of
+// transmission (making it the head, d_toCH = 0) becomes optimal even
+// when geometry alone would pick a different medoid.
+func TestEnergyAwareObjectiveChangesOptimum(t *testing.T) {
+	pts := []geom.Vec3{{X: 0}, {X: 10}, {X: 13}}
+	model := energy.DefaultModel()
+	f := EnergyWeighted(model, 4000)
+
+	balanced := &Instance{
+		Points:   pts,
+		Residual: []energy.Joules{5, 5, 5},
+		K:        1, F: f, Heads: MedoidHead,
+	}
+	solBalanced, err := Solve(balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Geometry alone: the middle node (1) is the medoid.
+	if solBalanced.Heads[0] != 1 {
+		t.Fatalf("balanced medoid = %d, want the middle node 1", solBalanced.Heads[0])
+	}
+
+	drained := &Instance{
+		Points:   pts,
+		Residual: []energy.Joules{0.05, 5, 5}, // node 0 nearly dead
+		K:        1, F: f, Heads: MedoidHead,
+	}
+	solDrained, err := Solve(drained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any transmission by node 0 now costs ~100× more lifespan; the
+	// optimum relieves it by making it the head.
+	if solDrained.Heads[0] != 0 {
+		t.Fatalf("drained-node medoid = %d, want the drained node 0", solDrained.Heads[0])
+	}
+}
+
+func TestSolveKEqualsN(t *testing.T) {
+	pts := geom.Cube(10).SampleUniformN(rng.New(3), 4)
+	in := &Instance{Points: pts, Residual: uniformResiduals(4), K: 4, F: DistanceOnly, Heads: MedoidHead}
+	sol, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 0 {
+		t.Fatalf("singleton clusters cost %v, want 0", sol.Cost)
+	}
+}
+
+func TestHeuristicCostMatchesEvaluate(t *testing.T) {
+	pts := []geom.Vec3{{X: 0}, {X: 1}, {X: 10}, {X: 11}}
+	in := &Instance{Points: pts, Residual: uniformResiduals(4), K: 2, F: DistanceOnly, Heads: MedoidHead}
+	sol, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feeding the optimal solution back through HeuristicCost must give
+	// the optimal cost.
+	got, err := HeuristicCost(in, sol.Assign, sol.Heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-sol.Cost) > 1e-12 {
+		t.Fatalf("heuristic evaluation %v vs solver %v", got, sol.Cost)
+	}
+	// Any other partition costs at least as much.
+	worse, err := HeuristicCost(in, []int{0, 1, 0, 1}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse < sol.Cost-1e-12 {
+		t.Fatalf("solver missed a better partition: %v < %v", worse, sol.Cost)
+	}
+}
+
+func TestHeuristicCostValidation(t *testing.T) {
+	pts := []geom.Vec3{{X: 0}, {X: 1}}
+	in := &Instance{Points: pts, Residual: uniformResiduals(2), K: 2, F: DistanceOnly, Heads: MedoidHead}
+	if _, err := HeuristicCost(in, []int{0}, []int{0, 1}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if _, err := HeuristicCost(in, []int{0, 5}, []int{0, 1}); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	if _, err := HeuristicCost(in, []int{0, 1}, []int{0}); err == nil {
+		t.Fatal("short heads accepted")
+	}
+	if _, err := HeuristicCost(in, []int{0, 1}, []int{0, 9}); err == nil {
+		t.Fatal("bad head accepted")
+	}
+}
+
+// Nearest-head assignment (what the protocols do) is measurably
+// near-optimal on tiny instances: approximation ratio under 1.6 when
+// heads are chosen greedily by spread.
+func TestNearestAssignmentApproximation(t *testing.T) {
+	r := rng.New(4)
+	worst := 1.0
+	for trial := 0; trial < 10; trial++ {
+		pts := geom.Cube(60).SampleUniformN(r, 10)
+		in := &Instance{Points: pts, Residual: uniformResiduals(10), K: 3, F: DistanceOnly, Heads: MedoidHead}
+		opt, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Greedy farthest-point heads + nearest assignment.
+		heads := []int{0}
+		for len(heads) < 3 {
+			far, farD := -1, -1.0
+			for i := range pts {
+				nearest := math.Inf(1)
+				for _, h := range heads {
+					nearest = math.Min(nearest, pts[i].DistSq(pts[h]))
+				}
+				if nearest > farD {
+					far, farD = i, nearest
+				}
+			}
+			heads = append(heads, far)
+		}
+		assign := make([]int, len(pts))
+		for i := range pts {
+			best, bestD := 0, math.Inf(1)
+			for c, h := range heads {
+				if d := pts[i].DistSq(pts[h]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+		}
+		cost, err := HeuristicCost(in, assign, heads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Cost > 0 {
+			ratio := cost / opt.Cost
+			if ratio > worst {
+				worst = ratio
+			}
+		}
+	}
+	if worst > 2.2 {
+		t.Fatalf("greedy nearest-head approximation ratio %v too large", worst)
+	}
+}
+
+func BenchmarkSolve10(b *testing.B) {
+	pts := geom.Cube(60).SampleUniformN(rng.New(5), 10)
+	in := &Instance{Points: pts, Residual: uniformResiduals(10), K: 3, F: DistanceOnly, Heads: MedoidHead}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

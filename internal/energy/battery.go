@@ -1,0 +1,60 @@
+package energy
+
+import "fmt"
+
+// Battery tracks the residual energy of one node. Draws below the
+// remaining charge clamp to zero (the radio browns out mid-transmission);
+// the consumer is responsible for treating a node at or below the death
+// line as dead.
+type Battery struct {
+	initial  Joules
+	residual Joules
+	consumed Joules
+}
+
+// NewBattery returns a battery holding the given initial charge.
+// It panics on a non-positive charge: a sensor with no battery is a
+// configuration error, not a runtime condition.
+func NewBattery(initial Joules) *Battery {
+	if initial <= 0 {
+		panic(fmt.Sprintf("energy: initial battery charge must be positive, got %v", initial))
+	}
+	return &Battery{initial: initial, residual: initial}
+}
+
+// Initial returns the charge the battery started with.
+func (b *Battery) Initial() Joules { return b.initial }
+
+// Residual returns the remaining charge.
+func (b *Battery) Residual() Joules { return b.residual }
+
+// Consumed returns the total energy drawn so far.
+func (b *Battery) Consumed() Joules { return b.consumed }
+
+// ConsumptionRate returns consumed/initial in [0, 1] — the quantity
+// plotted for every node in the paper's Figure 4.
+func (b *Battery) ConsumptionRate() float64 {
+	return float64(b.consumed) / float64(b.initial)
+}
+
+// Draw removes amount from the battery, clamping at empty. It returns the
+// energy actually drawn. Draw of a non-positive amount is a no-op
+// returning zero, so callers may pass computed costs without guarding.
+func (b *Battery) Draw(amount Joules) Joules {
+	if amount <= 0 {
+		return 0
+	}
+	if amount > b.residual {
+		amount = b.residual
+	}
+	b.residual -= amount
+	b.consumed += amount
+	return amount
+}
+
+// Depleted reports whether the battery is at or below the given death
+// line (§5.1: "the network dies when there exists one sensor possessing
+// less energy than a given energy death line").
+func (b *Battery) Depleted(deathLine Joules) bool {
+	return b.residual <= deathLine
+}

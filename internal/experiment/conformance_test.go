@@ -1,0 +1,46 @@
+package experiment
+
+// Cross-protocol conformance: every protocol the harness can build must
+// honour the cluster.Protocol contract over many rounds, on both fresh
+// and partially-drained networks.
+
+import (
+	"testing"
+
+	"qlec/internal/cluster"
+	"qlec/internal/network"
+	"qlec/internal/rng"
+)
+
+func TestAllProtocolsConform(t *testing.T) {
+	all := []ProtocolID{
+		QLEC, FCM, KMeans, LEACH, DEECNearest, QLECNoFloor, QLECNoRR, DEECPlain, Direct,
+	}
+	c := PaperConfig()
+	for _, id := range all {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			w, err := network.Deploy(network.Deployment{
+				N: 60, Side: 200, InitialEnergy: 5,
+			}, rng.New(77))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Drain a third of the nodes so aliveness filtering is
+			// exercised.
+			for i := 0; i < 20; i++ {
+				w.Nodes[i].Battery.Draw(5)
+			}
+			proto, err := c.BuildProtocol(id, w, 30, 0, 77)
+			if err != nil {
+				t.Fatal(err)
+			}
+			report := cluster.CheckConformance(w, proto, 30, 0)
+			if !report.Ok() {
+				for _, v := range report.Violations {
+					t.Error(v)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,608 @@
+// Package experiment is the reproduction harness: it wires networks,
+// protocols and the simulation engine into the exact measurements the
+// paper reports, with multi-seed replication.
+//
+// Per-experiment index (see DESIGN.md §4):
+//
+//   - Table 2  — PaperConfig pins every published parameter.
+//   - Fig 3(a) — RunFig3 sweeps λ and reports packet delivery rate.
+//   - Fig 3(b) — same sweep, cumulative energy over R rounds.
+//   - Fig 3(c) — same sweep, rounds until the first node crosses the
+//     death line.
+//   - Fig 4    — RunFig4 runs QLEC over the 2896-node power-plant
+//     dataset and maps per-node energy-consumption rates, plus scalar
+//     spatial-evenness statistics (binned CV, Gini, Moran's I).
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"qlec/internal/baseline"
+	"qlec/internal/cluster"
+	"qlec/internal/core"
+	"qlec/internal/dataset"
+	"qlec/internal/energy"
+	"qlec/internal/metrics"
+	"qlec/internal/network"
+	"qlec/internal/rng"
+	"qlec/internal/sim"
+	"qlec/internal/stats"
+)
+
+// ProtocolID names a protocol the harness can build.
+type ProtocolID string
+
+// The comparable protocols. QLEC plus the paper's two baselines are the
+// headline set; LEACH and the QLEC ablations support the extra benches.
+const (
+	QLEC        ProtocolID = "QLEC"
+	FCM         ProtocolID = "FCM"
+	KMeans      ProtocolID = "k-means"
+	LEACH       ProtocolID = "LEACH"
+	DEECNearest ProtocolID = "DEEC-nearest" // QLEC minus Q-learning
+	QLECNoFloor ProtocolID = "QLEC-nofloor" // QLEC minus Eq. (4)
+	QLECNoRR    ProtocolID = "QLEC-norr"    // QLEC minus Algorithm 3
+	DEECPlain   ProtocolID = "DEEC-plain"   // classic DEEC (Qing et al. 2006)
+	Direct      ProtocolID = "direct-to-BS" // no clustering at all
+)
+
+// PaperProtocols returns the three protocols of Figure 3.
+func PaperProtocols() []ProtocolID { return []ProtocolID{QLEC, FCM, KMeans} }
+
+// Config assembles one experiment family.
+type Config struct {
+	// Deployment (§5.1): N nodes, cube side M, per-node initial energy.
+	N             int
+	Side          float64
+	InitialEnergy energy.Joules
+	// Rounds is R, the paper's 20 successive rounds.
+	Rounds int
+	// K is the cluster count (the paper uses k_opt ≈ 5; see DESIGN.md
+	// §6.2 on the Theorem 1 discrepancy).
+	K int
+	// Lambdas is the traffic sweep for Figure 3 ("four network
+	// conditions with different λ").
+	Lambdas []float64
+	// Seeds replicate every measurement; summaries aggregate across
+	// them.
+	Seeds []uint64
+	// LifespanDeathLine is the death line for Fig 3(c) runs (the paper
+	// raises/lowers the line depending on the measurement).
+	LifespanDeathLine energy.Joules
+	// LifespanMaxRounds caps Fig 3(c) runs.
+	LifespanMaxRounds int
+	// Sim is the base engine configuration; MeanInterArrival and Seed
+	// are overridden per sweep point and replication.
+	Sim sim.Config
+	// Model holds the radio constants (Table 2).
+	Model energy.Model
+	// FCMLevels is the baseline's hierarchy depth.
+	FCMLevels int
+	// Topology, when non-nil, replaces the uniform-cube deployment with
+	// explicit node positions and per-node energies (underwater columns,
+	// terrain-following deployments, real datasets). N, Side and
+	// InitialEnergy are ignored in that case.
+	Topology *dataset.Dataset
+	// AdvancedFraction/AdvancedFactor provision a two-tier heterogeneous
+	// network (DEEC's original setting): a fraction of nodes start with
+	// (1+factor)·InitialEnergy. Ignored with a custom Topology.
+	AdvancedFraction float64
+	AdvancedFactor   float64
+	// Tracer, when non-nil, observes every packet transition of every
+	// run (see sim.Tracer). Mostly useful with single runs.
+	Tracer sim.Tracer
+}
+
+// PaperConfig returns the paper's §5.1/Table 2 experiment setup.
+func PaperConfig() Config {
+	return Config{
+		N:                 100,
+		Side:              200,
+		InitialEnergy:     5,
+		Rounds:            20,
+		K:                 5,
+		Lambdas:           []float64{8, 4, 2, 1},
+		Seeds:             []uint64{1, 2, 3, 4, 5},
+		LifespanDeathLine: 2.5,
+		LifespanMaxRounds: 3000,
+		Sim:               sim.DefaultConfig(),
+		Model:             energy.DefaultModel(),
+		FCMLevels:         3,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	n := c.N
+	if c.Topology != nil {
+		if err := c.Topology.Validate(); err != nil {
+			return err
+		}
+		n = len(c.Topology.Positions)
+	} else if c.N <= 0 || c.Side <= 0 || c.InitialEnergy <= 0 {
+		return fmt.Errorf("experiment: invalid deployment (N=%d, side=%v, E0=%v)",
+			c.N, c.Side, c.InitialEnergy)
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("experiment: Rounds must be positive, got %d", c.Rounds)
+	}
+	if c.K <= 0 || c.K > n {
+		return fmt.Errorf("experiment: K=%d outside [1,%d]", c.K, n)
+	}
+	if len(c.Lambdas) == 0 {
+		return fmt.Errorf("experiment: no lambda sweep points")
+	}
+	for _, l := range c.Lambdas {
+		if !(l > 0) {
+			return fmt.Errorf("experiment: lambda %v not positive", l)
+		}
+	}
+	if len(c.Seeds) == 0 {
+		return fmt.Errorf("experiment: no seeds")
+	}
+	if c.LifespanMaxRounds <= 0 {
+		return fmt.Errorf("experiment: LifespanMaxRounds must be positive")
+	}
+	if c.FCMLevels < 1 {
+		return fmt.Errorf("experiment: FCMLevels must be >= 1")
+	}
+	return c.Sim.Validate()
+}
+
+// BuildProtocol constructs a protocol instance bound to the network.
+// totalRounds is the planned R the protocol should assume (lifespan runs
+// pass their round cap).
+func (c Config) BuildProtocol(id ProtocolID, w *network.Network, totalRounds int, deathLine energy.Joules, seed uint64) (cluster.Protocol, error) {
+	k := c.K
+	if k > w.N() {
+		k = w.N()
+	}
+	switch id {
+	case QLEC, DEECNearest, QLECNoFloor, QLECNoRR, DEECPlain:
+		qc := core.DefaultConfig(totalRounds)
+		qc.K = k
+		qc.Bits = c.Sim.Bits
+		qc.DeathLine = deathLine
+		qc.Seed = seed
+		qc.DisableQLearning = id == DEECNearest
+		qc.DisableEnergyFloor = id == QLECNoFloor
+		qc.DisableRedundancyReduction = id == QLECNoRR
+		qc.PlainDEEC = id == DEECPlain
+		return core.New(w, c.Model, qc)
+	case FCM:
+		return baseline.NewFCM(w, k, c.FCMLevels, deathLine, seed)
+	case KMeans:
+		return baseline.NewKMeans(w, k, deathLine, seed)
+	case Direct:
+		return baseline.NewDirect(), nil
+	case LEACH:
+		if k >= w.N() {
+			k = w.N() - 1
+		}
+		return baseline.NewLEACH(w, k, deathLine, seed)
+	default:
+		return nil, fmt.Errorf("experiment: unknown protocol %q", id)
+	}
+}
+
+// RunOne executes a single simulation: protocol id, traffic λ, seed.
+// When lifespan is true the run uses the lifespan death line, stops on
+// first death and may run up to LifespanMaxRounds; otherwise it runs
+// exactly Rounds rounds with a zero death line (the paper's "lower the
+// energy death line" methodology for PDR/energy measurements).
+func (c Config) RunOne(id ProtocolID, lambda float64, seed uint64, lifespan bool) (*metrics.Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var w *network.Network
+	var err error
+	if c.Topology != nil {
+		w, err = network.FromPositions(c.Topology.Positions, c.Topology.Energies,
+			c.Topology.Box, c.Topology.BS)
+	} else {
+		w, err = network.Deploy(network.Deployment{
+			N: c.N, Side: c.Side, InitialEnergy: c.InitialEnergy,
+			AdvancedFraction: c.AdvancedFraction, AdvancedFactor: c.AdvancedFactor,
+		}, rng.NewNamed(seed, "experiment/deploy"))
+	}
+	if err != nil {
+		return nil, err
+	}
+	rounds := c.Rounds
+	var deathLine energy.Joules
+	scfg := c.Sim
+	scfg.MeanInterArrival = lambda
+	scfg.Seed = seed
+	if lifespan {
+		rounds = c.LifespanMaxRounds
+		deathLine = c.LifespanDeathLine
+		scfg.DeathLine = deathLine
+		scfg.StopOnDeath = true
+	}
+	proto, err := c.BuildProtocol(id, w, rounds, deathLine, seed)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := sim.NewEngine(w, proto, c.Model, scfg)
+	if err != nil {
+		return nil, err
+	}
+	if c.Tracer != nil {
+		engine.SetTracer(c.Tracer)
+	}
+	return engine.Run(rounds)
+}
+
+// SweepPoint aggregates one (protocol, λ) cell across seeds.
+type SweepPoint struct {
+	Lambda   float64
+	PDR      stats.Summary
+	EnergyJ  stats.Summary // total Joules over the R rounds
+	Lifespan stats.Summary // rounds to first death (lifespan runs)
+	Latency  stats.Summary // mean end-to-end seconds (per-seed means)
+	Access   stats.Summary // mean member→head acceptance seconds
+}
+
+// SweepResult is one protocol's λ series.
+type SweepResult struct {
+	Protocol ProtocolID
+	Points   []SweepPoint
+}
+
+// cellResult holds one (protocol, λ, seed) replication pair.
+type cellResult struct {
+	pdr, energyJ, latency, access, lifespan float64
+}
+
+// RunFig3 produces the data behind all three panels of Figure 3 for the
+// given protocols: per λ and protocol, PDR and total energy from
+// fixed-R runs and lifespan from death-line runs, each replicated over
+// the configured seeds.
+//
+// Every (protocol, λ, seed) cell is an independent simulation with its
+// own deterministic streams, so the sweep fans out across
+// runtime.NumCPU()-bounded workers; results are identical to a serial
+// run regardless of scheduling (tested).
+func (c Config) RunFig3(ids []ProtocolID) ([]SweepResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	// Cells run concurrently; a shared Tracer would interleave unrelated
+	// runs (and race), so sweeps drop it. Trace single runs via RunOne.
+	c.Tracer = nil
+	type cellKey struct {
+		proto, lambdaIdx, seedIdx int
+	}
+	type job struct {
+		key    cellKey
+		id     ProtocolID
+		lambda float64
+		seed   uint64
+	}
+	var jobs []job
+	for pi, id := range ids {
+		for li, lambda := range c.Lambdas {
+			for si, seed := range c.Seeds {
+				jobs = append(jobs, job{cellKey{pi, li, si}, id, lambda, seed})
+			}
+		}
+	}
+
+	cells := make(map[cellKey]cellResult, len(jobs))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	workers := runtime.NumCPU()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	work := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				cell, err := c.runCell(j.id, j.lambda, j.seed)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("%s λ=%v seed=%d: %w", j.id, j.lambda, j.seed, err)
+				}
+				cells[j.key] = cell
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		work <- j
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	var out []SweepResult
+	for pi, id := range ids {
+		sr := SweepResult{Protocol: id}
+		for li, lambda := range c.Lambdas {
+			var pdrs, energies, lifespans, latencies, accesses []float64
+			for si := range c.Seeds {
+				cell := cells[cellKey{pi, li, si}]
+				pdrs = append(pdrs, cell.pdr)
+				energies = append(energies, cell.energyJ)
+				latencies = append(latencies, cell.latency)
+				accesses = append(accesses, cell.access)
+				lifespans = append(lifespans, cell.lifespan)
+			}
+			sr.Points = append(sr.Points, SweepPoint{
+				Lambda:   lambda,
+				PDR:      stats.Summarize(pdrs),
+				EnergyJ:  stats.Summarize(energies),
+				Lifespan: stats.Summarize(lifespans),
+				Latency:  stats.Summarize(latencies),
+				Access:   stats.Summarize(accesses),
+			})
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// runCell executes one replication pair (fixed-round + lifespan run).
+func (c Config) runCell(id ProtocolID, lambda float64, seed uint64) (cellResult, error) {
+	res, err := c.RunOne(id, lambda, seed, false)
+	if err != nil {
+		return cellResult{}, err
+	}
+	lres, err := c.RunOne(id, lambda, seed, true)
+	if err != nil {
+		return cellResult{}, err
+	}
+	ls := lres.Lifespan
+	if ls == 0 { // survived the cap
+		ls = lres.Rounds
+	}
+	return cellResult{
+		pdr:      res.PDR(),
+		energyJ:  float64(res.TotalEnergy),
+		latency:  res.Latency.Mean,
+		access:   res.Access.Mean,
+		lifespan: float64(ls),
+	}, nil
+}
+
+// KSweepPoint is one cluster-count cell of the k-sensitivity sweep.
+type KSweepPoint struct {
+	K        int
+	PDR      stats.Summary
+	EnergyJ  stats.Summary
+	Lifespan stats.Summary
+}
+
+// RunKSweep measures QLEC's sensitivity to the cluster count k at one
+// traffic level — the experiment behind DESIGN.md §6.2's discussion:
+// Theorem 1 puts k_opt ≈ 11 for the paper's deployment (not the
+// reported 5), and delivery under load indeed peaks near the theorem's
+// value because Q-learning rerouting needs alternative heads at
+// comparable distance.
+func (c Config) RunKSweep(id ProtocolID, ks []int, lambda float64) ([]KSweepPoint, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("experiment: no k values")
+	}
+	var out []KSweepPoint
+	for _, k := range ks {
+		if k <= 0 {
+			return nil, fmt.Errorf("experiment: k=%d not positive", k)
+		}
+		kcfg := c
+		kcfg.K = k
+		var pdrs, energies, lifespans []float64
+		for _, seed := range c.Seeds {
+			res, err := kcfg.RunOne(id, lambda, seed, false)
+			if err != nil {
+				return nil, fmt.Errorf("k=%d seed=%d: %w", k, seed, err)
+			}
+			pdrs = append(pdrs, res.PDR())
+			energies = append(energies, float64(res.TotalEnergy))
+			lres, err := kcfg.RunOne(id, lambda, seed, true)
+			if err != nil {
+				return nil, fmt.Errorf("k=%d seed=%d lifespan: %w", k, seed, err)
+			}
+			ls := lres.Lifespan
+			if ls == 0 {
+				ls = lres.Rounds
+			}
+			lifespans = append(lifespans, float64(ls))
+		}
+		out = append(out, KSweepPoint{
+			K:        k,
+			PDR:      stats.Summarize(pdrs),
+			EnergyJ:  stats.Summarize(energies),
+			Lifespan: stats.Summarize(lifespans),
+		})
+	}
+	return out, nil
+}
+
+// NSweepPoint is one network-size cell of the scalability sweep.
+type NSweepPoint struct {
+	N             int
+	K             int
+	PDR           stats.Summary
+	EnergyPerNode stats.Summary // Joules per node over the run
+	Lifespan      stats.Summary
+}
+
+// RunNSweep measures a protocol's behaviour as the network grows at
+// constant node density (the cube side scales with ∛N) with k scaled to
+// keep the same nodes-per-cluster ratio — the scalability argument
+// behind the paper's "support higher scalability" framing (§1) and the
+// §5.3 jump from 100 to 2896 nodes.
+func (c Config) RunNSweep(id ProtocolID, ns []int, lambda float64) ([]NSweepPoint, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("experiment: no N values")
+	}
+	baseDensity := float64(c.N)
+	baseK := float64(c.K)
+	var out []NSweepPoint
+	for _, n := range ns {
+		if n <= 0 {
+			return nil, fmt.Errorf("experiment: N=%d not positive", n)
+		}
+		ncfg := c
+		ncfg.N = n
+		ncfg.Side = c.Side * math.Cbrt(float64(n)/baseDensity)
+		k := int(math.Round(baseK * float64(n) / baseDensity))
+		if k < 1 {
+			k = 1
+		}
+		if k > n {
+			k = n
+		}
+		ncfg.K = k
+		var pdrs, perNode, lifespans []float64
+		for _, seed := range c.Seeds {
+			res, err := ncfg.RunOne(id, lambda, seed, false)
+			if err != nil {
+				return nil, fmt.Errorf("N=%d seed=%d: %w", n, seed, err)
+			}
+			pdrs = append(pdrs, res.PDR())
+			perNode = append(perNode, float64(res.TotalEnergy)/float64(n))
+			lres, err := ncfg.RunOne(id, lambda, seed, true)
+			if err != nil {
+				return nil, fmt.Errorf("N=%d seed=%d lifespan: %w", n, seed, err)
+			}
+			ls := lres.Lifespan
+			if ls == 0 {
+				ls = lres.Rounds
+			}
+			lifespans = append(lifespans, float64(ls))
+		}
+		out = append(out, NSweepPoint{
+			N: n, K: k,
+			PDR:           stats.Summarize(pdrs),
+			EnergyPerNode: stats.Summarize(perNode),
+			Lifespan:      stats.Summarize(lifespans),
+		})
+	}
+	return out, nil
+}
+
+// Fig4Config parameterizes the large-scale dataset experiment (§5.3).
+type Fig4Config struct {
+	// Data, when non-nil, is used directly (e.g. the genuine WRI file
+	// loaded via dataset.LoadWRICSV, or an x,y,z,energy CSV via
+	// dataset.LoadCSV); Synth is ignored then.
+	Data *dataset.Dataset
+	// Dataset synthesis parameters; see dataset.DefaultSynthConfig.
+	Synth dataset.SynthConfig
+	// K is the cluster count; the paper derives k_opt = 272 for the
+	// 2896-node set. Zero derives it from Theorem 1.
+	K int
+	// Rounds to simulate.
+	Rounds int
+	// Sim configuration (λ etc.).
+	Sim sim.Config
+	// Model holds radio constants.
+	Model energy.Model
+}
+
+// PaperFig4Config mirrors §5.3.
+func PaperFig4Config() Fig4Config {
+	return Fig4Config{
+		Synth:  dataset.DefaultSynthConfig(),
+		K:      272,
+		Rounds: 20,
+		Sim:    sim.DefaultConfig(),
+		Model:  energy.DefaultModel(),
+	}
+}
+
+// Fig4Result is the large-scale experiment output.
+type Fig4Result struct {
+	// Field maps node positions to energy-consumption rates — the data
+	// behind the paper's scatter map.
+	Field stats.SpatialField
+	// BinnedCV, Gini and MoranI quantify the paper's "evenly
+	// distributed" claim (lower = more even; Moran ≈ 0 = no hot-spot
+	// clustering).
+	BinnedCV float64
+	Gini     float64
+	MoranI   float64
+	// Run is the underlying simulation result.
+	Run *metrics.Result
+	// Net is the network after the run (positions, batteries).
+	Net *network.Network
+	// K actually used.
+	K int
+}
+
+// RunFig4 synthesizes the dataset, runs QLEC over it and computes the
+// spatial statistics.
+func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("experiment: Fig4 Rounds must be positive")
+	}
+	ds := cfg.Data
+	if ds == nil {
+		var err error
+		ds, err = dataset.Synthesize(cfg.Synth)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := network.FromPositions(ds.Positions, ds.Energies, ds.Box, ds.BS)
+	if err != nil {
+		return nil, err
+	}
+	k := cfg.K
+	if k == 0 {
+		k = core.AutoK(w, cfg.Model)
+	}
+	qc := core.DefaultConfig(cfg.Rounds)
+	qc.K = k
+	qc.Bits = cfg.Sim.Bits
+	qc.Seed = cfg.Synth.Seed
+	proto, err := core.New(w, cfg.Model, qc)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := sim.NewEngine(w, proto, cfg.Model, cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Run(cfg.Rounds)
+	if err != nil {
+		return nil, err
+	}
+	field := stats.SpatialField{Points: w.Positions(), Values: res.ConsumptionRates}
+	out := &Fig4Result{Field: field, Run: res, Net: w, K: k}
+	if out.BinnedCV, err = field.BinnedCV(w.Box, 6); err != nil {
+		return nil, err
+	}
+	if out.Gini, err = stats.GiniCoefficient(res.ConsumptionRates); err != nil {
+		return nil, err
+	}
+	// Moran's I with a neighbourhood of ~2 coverage radii.
+	radius := w.Box.Size().X / 8
+	if out.MoranI, err = field.MoranI(radius); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,220 @@
+// Package fcm implements the FCM-based baseline of the paper's
+// evaluation: Fuzzy C-Means clustering (Bezdek, m=2) plus the
+// hierarchical multi-hop routing scheme of Wang, Qin & Liu, "An
+// energy-efficient clustering routing algorithm for WSN-assisted IoT"
+// (WCNC 2018), the paper's reference [14].
+//
+// The scheme: FCM partitions nodes into k fuzzy clusters; each cluster's
+// head is chosen to maximize residual energy among the nodes with high
+// membership (the WCNC'18 scheme "employs the concept of maximizing
+// residual energy when choosing cluster heads", §2); the network is
+// divided into hierarchies by distance to the base station, and heads
+// forward fused packets hop by hop through heads in lower hierarchies
+// toward the BS — the multi-hop behaviour the QLEC paper blames for
+// FCM's packet loss under congestion ("it takes multi-hops to transmit a
+// packet to the BS under this model", §5.2).
+package fcm
+
+import (
+	"fmt"
+	"math"
+
+	"qlec/internal/geom"
+	"qlec/internal/rng"
+)
+
+// Config parameterizes fuzzy c-means.
+type Config struct {
+	// K is the cluster count.
+	K int
+	// M is the fuzzifier exponent, > 1. The standard choice (and our
+	// default when zero) is 2.
+	M float64
+	// MaxIterations caps the update loop; zero means 150.
+	MaxIterations int
+	// Tolerance stops iteration when the largest membership change falls
+	// below it; zero means 1e-6.
+	Tolerance float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.M == 0 {
+		c.M = 2
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 150
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-6
+	}
+	return c
+}
+
+// Validate checks the configuration against the point count.
+func (c Config) Validate(n int) error {
+	c = c.withDefaults()
+	if c.K <= 0 {
+		return fmt.Errorf("fcm: K must be positive, got %d", c.K)
+	}
+	if c.K > n {
+		return fmt.Errorf("fcm: K=%d exceeds point count %d", c.K, n)
+	}
+	if !(c.M > 1) {
+		return fmt.Errorf("fcm: fuzzifier M must exceed 1, got %v", c.M)
+	}
+	if c.MaxIterations < 0 || c.Tolerance < 0 {
+		return fmt.Errorf("fcm: negative iteration cap or tolerance")
+	}
+	return nil
+}
+
+// Result is a fuzzy clustering.
+type Result struct {
+	// Centers are the cluster prototypes.
+	Centers []geom.Vec3
+	// U is the membership matrix: U[i][c] ∈ [0,1] is point i's degree of
+	// membership in cluster c; rows sum to 1.
+	U [][]float64
+	// Iterations performed.
+	Iterations int
+	// Objective is the final FCM objective Σᵢ Σ_c u_ic^m ‖xᵢ−v_c‖².
+	Objective float64
+}
+
+// HardAssign returns each point's highest-membership cluster.
+func (r *Result) HardAssign() []int {
+	out := make([]int, len(r.U))
+	for i, row := range r.U {
+		best, bestU := 0, -1.0
+		for c, u := range row {
+			if u > bestU {
+				best, bestU = c, u
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Cluster runs fuzzy c-means. The stream seeds the initial membership
+// matrix; results are deterministic per stream state.
+func Cluster(points []geom.Vec3, cfg Config, r *rng.Stream) (*Result, error) {
+	if err := cfg.Validate(len(points)); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n := len(points)
+	k := cfg.K
+
+	// Random row-stochastic initial memberships.
+	u := make([][]float64, n)
+	for i := range u {
+		u[i] = make([]float64, k)
+		total := 0.0
+		for c := range u[i] {
+			v := r.Float64() + 1e-9
+			u[i][c] = v
+			total += v
+		}
+		for c := range u[i] {
+			u[i][c] /= total
+		}
+	}
+	centers := make([]geom.Vec3, k)
+	res := &Result{U: u, Centers: centers}
+
+	exp := 2 / (cfg.M - 1)
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		// Update centers: v_c = Σ u^m x / Σ u^m.
+		for c := 0; c < k; c++ {
+			var num geom.Vec3
+			den := 0.0
+			for i, p := range points {
+				w := math.Pow(u[i][c], cfg.M)
+				num = num.Add(p.Scale(w))
+				den += w
+			}
+			if den > 0 {
+				centers[c] = num.Scale(1 / den)
+			}
+		}
+		// Update memberships: u_ic = 1 / Σ_j (d_ic/d_ij)^(2/(m−1)).
+		maxDelta := 0.0
+		for i, p := range points {
+			// Handle coincidence with a center: crisp membership.
+			coincident := -1
+			d := make([]float64, k)
+			for c := range centers {
+				d[c] = p.Dist(centers[c])
+				if d[c] == 0 {
+					coincident = c
+				}
+			}
+			for c := 0; c < k; c++ {
+				var next float64
+				if coincident >= 0 {
+					if c == coincident {
+						next = 1
+					}
+				} else {
+					sum := 0.0
+					for j := 0; j < k; j++ {
+						sum += math.Pow(d[c]/d[j], exp)
+					}
+					next = 1 / sum
+				}
+				if delta := math.Abs(next - u[i][c]); delta > maxDelta {
+					maxDelta = delta
+				}
+				u[i][c] = next
+			}
+		}
+		if maxDelta < cfg.Tolerance {
+			break
+		}
+	}
+	// Final objective.
+	obj := 0.0
+	for i, p := range points {
+		for c := range centers {
+			obj += math.Pow(u[i][c], cfg.M) * p.DistSq(centers[c])
+		}
+	}
+	res.Objective = obj
+	return res, nil
+}
+
+// Tiers partitions head candidates into hierarchy levels by distance to
+// the base station, per the WCNC'18 scheme ("divides the WSN into
+// different hierarchies based on the distance to the BS"). Level 0 is
+// the innermost ring (closest to the BS). levels must be >= 1.
+func Tiers(dists []float64, levels int) ([]int, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("fcm: levels must be >= 1, got %d", levels)
+	}
+	if len(dists) == 0 {
+		return nil, fmt.Errorf("fcm: no distances given")
+	}
+	maxD := 0.0
+	for _, d := range dists {
+		if d < 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("fcm: invalid distance %v", d)
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	out := make([]int, len(dists))
+	if maxD == 0 {
+		return out, nil
+	}
+	for i, d := range dists {
+		lvl := int(float64(levels) * d / maxD)
+		if lvl >= levels {
+			lvl = levels - 1
+		}
+		out[i] = lvl
+	}
+	return out, nil
+}

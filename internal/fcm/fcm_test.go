@@ -1,0 +1,209 @@
+package fcm
+
+import (
+	"math"
+	"testing"
+
+	"qlec/internal/geom"
+	"qlec/internal/rng"
+)
+
+func blobs(seed uint64, per int) ([]geom.Vec3, []geom.Vec3) {
+	r := rng.New(seed)
+	centers := []geom.Vec3{{X: 30, Y: 30, Z: 30}, {X: 170, Y: 150, Z: 60}}
+	var pts []geom.Vec3
+	for _, c := range centers {
+		for i := 0; i < per; i++ {
+			pts = append(pts, c.Add(geom.Vec3{
+				X: 6 * r.NormFloat64(), Y: 6 * r.NormFloat64(), Z: 6 * r.NormFloat64(),
+			}))
+		}
+	}
+	return pts, centers
+}
+
+func TestClusterFindsBlobCenters(t *testing.T) {
+	pts, centers := blobs(1, 80)
+	res, err := Cluster(pts, Config{K: 2}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range centers {
+		best := math.Inf(1)
+		for _, v := range res.Centers {
+			if d := v.Dist(c); d < best {
+				best = d
+			}
+		}
+		if best > 5 {
+			t.Fatalf("no FCM center near %v (closest %v)", c, best)
+		}
+	}
+}
+
+func TestMembershipRowsSumToOne(t *testing.T) {
+	pts, _ := blobs(3, 40)
+	res, err := Cluster(pts, Config{K: 3}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range res.U {
+		sum := 0.0
+		for _, u := range row {
+			if u < -1e-12 || u > 1+1e-12 {
+				t.Fatalf("membership out of [0,1]: %v", u)
+			}
+			sum += u
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestHardAssignSeparatesBlobs(t *testing.T) {
+	pts, _ := blobs(5, 50)
+	res, err := Cluster(pts, Config{K: 2}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := res.HardAssign()
+	// All of blob 1 in one cluster, all of blob 2 in the other.
+	first := assign[0]
+	for i := 1; i < 50; i++ {
+		if assign[i] != first {
+			t.Fatalf("blob 1 split: point %d", i)
+		}
+	}
+	for i := 50; i < 100; i++ {
+		if assign[i] == first {
+			t.Fatalf("blob 2 merged into blob 1: point %d", i)
+		}
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	pts, _ := blobs(7, 30)
+	a, _ := Cluster(pts, Config{K: 2}, rng.New(8))
+	b, _ := Cluster(pts, Config{K: 2}, rng.New(8))
+	if a.Objective != b.Objective || a.Iterations != b.Iterations {
+		t.Fatal("FCM not deterministic per stream")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	pts, _ := blobs(9, 5)
+	if _, err := Cluster(pts, Config{K: 0}, rng.New(1)); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := Cluster(pts, Config{K: 100}, rng.New(1)); err == nil {
+		t.Fatal("K>n accepted")
+	}
+	if _, err := Cluster(pts, Config{K: 2, M: 0.5}, rng.New(1)); err == nil {
+		t.Fatal("M<=1 accepted")
+	}
+	if _, err := Cluster(pts, Config{K: 2, MaxIterations: -1}, rng.New(1)); err == nil {
+		t.Fatal("negative iterations accepted")
+	}
+}
+
+func TestClusterPointOnCenter(t *testing.T) {
+	// A point exactly on a prototype must get crisp membership without
+	// dividing by zero.
+	pts := []geom.Vec3{{X: 0}, {X: 0}, {X: 0}, {X: 100}, {X: 100}, {X: 100}}
+	res, err := Cluster(pts, Config{K: 2}, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range res.U {
+		for _, u := range row {
+			if math.IsNaN(u) {
+				t.Fatalf("NaN membership at point %d", i)
+			}
+		}
+	}
+	assign := res.HardAssign()
+	if assign[0] == assign[3] {
+		t.Fatal("coincident clusters not separated")
+	}
+}
+
+func TestObjectiveDecreasesWithK(t *testing.T) {
+	pts, _ := blobs(11, 60)
+	prev := math.Inf(1)
+	for _, k := range []int{1, 2, 4} {
+		res, err := Cluster(pts, Config{K: k}, rng.New(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Objective > prev+1e-6 {
+			t.Fatalf("objective rose from %v to %v at k=%d", prev, res.Objective, k)
+		}
+		prev = res.Objective
+	}
+}
+
+func TestTiers(t *testing.T) {
+	dists := []float64{0, 10, 45, 50, 90, 100}
+	tiers, err := Tiers(dists, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 1, 2, 2}
+	for i := range want {
+		if tiers[i] != want[i] {
+			t.Fatalf("tiers = %v, want %v", tiers, want)
+		}
+	}
+}
+
+func TestTiersMonotone(t *testing.T) {
+	dists := []float64{5, 80, 20, 60, 99}
+	tiers, err := Tiers(dists, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dists {
+		for j := range dists {
+			if dists[i] < dists[j] && tiers[i] > tiers[j] {
+				t.Fatalf("tier ordering violates distance ordering: %v -> %v", dists, tiers)
+			}
+		}
+	}
+}
+
+func TestTiersErrors(t *testing.T) {
+	if _, err := Tiers(nil, 3); err == nil {
+		t.Fatal("empty dists accepted")
+	}
+	if _, err := Tiers([]float64{1}, 0); err == nil {
+		t.Fatal("zero levels accepted")
+	}
+	if _, err := Tiers([]float64{-1}, 3); err == nil {
+		t.Fatal("negative distance accepted")
+	}
+	if _, err := Tiers([]float64{math.NaN()}, 3); err == nil {
+		t.Fatal("NaN distance accepted")
+	}
+}
+
+func TestTiersAllZeroDistance(t *testing.T) {
+	tiers, err := Tiers([]float64{0, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiers[0] != 0 || tiers[1] != 0 {
+		t.Fatalf("tiers = %v", tiers)
+	}
+}
+
+func BenchmarkCluster100K5(b *testing.B) {
+	r := rng.New(13)
+	pts := geom.Cube(200).SampleUniformN(r, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(pts, Config{K: 5}, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

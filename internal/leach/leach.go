@@ -1,0 +1,96 @@
+// Package leach implements the classic LEACH head-rotation lottery
+// (Heinzelman et al., HICSS 2000) — the common ancestor of DEEC that the
+// related-work section positions QLEC against, kept here as an extra
+// baseline for ablation benchmarks.
+//
+// LEACH selects heads with a residual-energy-blind threshold:
+//
+//	T(n) = p / (1 − p·(r mod ⌊1/p⌋))   if n ∈ G, else 0
+//
+// where G is the set of nodes that have not served in the current epoch
+// of ⌊1/p⌋ rounds. Its two known weaknesses — ignoring residual energy
+// and producing unevenly distributed heads — are exactly the properties
+// DEEC and QLEC fix, so the gap between leach and deec quantifies the
+// paper's first improvement in isolation.
+package leach
+
+import (
+	"fmt"
+	"math"
+
+	"qlec/internal/cluster"
+	"qlec/internal/energy"
+	"qlec/internal/network"
+	"qlec/internal/rng"
+)
+
+// Config parameterizes the lottery.
+type Config struct {
+	// P is the desired head fraction per round (k/N).
+	P float64
+	// DeathLine excludes depleted nodes.
+	DeathLine energy.Joules
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if !(c.P > 0 && c.P < 1) {
+		return fmt.Errorf("leach: P must be in (0,1), got %v", c.P)
+	}
+	if c.DeathLine < 0 {
+		return fmt.Errorf("leach: DeathLine must be non-negative, got %v", c.DeathLine)
+	}
+	return nil
+}
+
+// Selector runs the LEACH lottery over one network.
+type Selector struct {
+	cfg   Config
+	net   *network.Network
+	rnd   *rng.Stream
+	epoch int
+}
+
+// NewSelector builds a selector.
+func NewSelector(w *network.Network, cfg Config, r *rng.Stream) (*Selector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	epoch := int(math.Floor(1 / cfg.P))
+	if epoch < 1 {
+		epoch = 1
+	}
+	return &Selector{cfg: cfg, net: w, rnd: r, epoch: epoch}, nil
+}
+
+// Select runs one round of the lottery, returning head ids ascending and
+// stamping LastCHRound on winners.
+func (s *Selector) Select(round int) []int {
+	var heads []int
+	slot := round % s.epoch
+	den := 1 - s.cfg.P*float64(slot)
+	var t float64
+	if den <= 0 {
+		t = 1
+	} else {
+		t = s.cfg.P / den
+	}
+	for _, n := range s.net.Nodes {
+		if !n.Alive(s.cfg.DeathLine) {
+			continue
+		}
+		// G: not a head so far in the current epoch block, which began
+		// at round−slot.
+		if n.LastCHRound >= round-slot {
+			continue
+		}
+		if s.rnd.Float64() < t {
+			heads = append(heads, n.ID)
+		}
+	}
+	heads = cluster.SortedCopy(heads)
+	for _, h := range heads {
+		s.net.Nodes[h].LastCHRound = round
+	}
+	return heads
+}

@@ -1,0 +1,124 @@
+package leach
+
+import (
+	"testing"
+
+	"qlec/internal/network"
+	"qlec/internal/rng"
+)
+
+func testNet(t *testing.T, n int, seed uint64) *network.Network {
+	t.Helper()
+	w, err := network.Deploy(network.Deployment{N: n, Side: 200, InitialEnergy: 5}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{P: 0.05}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Config{{P: 0}, {P: 1}, {P: -0.1}, {P: 0.05, DeathLine: -1}} {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("invalid config %+v accepted", c)
+		}
+	}
+}
+
+func TestSelectAverageCountNearPN(t *testing.T) {
+	w := testNet(t, 100, 1)
+	s, err := NewSelector(w, Config{P: 0.05}, rng.NewNamed(1, "leach"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	const rounds = 400
+	for r := 0; r < rounds; r++ {
+		total += len(s.Select(r))
+	}
+	mean := float64(total) / rounds
+	// LEACH guarantees E[#heads] = pN = 5 per round.
+	if mean < 3.5 || mean > 6.5 {
+		t.Fatalf("mean head count %v, want ~5", mean)
+	}
+}
+
+func TestEveryNodeServesOncePerEpoch(t *testing.T) {
+	// LEACH's defining property: within one epoch of 1/p rounds, every
+	// alive node serves exactly once.
+	w := testNet(t, 50, 2)
+	s, _ := NewSelector(w, Config{P: 0.1}, rng.NewNamed(2, "leach"))
+	served := map[int]int{}
+	for r := 0; r < 10; r++ { // epoch = 10 rounds
+		for _, h := range s.Select(r) {
+			served[h]++
+		}
+	}
+	if len(served) != 50 {
+		t.Fatalf("%d nodes served in one epoch, want all 50", len(served))
+	}
+	for id, c := range served {
+		if c != 1 {
+			t.Fatalf("node %d served %d times within one epoch", id, c)
+		}
+	}
+}
+
+func TestEnergyBlind(t *testing.T) {
+	// LEACH must ignore residual energy: drained (but alive) nodes serve
+	// as often as fresh ones.
+	w := testNet(t, 100, 3)
+	for i := 0; i < 50; i++ {
+		w.Nodes[i].Battery.Draw(4.5)
+	}
+	s, _ := NewSelector(w, Config{P: 0.1}, rng.NewNamed(3, "leach"))
+	drained, fresh := 0, 0
+	for r := 0; r < 60; r++ {
+		for _, h := range s.Select(r) {
+			if h < 50 {
+				drained++
+			} else {
+				fresh++
+			}
+		}
+	}
+	ratio := float64(drained) / float64(fresh)
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("drained/fresh service ratio %v, want ~1 (LEACH is energy-blind)", ratio)
+	}
+}
+
+func TestDeadNodesExcluded(t *testing.T) {
+	w := testNet(t, 20, 4)
+	for i := 0; i < 10; i++ {
+		w.Nodes[i].Battery.Draw(5)
+	}
+	s, _ := NewSelector(w, Config{P: 0.2}, rng.NewNamed(4, "leach"))
+	for r := 0; r < 20; r++ {
+		for _, h := range s.Select(r) {
+			if h < 10 {
+				t.Fatalf("dead node %d selected at round %d", h, r)
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	w1 := testNet(t, 60, 5)
+	w2 := testNet(t, 60, 5)
+	s1, _ := NewSelector(w1, Config{P: 0.1}, rng.NewNamed(5, "leach"))
+	s2, _ := NewSelector(w2, Config{P: 0.1}, rng.NewNamed(5, "leach"))
+	for r := 0; r < 20; r++ {
+		a, b := s1.Select(r), s2.Select(r)
+		if len(a) != len(b) {
+			t.Fatalf("round %d: counts differ", r)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round %d: %v vs %v", r, a, b)
+			}
+		}
+	}
+}

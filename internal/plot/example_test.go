@@ -1,0 +1,44 @@
+package plot_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"qlec/internal/plot"
+)
+
+// ExampleChart_WriteCSV shows the figure interchange format.
+func ExampleChart_WriteCSV() {
+	c := &plot.Chart{
+		Title:  "PDR vs load",
+		XLabel: "lambda",
+		X:      []float64{8, 4},
+		Series: []plot.Series{
+			{Name: "QLEC", Y: []float64{1.0, 0.99}},
+			{Name: "k-means", Y: []float64{1.0, 0.95}},
+		},
+	}
+	var sb strings.Builder
+	if err := c.WriteCSV(&sb); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sb.String())
+	// Output:
+	// lambda,QLEC,k-means
+	// 8,1,1
+	// 4,0.99,0.95
+}
+
+// ExampleTable shows paper-style result tables.
+func ExampleTable() {
+	fmt.Print(plot.Table(
+		[]string{"protocol", "PDR"},
+		[][]string{{"QLEC", "1.000"}, {"FCM", "0.747"}},
+	))
+	// Output:
+	// protocol  PDR
+	// --------  -----
+	// QLEC      1.000
+	// FCM       0.747
+}

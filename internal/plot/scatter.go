@@ -1,0 +1,115 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"qlec/internal/geom"
+)
+
+// Scatter renders categories of 3-D points as an XY-projected character
+// map — the renderer behind the paper's Figure 1 (network structure:
+// members, cluster heads, base station).
+type Scatter struct {
+	Title string
+	// Box bounds the projection.
+	Box geom.AABB
+	// Cols and Rows set the raster size.
+	Cols, Rows int
+	// Categories are drawn in order, later ones overwriting earlier
+	// ones, so put the most important (heads, BS) last.
+	Categories []ScatterCategory
+}
+
+// ScatterCategory is one point class.
+type ScatterCategory struct {
+	Name   string
+	Marker byte
+	Points []geom.Vec3
+}
+
+// Validate checks structural consistency.
+func (s *Scatter) Validate() error {
+	if s.Cols < 1 || s.Rows < 1 {
+		return fmt.Errorf("plot: scatter raster %dx%d invalid", s.Cols, s.Rows)
+	}
+	if err := s.Box.Validate(); err != nil {
+		return err
+	}
+	if len(s.Categories) == 0 {
+		return fmt.Errorf("plot: scatter has no categories")
+	}
+	total := 0
+	for _, c := range s.Categories {
+		if c.Marker == 0 || c.Marker == ' ' {
+			return fmt.Errorf("plot: category %q has no marker", c.Name)
+		}
+		for _, p := range c.Points {
+			if !p.IsFinite() {
+				return fmt.Errorf("plot: category %q contains a non-finite point", c.Name)
+			}
+		}
+		total += len(c.Points)
+	}
+	if total == 0 {
+		return fmt.Errorf("plot: scatter has no points")
+	}
+	return nil
+}
+
+// RenderASCII draws the projection with a legend.
+func (s *Scatter) RenderASCII() (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	grid := make([][]byte, s.Rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", s.Cols))
+	}
+	size := s.Box.Size()
+	place := func(p geom.Vec3, marker byte) {
+		cx := int(float64(s.Cols) * (p.X - s.Box.Min.X) / size.X)
+		cy := int(float64(s.Rows) * (s.Box.Max.Y - p.Y) / size.Y)
+		cx = clampIdx(cx, s.Cols)
+		cy = clampIdx(cy, s.Rows)
+		grid[cy][cx] = marker
+	}
+	for _, c := range s.Categories {
+		for _, p := range c.Points {
+			place(p, c.Marker)
+		}
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString("legend:")
+	for _, c := range s.Categories {
+		fmt.Fprintf(&b, "  %c=%s(%d)", c.Marker, c.Name, len(c.Points))
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}
+
+// zSuppressed reports how much vertical spread the projection hides —
+// printed alongside Figure 1 renders so readers remember the network is
+// 3-D.
+func (s *Scatter) ZSpread() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range s.Categories {
+		for _, p := range c.Points {
+			lo = math.Min(lo, p.Z)
+			hi = math.Max(hi, p.Z)
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,233 @@
+// Package plot renders the reproduction's figures without any external
+// plotting stack: multi-series line charts and heatmaps as terminal
+// (ASCII) graphics, and machine-readable CSV for downstream tools.
+//
+// The calibration notes for this paper single out "weak numeric/plotting
+// tooling" as the reproduction risk in Go, so figure output is a
+// first-class substrate here rather than an afterthought: every figure in
+// EXPERIMENTS.md is regenerated through this package.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is one named line on a chart: y-values sampled at shared
+// x-positions.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Chart is a multi-series figure over a common x-axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// Validate checks that every series matches the x-axis length.
+func (c *Chart) Validate() error {
+	if len(c.X) == 0 {
+		return fmt.Errorf("plot: chart %q has no x points", c.Title)
+	}
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.X) {
+			return fmt.Errorf("plot: series %q has %d points, x-axis has %d",
+				s.Name, len(s.Y), len(c.X))
+		}
+		for i, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("plot: series %q point %d is not finite: %v", s.Name, i, v)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the chart as CSV with an x column followed by one column
+// per series. Values use full float precision so figures can be
+// re-plotted losslessly.
+func (c *Chart) WriteCSV(w io.Writer) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString(csvEscape(orDefault(c.XLabel, "x")))
+	for _, s := range c.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for i, x := range c.X {
+		b.WriteString(formatFloat(x))
+		for _, s := range c.Series {
+			b.WriteByte(',')
+			b.WriteString(formatFloat(s.Y[i]))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// csvEscape quotes a field when it contains CSV metacharacters.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// markers cycles per series on ASCII charts.
+var markers = []byte{'o', '+', 'x', '*', '#', '@', '%'}
+
+// RenderASCII draws the chart as a width×height character plot with a
+// y-axis scale, x tick labels and a legend. It is intentionally simple:
+// the goal is to eyeball the *shape* of a figure (who wins, where lines
+// cross) in a terminal or test log.
+func (c *Chart) RenderASCII(width, height int) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	if width < 16 || height < 4 {
+		return "", fmt.Errorf("plot: canvas %dx%d too small", width, height)
+	}
+	xMin, xMax := minMax(c.X)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		lo, hi := minMax(s.Y)
+		yMin = math.Min(yMin, lo)
+		yMax = math.Max(yMax, hi)
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mark := markers[si%len(markers)]
+		for i, y := range s.Y {
+			col := int(math.Round(float64(width-1) * (c.X[i] - xMin) / (xMax - xMin)))
+			row := int(math.Round(float64(height-1) * (yMax - y) / (yMax - yMin)))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = mark
+			}
+			// Connect to the previous point with a light trace.
+			if i > 0 {
+				pCol := int(math.Round(float64(width-1) * (c.X[i-1] - xMin) / (xMax - xMin)))
+				pRow := int(math.Round(float64(height-1) * (yMax - s.Y[i-1]) / (yMax - yMin)))
+				drawLine(grid, pCol, pRow, col, row, '.')
+			}
+		}
+	}
+	// Re-stamp markers over traces so data points stay visible.
+	for si, s := range c.Series {
+		mark := markers[si%len(markers)]
+		for i, y := range s.Y {
+			col := int(math.Round(float64(width-1) * (c.X[i] - xMin) / (xMax - xMin)))
+			row := int(math.Round(float64(height-1) * (yMax - y) / (yMax - yMin)))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", c.YLabel)
+	}
+	for r, rowBytes := range grid {
+		yVal := yMax - (yMax-yMin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%10.4g |%s\n", yVal, string(rowBytes))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", width/2, xMin, width-width/2, xMax)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%10s  %s\n", "", c.XLabel)
+	}
+	b.WriteString("   legend:")
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c=%s", markers[si%len(markers)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return
+}
+
+// drawLine traces a Bresenham line, writing ch only over blank cells so
+// markers are not overwritten.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, ch byte) {
+	dx := absI(x1 - x0)
+	dy := -absI(y1 - y0)
+	sx := 1
+	if x0 > x1 {
+		sx = -1
+	}
+	sy := 1
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if y0 >= 0 && y0 < len(grid) && x0 >= 0 && x0 < len(grid[y0]) && grid[y0][x0] == ' ' {
+			grid[y0][x0] = ch
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func absI(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

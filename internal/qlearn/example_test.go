@@ -1,0 +1,44 @@
+package qlearn_test
+
+import (
+	"fmt"
+	"log"
+
+	"qlec/internal/energy"
+	"qlec/internal/geom"
+	"qlec/internal/network"
+	"qlec/internal/qlearn"
+)
+
+// Example shows the Algorithm 4 loop: a member decides among heads,
+// observes ACKs, and reroutes when its chosen head stops answering.
+func Example() {
+	pos := []geom.Vec3{
+		{X: 100, Y: 100, Z: 0}, // member 0
+		{X: 90, Y: 100, Z: 0},  // head 1 (nearest)
+		{X: 120, Y: 100, Z: 0}, // head 2
+	}
+	en := []energy.Joules{5, 5, 5}
+	w, err := network.FromPositions(pos, en, geom.Cube(200), geom.Vec3{X: 100, Y: 100, Z: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := qlearn.NewLearner(w, energy.DefaultModel(), 4000, qlearn.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	heads := []int{1, 2}
+	fmt.Println("initial choice:", l.Decide(0, heads))
+	// Head 1 stops ACKing; the link estimate collapses and the member
+	// reroutes.
+	for i := 0; i < 12; i++ {
+		if l.Decide(0, heads) != 1 {
+			break
+		}
+		l.Observe(0, 1, false)
+	}
+	fmt.Println("after failures:", l.Decide(0, heads))
+	// Output:
+	// initial choice: 1
+	// after failures: 2
+}

@@ -1,0 +1,401 @@
+// Package qlearn implements the Q-learning machinery of QLEC's Data
+// Transmission Phase (§3.3, §4.2, Algorithm 4).
+//
+// The paper's construction is model-based value iteration driven by
+// learned link statistics rather than sample-based Q-learning: on every
+// Send-Data call the node recomputes Q*(b_i, a_j) for EVERY action
+// (each cluster head plus the base station) from
+//
+//	Q*(b_i, a_j) = R_t + γ·(P·V*(h_j) + (1−P)·V*(b_i))        (Eq. 15)
+//	R_t          = P·R_success + (1−P)·R_fail                  (Eq. 16)
+//
+// where P is the node's running estimate of the link success probability
+// to h_j ("estimated by the ratio between the successfully transmitted
+// packets and all the packets sent recently", via ACKs), and the rewards
+// are Eq. (17) on success, Eq. (19) for the base station (an extra −l
+// penalty), and Eq. (20) on failure. The node then sets
+// V*(b_i) = max_a Q*(b_i, a) and forwards to the argmax head.
+//
+// What is *learned* over time is the link-probability table and the V
+// values (cluster heads update theirs after every round per Algorithm 1
+// line 15); convergence of V is the "X updates" in the paper's O(kX)
+// running-time claim, and this package counts updates and exposes a
+// convergence test so that claim can be benchmarked directly.
+//
+// Unit note (DESIGN.md §6.4): Eq. (17)–(20) mix raw Joule quantities
+// with the dimensionless weights of Table 2 (α₁=0.05, α₂=1.05...).
+// Those weights only produce a meaningful trade-off if the energy terms
+// are normalized, so x(·) here is residual energy as a fraction of
+// initial energy (x ∈ [0,1], base station pinned at 1) and y(·) is the
+// Eq. (18) transmission cost normalized by the cost of the longest
+// possible hop in the deployment box.
+package qlearn
+
+import (
+	"fmt"
+	"math"
+
+	"qlec/internal/energy"
+	"qlec/internal/network"
+	"qlec/internal/rng"
+	"qlec/internal/stats"
+)
+
+// Params collects the reward weights and learning constants of Table 2.
+type Params struct {
+	// Gamma is the discount rate γ ∈ [0,1] (Table 2: 0.95).
+	Gamma float64
+	// G is the flat punishment −g applied to every transmission attempt.
+	G float64
+	// Alpha1 weights the residual energies x(b_i)+x(h_j) on success
+	// (Table 2: 0.05).
+	Alpha1 float64
+	// Alpha2 weights the transmission cost y(b_i,h_j) on success
+	// (Table 2: 1.05).
+	Alpha2 float64
+	// Beta1 weights x(b_i) on failure (Table 2: 0.05).
+	Beta1 float64
+	// Beta2 weights y(b_i,h_j) on failure (Table 2: 1.05).
+	Beta2 float64
+	// L is the penalty for bypassing clustering and talking directly to
+	// the base station ("set to be an arbitrarily large number", §4.2).
+	L float64
+	// LinkAlpha is the EWMA smoothing factor for the per-link success
+	// estimator.
+	LinkAlpha float64
+	// InitialLinkP is the optimistic prior success probability for a
+	// link with no history yet; optimism makes nodes try every head.
+	InitialLinkP float64
+	// Epsilon enables ε-greedy exploration, an extension beyond the
+	// paper's purely greedy Algorithm 4: with probability Epsilon a
+	// Decide call picks a uniformly random head instead of the argmax.
+	// Exploration requires a stream via Learner.SetExploration; with the
+	// paper's optimistic link priors it is rarely needed (untried
+	// actions already look good), but it protects against premature
+	// convergence when priors are pessimistic. Zero (the default)
+	// reproduces the paper exactly.
+	Epsilon float64
+}
+
+// DefaultParams returns Table 2's weights with sensible values for the
+// constants the paper leaves unspecified (g, l, link estimator).
+//
+// The choice of g matters more than the paper lets on: with α₁=0.05 the
+// success reward's energy bonus can reach α₁·(x(b_i)+x(h_j)) ≤ 0.1, and
+// if g is below that, per-step rewards go positive, V values turn
+// positive, and the (1−p)·V(self) term of Eq. (15) makes a *failing*
+// action self-reinforcing — the node never reroutes. QELAR (the paper's
+// cited ancestor) keeps per-step rewards negative for exactly this
+// reason, so the default g = 0.3 dominates the maximum energy bonus.
+func DefaultParams() Params {
+	return Params{
+		Gamma:        0.95,
+		G:            0.3,
+		Alpha1:       0.05,
+		Alpha2:       1.05,
+		Beta1:        0.05,
+		Beta2:        1.05,
+		L:            100,
+		LinkAlpha:    0.25,
+		InitialLinkP: 0.95,
+	}
+}
+
+// Validate checks parameter ranges.
+func (p Params) Validate() error {
+	if !(p.Gamma >= 0 && p.Gamma <= 1) {
+		return fmt.Errorf("qlearn: gamma %v outside [0,1]", p.Gamma)
+	}
+	if !(p.LinkAlpha > 0 && p.LinkAlpha <= 1) {
+		return fmt.Errorf("qlearn: link alpha %v outside (0,1]", p.LinkAlpha)
+	}
+	if !(p.InitialLinkP >= 0 && p.InitialLinkP <= 1) {
+		return fmt.Errorf("qlearn: initial link probability %v outside [0,1]", p.InitialLinkP)
+	}
+	if p.L < 0 || p.G < 0 {
+		return fmt.Errorf("qlearn: penalties must be non-negative (g=%v, l=%v)", p.G, p.L)
+	}
+	for _, w := range []float64{p.Alpha1, p.Alpha2, p.Beta1, p.Beta2} {
+		if w < 0 || math.IsNaN(w) {
+			return fmt.Errorf("qlearn: reward weights must be non-negative, got %v", w)
+		}
+	}
+	if p.Epsilon < 0 || p.Epsilon >= 1 || math.IsNaN(p.Epsilon) {
+		return fmt.Errorf("qlearn: epsilon %v outside [0,1)", p.Epsilon)
+	}
+	return nil
+}
+
+// linkKey identifies a directed radio link.
+type linkKey struct{ from, to int }
+
+// Learner holds the Q-learning state for an entire network: V values per
+// node and link-probability estimators per directed link. One Learner
+// serves all nodes (the paper's nodes each keep their own table; pooling
+// them in one struct is an implementation convenience — no information
+// crosses nodes that the paper doesn't allow, since Q computation for
+// b_i reads only V(b_i), V(h_j) — which heads broadcast — and b_i's own
+// link estimates).
+type Learner struct {
+	params Params
+	net    *network.Network
+	model  energy.Model
+	bits   int
+
+	v     []float64 // V*(b_i), indexed by node id
+	vBS   float64   // V*(h_BS), terminal, stays 0
+	links map[linkKey]*stats.EWMA
+
+	// yNorm is the Eq. (18) cost of the longest possible in-box hop,
+	// used to normalize y(·) into [0,1].
+	yNorm float64
+
+	updates   uint64
+	lastDelta float64
+	maxDelta  *deltaWindow
+
+	// explore drives ε-greedy action selection when params.Epsilon > 0.
+	explore *rng.Stream
+}
+
+// NewLearner builds a Learner for the network. bits is the packet size L
+// used in the Eq. (18) cost inside rewards.
+func NewLearner(w *network.Network, model energy.Model, bits int, params Params) (*Learner, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if bits <= 0 {
+		return nil, fmt.Errorf("qlearn: bits must be positive, got %d", bits)
+	}
+	// Normalize y by the cost of a *typical* long hop — half the largest
+	// box dimension — not the worst-case diagonal. With a diagonal
+	// normalizer the d⁴ multi-path law makes every realistic hop's y
+	// vanish, the α₂ distance penalty stops differentiating heads, and
+	// all members converge on whichever head has the best V (the one
+	// nearest the BS), ballooning transmit energy. Half-extent keeps
+	// in-cluster hops at y ≈ 0.1–0.5 and far hops at y ≫ 1, so distance
+	// dominates and residual energy/link quality break ties — the
+	// trade-off the Table 2 weights (α₁=0.05, α₂=1.05) encode.
+	size := w.Box.Size()
+	ref := math.Max(size.X, math.Max(size.Y, size.Z)) / 2
+	l := &Learner{
+		params:   params,
+		net:      w,
+		model:    model,
+		bits:     bits,
+		v:        make([]float64, w.N()),
+		links:    make(map[linkKey]*stats.EWMA),
+		yNorm:    float64(model.TxAmplifier(bits, ref)),
+		maxDelta: newDeltaWindow(64),
+	}
+	if l.yNorm <= 0 {
+		return nil, fmt.Errorf("qlearn: degenerate deployment box (size %v)", size)
+	}
+	return l, nil
+}
+
+// x returns the normalized residual energy of a node, or 1 for the
+// mains-powered base station.
+func (l *Learner) x(id int) float64 {
+	if id == network.BSID {
+		return 1
+	}
+	b := l.net.Nodes[id].Battery
+	return float64(b.Residual()) / float64(b.Initial())
+}
+
+// y returns the normalized Eq. (18) transmission cost from node to
+// target.
+func (l *Learner) y(from, to int) float64 {
+	var d float64
+	if to == network.BSID {
+		d = l.net.DistToBS(from)
+	} else {
+		d = l.net.Nodes[from].Pos.Dist(l.net.Nodes[to].Pos)
+	}
+	return float64(l.model.TxAmplifier(l.bits, d)) / l.yNorm
+}
+
+// LinkP returns the node's current estimate of the link success
+// probability to target.
+func (l *Learner) LinkP(from, to int) float64 {
+	if e, ok := l.links[linkKey{from, to}]; ok {
+		return e.ValueOr(l.params.InitialLinkP)
+	}
+	return l.params.InitialLinkP
+}
+
+// rewardSuccess evaluates Eq. (17), or Eq. (19) when target is the BS.
+func (l *Learner) rewardSuccess(from, to int) float64 {
+	r := -l.params.G + l.params.Alpha1*(l.x(from)+l.x(to)) - l.params.Alpha2*l.y(from, to)
+	if to == network.BSID {
+		r -= l.params.L
+	}
+	return r
+}
+
+// rewardFailure evaluates Eq. (20).
+func (l *Learner) rewardFailure(from, to int) float64 {
+	return -l.params.G + l.params.Beta1*l.x(from) - l.params.Beta2*l.y(from, to)
+}
+
+// q evaluates Eq. (15)+(16) for one state-action pair.
+func (l *Learner) q(from, to int) float64 {
+	p := l.LinkP(from, to)
+	rt := p*l.rewardSuccess(from, to) + (1-p)*l.rewardFailure(from, to)
+	var vTo float64
+	if to == network.BSID {
+		vTo = l.vBS
+	} else {
+		vTo = l.v[to]
+	}
+	return rt + l.params.Gamma*(p*vTo+(1-p)*l.v[from])
+}
+
+// QValue evaluates Eq. (15)+(16) for one state-action pair without
+// mutating any state — introspection for tests, debugging and
+// visualization. target may be network.BSID.
+func (l *Learner) QValue(from, target int) float64 {
+	return l.q(from, target)
+}
+
+// SetExploration installs the stream driving ε-greedy exploration.
+// Required when Params.Epsilon > 0; a nil stream disables exploration.
+func (l *Learner) SetExploration(s *rng.Stream) { l.explore = s }
+
+// Decide implements Algorithm 4 for node from: it computes Q over the
+// action set (every head plus the base station), refreshes V*(from) to
+// the max, and returns the argmax target (a head id or network.BSID).
+// Ties break toward the lower id, BS last, for determinism. With
+// Epsilon > 0 and an exploration stream installed, it instead returns a
+// uniformly random head with probability ε (V is still refreshed from
+// the greedy max, as in standard ε-greedy value iteration).
+func (l *Learner) Decide(from int, heads []int) int {
+	best := network.BSID
+	bestQ := l.q(from, network.BSID)
+	for _, h := range heads {
+		if h == from {
+			continue
+		}
+		if q := l.q(from, h); q > bestQ || (q == bestQ && better(h, best)) {
+			bestQ = q
+			best = h
+		}
+	}
+	l.setV(from, bestQ)
+	if l.params.Epsilon > 0 && l.explore != nil && len(heads) > 0 &&
+		l.explore.Float64() < l.params.Epsilon {
+		pick := heads[l.explore.Intn(len(heads))]
+		if pick != from {
+			return pick
+		}
+	}
+	return best
+}
+
+// better orders candidate targets for tie-breaking: any head beats the
+// BS; between heads the lower id wins.
+func better(candidate, incumbent int) bool {
+	if incumbent == network.BSID {
+		return true
+	}
+	return candidate < incumbent
+}
+
+// Observe folds a transmission outcome into the link estimator —
+// the ACK-driven learning step of §4.2.
+func (l *Learner) Observe(from, to int, success bool) {
+	key := linkKey{from, to}
+	e, ok := l.links[key]
+	if !ok {
+		e = stats.NewEWMA(l.params.LinkAlpha)
+		// Seed with the prior so one failure does not zero the estimate.
+		e.Observe(l.params.InitialLinkP)
+		l.links[key] = e
+	}
+	if success {
+		e.Observe(1)
+	} else {
+		e.Observe(0)
+	}
+}
+
+// UpdateHeadValue implements Algorithm 1 line 15: after the end-of-round
+// burst, a cluster head refreshes its own V from its single action
+// (transmit to the BS):
+//
+//	V*(h_j) = Q*(h_j, a_BS) = R_t + γ(P·V*(h_BS) + (1−P)·V*(h_j))
+//
+// The head→BS hop carries no −l penalty (delivering fused data to the BS
+// is the head's job; the penalty exists to stop *members* bypassing
+// clustering).
+func (l *Learner) UpdateHeadValue(head int) {
+	p := l.LinkP(head, network.BSID)
+	// Eq. (17)-form reward toward the BS without the member penalty.
+	rs := -l.params.G + l.params.Alpha1*(l.x(head)+1) - l.params.Alpha2*l.y(head, network.BSID)
+	rf := l.rewardFailure(head, network.BSID)
+	rt := p*rs + (1-p)*rf
+	q := rt + l.params.Gamma*(p*l.vBS+(1-p)*l.v[head])
+	l.setV(head, q)
+}
+
+func (l *Learner) setV(id int, v float64) {
+	delta := math.Abs(v - l.v[id])
+	l.v[id] = v
+	l.updates++
+	l.lastDelta = delta
+	l.maxDelta.push(delta)
+}
+
+// V returns the current V*(id) (or the BS terminal value for
+// network.BSID).
+func (l *Learner) V(id int) float64 {
+	if id == network.BSID {
+		return l.vBS
+	}
+	return l.v[id]
+}
+
+// Updates returns the number of V updates so far — the "X" in the
+// paper's O(kX) running time (Lemma 3).
+func (l *Learner) Updates() uint64 { return l.updates }
+
+// Converged reports whether the largest V change over the last window of
+// updates has fallen below eps. It is false until the window fills.
+func (l *Learner) Converged(eps float64) bool {
+	return l.maxDelta.full() && l.maxDelta.max() < eps
+}
+
+// deltaWindow is a fixed-size ring of recent |ΔV| values.
+type deltaWindow struct {
+	buf  []float64
+	n    int
+	next int
+}
+
+func newDeltaWindow(size int) *deltaWindow {
+	return &deltaWindow{buf: make([]float64, size)}
+}
+
+func (w *deltaWindow) push(v float64) {
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+}
+
+func (w *deltaWindow) full() bool { return w.n == len(w.buf) }
+
+func (w *deltaWindow) max() float64 {
+	m := 0.0
+	for i := 0; i < w.n; i++ {
+		if w.buf[i] > m {
+			m = w.buf[i]
+		}
+	}
+	return m
+}

@@ -1,0 +1,689 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"qlec/internal/cluster"
+	"qlec/internal/energy"
+	"qlec/internal/geom"
+	"qlec/internal/metrics"
+	"qlec/internal/mobility"
+	"qlec/internal/network"
+	"qlec/internal/packet"
+	"qlec/internal/rng"
+	"qlec/internal/stats"
+)
+
+// Engine runs one protocol over one network for a number of rounds.
+type Engine struct {
+	cfg   Config
+	net   *network.Network
+	proto cluster.Protocol
+	model energy.Model
+
+	nodeGen []*rng.Stream // per-node traffic timing streams
+	link    *rng.Stream   // link success draws
+
+	events eventHeap
+	seq    uint64
+	now    float64
+
+	// Per-round head state, indexed by node id.
+	isHead    []bool
+	queues    []*packet.Queue
+	busyUntil []float64
+	fused     []fusedBuf
+
+	// Base-station receive pipeline for in-round packets (direct-to-BS
+	// traffic, FCM terminal hops). Finite, per Config.BSQueueCapacity.
+	bsQueue *packet.Queue
+	bsBusy  float64
+
+	// mover advances node positions between rounds when mobility is
+	// configured.
+	mover *mobility.RandomWaypoint
+
+	// shadow caches per-link log-normal quality factors (lazy; only
+	// links actually used get an entry). shadowSeed derives them
+	// deterministically so runs stay reproducible.
+	shadow     map[linkKey]float64
+	shadowSeed *rng.Stream
+
+	nextPkt packet.ID
+
+	// inFlight counts transmissions currently on the air, for the
+	// contention model.
+	inFlight int
+
+	// tracer, when installed, observes every packet transition;
+	// curRound stamps trace events.
+	tracer   Tracer
+	curRound int
+
+	// breakdown tallies consumption by radio activity.
+	breakdown metrics.EnergyBreakdown
+
+	// Accumulators.
+	res      *metrics.Result
+	round    metrics.RoundStats
+	latency  stats.Accumulator
+	access   stats.Accumulator
+	hops     stats.Accumulator
+	roundLat stats.Accumulator
+}
+
+// fusedBuf accumulates a head's serviced packets awaiting the
+// end-of-round burst (HoldAndBurst protocols).
+type fusedBuf struct {
+	bits int
+	pkts []packet.Packet
+}
+
+// NewEngine builds an engine. The protocol must already be bound to the
+// same network.
+func NewEngine(w *network.Network, proto cluster.Protocol, model energy.Model, cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if proto == nil {
+		return nil, fmt.Errorf("sim: nil protocol")
+	}
+	e := &Engine{
+		cfg:       cfg,
+		net:       w,
+		proto:     proto,
+		model:     model,
+		link:      rng.NewNamed(cfg.Seed, "sim/link"),
+		isHead:    make([]bool, w.N()),
+		queues:    make([]*packet.Queue, w.N()),
+		busyUntil: make([]float64, w.N()),
+		fused:     make([]fusedBuf, w.N()),
+	}
+	traffic := rng.NewNamed(cfg.Seed, "sim/traffic")
+	e.nodeGen = make([]*rng.Stream, w.N())
+	for i := range e.nodeGen {
+		e.nodeGen[i] = traffic.Split(uint64(i))
+	}
+	if cfg.ShadowSigma > 0 {
+		e.shadow = make(map[linkKey]float64)
+		e.shadowSeed = rng.NewNamed(cfg.Seed, "sim/shadow")
+	}
+	if cfg.MobilitySpeedMax > 0 {
+		m, err := mobility.NewRandomWaypoint(w.Box, w.N(),
+			cfg.MobilitySpeedMin, cfg.MobilitySpeedMax, cfg.MobilityPause,
+			rng.NewNamed(cfg.Seed, "sim/mobility"))
+		if err != nil {
+			return nil, err
+		}
+		e.mover = m
+	}
+	return e, nil
+}
+
+// linkKey identifies a directed radio link for shadowing lookups.
+type linkKey struct{ from, to int }
+
+// linkP returns the link success probability from node `from` to
+// `target` over distance d, including the persistent per-link shadowing
+// factor when enabled.
+func (e *Engine) linkP(from, target int, d float64) float64 {
+	x := d / e.cfg.LinkRef
+	p := e.cfg.LinkPMax * math.Exp(-x*x)
+	if e.shadow != nil {
+		p *= e.shadowFactor(from, target)
+		if p > 0.999 {
+			p = 0.999
+		}
+	}
+	if e.cfg.ContentionGamma > 0 && e.inFlight > 1 {
+		// The resolving transmission itself is one of inFlight; only the
+		// others interfere.
+		p *= math.Exp(-e.cfg.ContentionGamma * float64(e.inFlight-1))
+	}
+	return p
+}
+
+// shadowFactor returns the link's persistent log-normal quality factor,
+// drawing it on first use from a stream keyed by the (from, target)
+// pair so the value is independent of lookup order.
+func (e *Engine) shadowFactor(from, target int) float64 {
+	key := linkKey{from, target}
+	if f, ok := e.shadow[key]; ok {
+		return f
+	}
+	// Map the pair to a stable split index; target may be BSID (−1).
+	idx := uint64(from)*uint64(e.net.N()+1) + uint64(target+1)
+	z := e.shadowSeed.Split(idx).NormFloat64()
+	sigma := e.cfg.ShadowSigma
+	f := math.Exp(sigma*z - sigma*sigma/2) // mean-1 log-normal
+	e.shadow[key] = f
+	return f
+}
+
+// Classified battery draws: every energy expenditure goes through one
+// of these so Result.Energy's categories always sum to TotalEnergy.
+func (e *Engine) drawTx(id int, amount energy.Joules) {
+	e.breakdown.Tx += e.net.Nodes[id].Battery.Draw(amount)
+}
+
+func (e *Engine) drawRx(id int, amount energy.Joules) {
+	e.breakdown.Rx += e.net.Nodes[id].Battery.Draw(amount)
+}
+
+func (e *Engine) drawFusion(id int, amount energy.Joules) {
+	e.breakdown.Fusion += e.net.Nodes[id].Battery.Draw(amount)
+}
+
+func (e *Engine) drawControl(id int, amount energy.Joules) {
+	e.breakdown.Control += e.net.Nodes[id].Battery.Draw(amount)
+}
+
+func (e *Engine) alive(id int) bool {
+	return e.net.Nodes[id].Alive(e.cfg.DeathLine)
+}
+
+func (e *Engine) dist(from, to int) float64 {
+	if to == network.BSID {
+		return e.net.DistToBS(from)
+	}
+	return e.net.Nodes[from].Pos.Dist(e.net.Nodes[to].Pos)
+}
+
+func (e *Engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	e.events.Push(ev)
+}
+
+// Run executes up to rounds rounds and returns the measurements.
+func (e *Engine) Run(rounds int) (*metrics.Result, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("sim: rounds must be positive, got %d", rounds)
+	}
+	e.res = &metrics.Result{Protocol: e.proto.Name(), FirstDead: -1}
+	for r := 0; r < rounds; r++ {
+		e.runRound(r)
+		e.res.Rounds++
+		e.res.PerRound = append(e.res.PerRound, e.round)
+		if e.mover != nil {
+			e.moveNodes()
+		}
+		if id, dead := e.net.FirstDead(e.cfg.DeathLine); dead && e.res.Lifespan == 0 {
+			e.res.Lifespan = r + 1
+			e.res.FirstDead = id
+			if e.cfg.StopOnDeath {
+				break
+			}
+		}
+	}
+	e.res.Energy = e.breakdown
+	e.res.Latency = e.latency.Summary()
+	e.res.Access = e.access.Summary()
+	e.res.Hops = e.hops.Summary()
+	e.res.ConsumptionRates = e.net.ConsumptionRates()
+	return e.res, nil
+}
+
+// moveNodes advances every node one round of random-waypoint motion.
+// Positions mutate in place on the shared network, so the next round's
+// head selection and routing see the drifted topology.
+func (e *Engine) moveNodes() {
+	pos := make([]geom.Vec3, e.net.N())
+	for i, n := range e.net.Nodes {
+		pos[i] = n.Pos
+	}
+	e.mover.Advance(pos, e.cfg.RoundDuration)
+	for i, n := range e.net.Nodes {
+		n.Pos = pos[i]
+	}
+}
+
+// runRound executes one full round: head selection, event loop, drain,
+// end-of-round delivery.
+func (e *Engine) runRound(r int) {
+	roundStart := float64(r) * e.cfg.RoundDuration
+	roundEnd := roundStart + e.cfg.RoundDuration
+	e.now = roundStart
+	e.curRound = r
+	energyBefore := e.net.TotalConsumed()
+	e.round = metrics.RoundStats{Round: r}
+	e.roundLat = stats.Accumulator{}
+
+	heads := e.proto.StartRound(r)
+	e.round.Heads = len(heads)
+	e.setupHeads(heads)
+	if !e.cfg.DisableControlTraffic {
+		e.chargeControl(heads)
+	}
+
+	// Schedule each alive node's first packet of the round.
+	e.events.Reset()
+	for id := range e.net.Nodes {
+		if !e.alive(id) {
+			continue
+		}
+		t := roundStart + e.nodeGen[id].ExpFloat64()*e.cfg.MeanInterArrival
+		if t < roundEnd {
+			e.push(event{t: t, kind: evGenerate, node: id})
+		}
+	}
+
+	// Event loop: generation stops at roundEnd; in-flight transmissions
+	// and queue service run to completion (the queues drain in bounded
+	// time once generation ceases).
+	for {
+		ev, ok := e.events.Pop()
+		if !ok {
+			break
+		}
+		if ev.kind == evGenerate && ev.t >= roundEnd {
+			continue
+		}
+		e.now = ev.t
+		switch ev.kind {
+		case evGenerate:
+			e.handleGenerate(ev, roundEnd)
+		case evArrive:
+			e.handleArrive(ev)
+		case evRetry:
+			e.handleRetry(ev)
+		case evService:
+			e.handleService(ev)
+		}
+	}
+	if e.now < roundEnd {
+		e.now = roundEnd
+	}
+
+	e.endOfRound(heads)
+	e.proto.EndRound(r)
+
+	e.round.Energy = e.net.TotalConsumed() - energyBefore
+	e.round.AliveAtEnd = e.net.AliveCount(e.cfg.DeathLine)
+	e.round.MeanLatency = e.roundLat.Mean()
+	e.res.Generated += e.round.Generated
+	e.res.Delivered += e.round.Delivered
+	for i, d := range e.round.Dropped {
+		e.res.Dropped[i] += d
+	}
+	e.res.TotalEnergy += e.round.Energy
+}
+
+// setupHeads resets per-round head state.
+func (e *Engine) setupHeads(heads []int) {
+	for i := range e.isHead {
+		e.isHead[i] = false
+		e.queues[i] = nil
+		e.busyUntil[i] = 0
+		e.fused[i] = fusedBuf{}
+	}
+	for _, h := range heads {
+		e.isHead[h] = true
+		e.queues[h] = packet.NewQueue(e.cfg.QueueCapacity)
+	}
+	e.bsQueue = packet.NewQueue(e.cfg.BSQueueCapacity)
+	e.bsBusy = 0
+}
+
+// chargeControl bills the per-round control traffic: every head
+// broadcasts an advertisement over the coverage radius; every other
+// alive node receives one.
+func (e *Engine) chargeControl(heads []int) {
+	if len(heads) == 0 {
+		return
+	}
+	side := e.net.Box.Size().X
+	dc := geom.CoverageRadius(side, len(heads))
+	for _, h := range heads {
+		e.drawControl(h, e.model.Tx(e.cfg.HelloBits, dc))
+	}
+	rx := e.model.Rx(e.cfg.HelloBits)
+	for id := range e.net.Nodes {
+		if !e.isHead[id] && e.alive(id) {
+			e.drawControl(id, rx)
+		}
+	}
+}
+
+// handleGenerate creates a packet at the node and launches it.
+func (e *Engine) handleGenerate(ev event, roundEnd float64) {
+	id := ev.node
+	// Schedule the node's next generation regardless of this packet's
+	// fate, to keep the Poisson process running.
+	next := e.now + e.nodeGen[id].ExpFloat64()*e.cfg.MeanInterArrival
+	if next < roundEnd {
+		e.push(event{t: next, kind: evGenerate, node: id})
+	}
+	if !e.alive(id) {
+		return
+	}
+	pkt := packet.Packet{ID: e.nextPkt, Source: id, Bits: e.cfg.Bits, Born: e.now}
+	e.nextPkt++
+	e.round.Generated++
+	e.trace(TraceEvent{Kind: TraceGenerate, Packet: pkt.ID, Node: id})
+
+	if e.isHead[id] {
+		// A head's own sensing data goes straight into its queue —
+		// no radio hop.
+		if e.queues[id].Push(pkt) {
+			e.scheduleService(id)
+		} else {
+			e.drop(metrics.DropQueue, pkt, id)
+		}
+		return
+	}
+	e.transmit(pkt, id, 0)
+}
+
+// transmit starts one radio attempt of pkt from node `from` toward the
+// protocol's chosen target, paying the transmit energy now and resolving
+// the outcome after the serialization delay.
+func (e *Engine) transmit(pkt packet.Packet, from, attempt int) {
+	target := e.proto.NextHop(from)
+	d := e.dist(from, target)
+	e.drawTx(from, e.model.Tx(pkt.Bits, d))
+	e.inFlight++
+	e.trace(TraceEvent{Kind: TraceSend, Packet: pkt.ID, Node: from, Target: target, Attempt: attempt})
+	e.push(event{
+		t: e.now + e.cfg.TxDelay(pkt.Bits), kind: evArrive,
+		node: from, target: target, attempt: attempt, pkt: pkt,
+	})
+}
+
+// handleArrive resolves a transmission attempt at its target.
+func (e *Engine) handleArrive(ev event) {
+	from, target := ev.node, ev.target
+	d := e.dist(from, target)
+	linkOK := e.link.Float64() < e.linkP(from, target, d)
+	if e.inFlight > 0 {
+		e.inFlight--
+	}
+
+	success := false
+	reason := metrics.DropLink
+	if linkOK {
+		switch {
+		case target == network.BSID:
+			// The BS is mains-powered but its receive pipeline is
+			// finite: acceptance goes through a bounded queue, and
+			// delivery completes at BS service time (the "burden of the
+			// base station" the paper's −l penalty exists to limit).
+			pkt := ev.pkt
+			pkt.Hops++
+			if e.bsQueue.Push(pkt) {
+				success = true
+				e.scheduleBSService()
+			} else {
+				reason = metrics.DropQueue
+			}
+		case e.alive(target) && e.queues[target] != nil:
+			// Receiving costs energy whether or not the queue has room.
+			e.drawRx(target, e.model.Rx(ev.pkt.Bits))
+			pkt := ev.pkt
+			pkt.Hops++
+			if e.queues[target].Push(pkt) {
+				success = true
+				e.scheduleService(target)
+			} else {
+				reason = metrics.DropQueue
+			}
+		default:
+			// Dead target (or a node that is no longer a head): the
+			// transmission goes unanswered.
+			reason = metrics.DropDead
+		}
+	}
+	e.proto.OnOutcome(from, target, success)
+	if success {
+		e.trace(TraceEvent{Kind: TraceAccept, Packet: ev.pkt.ID, Node: from, Target: target, Attempt: ev.attempt})
+		// First radio hop accepted: record access latency (the routing-
+		// controlled part of delay; see metrics.Result.Access).
+		if ev.pkt.Hops == 0 {
+			e.access.Observe(e.now - ev.pkt.Born)
+		}
+		return
+	}
+	e.trace(TraceEvent{Kind: TraceReject, Packet: ev.pkt.ID, Node: from, Target: target, Attempt: ev.attempt, Reason: reason.String()})
+	if ev.attempt < e.cfg.MaxRetries && e.alive(from) {
+		e.push(event{
+			t: e.now + e.cfg.RetryBackoff, kind: evRetry,
+			node: from, attempt: ev.attempt + 1, pkt: ev.pkt,
+		})
+		return
+	}
+	e.drop(reason, ev.pkt, from)
+}
+
+// handleRetry re-launches a failed packet; the protocol may pick a
+// different target this time (QLEC's reroute).
+func (e *Engine) handleRetry(ev event) {
+	if !e.alive(ev.node) {
+		e.drop(metrics.DropDead, ev.pkt, ev.node)
+		return
+	}
+	e.transmit(ev.pkt, ev.node, ev.attempt)
+}
+
+// scheduleService starts the head's fusion pipeline if it is idle.
+func (e *Engine) scheduleService(head int) {
+	if e.busyUntil[head] > e.now {
+		return // chain already running
+	}
+	if e.queues[head].Len() == 0 {
+		return
+	}
+	e.busyUntil[head] = e.now + e.cfg.ServiceTime
+	e.push(event{t: e.busyUntil[head], kind: evService, node: head})
+}
+
+// scheduleBSService starts the base station's receive pipeline if idle.
+func (e *Engine) scheduleBSService() {
+	if e.bsBusy > e.now || e.bsQueue.Len() == 0 {
+		return
+	}
+	e.bsBusy = e.now + e.cfg.BSServiceTime
+	e.push(event{t: e.bsBusy, kind: evService, node: network.BSID})
+}
+
+// handleService fuses the packet at the head's queue front, or completes
+// BS-side processing when node is the base station.
+func (e *Engine) handleService(ev event) {
+	if ev.node == network.BSID {
+		if pkt, ok := e.bsQueue.Pop(); ok {
+			e.deliver(pkt)
+		}
+		if e.bsQueue.Len() > 0 {
+			e.bsBusy = e.now + e.cfg.BSServiceTime
+			e.push(event{t: e.bsBusy, kind: evService, node: network.BSID})
+		}
+		return
+	}
+	head := ev.node
+	q := e.queues[head]
+	if q == nil {
+		return
+	}
+	pkt, ok := q.Pop()
+	if ok {
+		if e.alive(head) {
+			e.drawFusion(head, e.model.Aggregate(pkt.Bits))
+			e.trace(TraceEvent{Kind: TraceService, Packet: pkt.ID, Node: head})
+			e.afterService(head, pkt)
+		} else {
+			e.drop(metrics.DropDead, pkt, head)
+		}
+	}
+	if q.Len() > 0 {
+		e.busyUntil[head] = e.now + e.cfg.ServiceTime
+		e.push(event{t: e.busyUntil[head], kind: evService, node: head})
+	}
+}
+
+// afterService routes a fused packet according to the protocol's relay
+// mode: buffer it for the end-of-round burst, or forward it now through
+// the head hierarchy (the FCM baseline).
+func (e *Engine) afterService(head int, pkt packet.Packet) {
+	if e.proto.RelayMode() == cluster.HoldAndBurst {
+		e.fused[head].bits += pkt.Bits
+		e.fused[head].pkts = append(e.fused[head].pkts, pkt)
+		return
+	}
+	// ForwardPerPacket: compress at the first head only, then relay.
+	bits := pkt.Bits
+	if pkt.Hops <= 1 {
+		bits = compressedBits(bits, e.cfg.Compression)
+	}
+	fwd := pkt
+	fwd.Bits = bits
+	e.transmit(fwd, head, 0)
+}
+
+// compressedBits applies the Table 2 fusion ratio, keeping at least one
+// bit so packets never become free to transmit.
+func compressedBits(bits int, ratio float64) int {
+	out := int(math.Ceil(float64(bits) * ratio))
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// drop abandons a packet, recording the reason in metrics and the
+// trace.
+func (e *Engine) drop(reason metrics.DropReason, pkt packet.Packet, node int) {
+	e.round.Dropped[reason]++
+	e.trace(TraceEvent{Kind: TraceDrop, Packet: pkt.ID, Node: node, Reason: reason.String()})
+}
+
+// deliver records a packet's arrival at the base station.
+func (e *Engine) deliver(pkt packet.Packet) {
+	e.trace(TraceEvent{Kind: TraceDeliver, Packet: pkt.ID, Node: pkt.Source})
+	e.round.Delivered++
+	lat := e.now - pkt.Born
+	e.latency.Observe(lat)
+	e.roundLat.Observe(lat)
+	e.hops.Observe(float64(pkt.Hops))
+}
+
+// endOfRound flushes remaining queue contents and performs the
+// HoldAndBurst delivery toward the BS.
+func (e *Engine) endOfRound(heads []int) {
+	// Packets the BS accepted but had not finished processing complete
+	// now (they were received; processing spills past the boundary).
+	for {
+		pkt, ok := e.bsQueue.Pop()
+		if !ok {
+			break
+		}
+		e.deliver(pkt)
+	}
+	hold := e.proto.RelayMode() == cluster.HoldAndBurst
+	for _, h := range heads {
+		q := e.queues[h]
+		if q == nil {
+			continue
+		}
+		// Remaining queued packets get fused in the final data-fusion
+		// pass; a dead head strands its queue.
+		for {
+			pkt, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if !e.alive(h) {
+				e.drop(metrics.DropDead, pkt, h)
+				continue
+			}
+			e.drawFusion(h, e.model.Aggregate(pkt.Bits))
+			if hold {
+				e.fused[h].bits += pkt.Bits
+				e.fused[h].pkts = append(e.fused[h].pkts, pkt)
+			} else {
+				e.forwardChainInstant(h, pkt)
+			}
+		}
+		if hold {
+			e.burst(h)
+		}
+	}
+}
+
+// burst sends a head's aggregate to the BS with retries (Algorithm 1
+// lines 13-14: "transmit processed data directly to BS").
+func (e *Engine) burst(head int) {
+	buf := &e.fused[head]
+	if len(buf.pkts) == 0 {
+		return
+	}
+	aggBits := compressedBits(buf.bits, e.cfg.Compression)
+	d := e.net.DistToBS(head)
+	delivered := false
+	for attempt := 0; attempt <= e.cfg.BatchRetries; attempt++ {
+		if !e.alive(head) {
+			break
+		}
+		e.drawTx(head, e.model.Tx(aggBits, d))
+		ok := e.link.Float64() < e.linkP(head, network.BSID, d)
+		e.proto.OnOutcome(head, network.BSID, ok)
+		if ok {
+			delivered = true
+			break
+		}
+	}
+	arrival := e.now + e.cfg.TxDelay(aggBits)
+	for _, pkt := range buf.pkts {
+		if delivered {
+			pkt.Hops++
+			saved := e.now
+			e.now = arrival
+			e.deliver(pkt)
+			e.now = saved
+		} else {
+			e.drop(metrics.DropBatch, pkt, head)
+		}
+	}
+	*buf = fusedBuf{}
+}
+
+// forwardChainInstant pushes a leftover fused packet through the
+// protocol's relay chain at round end, paying per-hop energy and taking
+// per-hop loss draws, without queueing (generation has stopped; queues
+// are drained).
+func (e *Engine) forwardChainInstant(head int, pkt packet.Packet) {
+	bits := pkt.Bits
+	if pkt.Hops <= 1 {
+		bits = compressedBits(bits, e.cfg.Compression)
+	}
+	holder := head
+	for hop := 0; hop < 32; hop++ {
+		if !e.alive(holder) {
+			e.drop(metrics.DropDead, pkt, holder)
+			return
+		}
+		target := e.proto.NextHop(holder)
+		d := e.dist(holder, target)
+		ok := false
+		for attempt := 0; attempt <= e.cfg.MaxRetries && !ok; attempt++ {
+			e.drawTx(holder, e.model.Tx(bits, d))
+			ok = e.link.Float64() < e.linkP(holder, target, d)
+			e.proto.OnOutcome(holder, target, ok)
+		}
+		if !ok {
+			e.drop(metrics.DropLink, pkt, holder)
+			return
+		}
+		pkt.Hops++
+		if target == network.BSID {
+			e.deliver(pkt)
+			return
+		}
+		e.drawRx(target, e.model.Rx(bits))
+		holder = target
+	}
+	// Routing loop guard: a protocol that cycles loses the packet.
+	e.drop(metrics.DropLink, pkt, holder)
+}

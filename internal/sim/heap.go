@@ -1,0 +1,98 @@
+package sim
+
+import "qlec/internal/packet"
+
+// eventKind discriminates simulator events.
+type eventKind int
+
+const (
+	// evGenerate: a node produces a new sensing packet.
+	evGenerate eventKind = iota
+	// evArrive: a transmission attempt resolves at its target.
+	evArrive
+	// evRetry: a member retransmits an unACKed packet.
+	evRetry
+	// evService: a head finishes fusing the packet at its queue's front.
+	evService
+)
+
+// event is one entry on the simulation clock.
+type event struct {
+	t    float64
+	seq  uint64 // tie-break so equal-time events order deterministically
+	kind eventKind
+
+	node    int // generator / retrier / servicing head
+	target  int // transmission target (evArrive)
+	attempt int // transmission attempt number, 0-based
+	pkt     packet.Packet
+}
+
+// eventHeap is a binary min-heap on (t, seq). A hand-rolled heap (rather
+// than container/heap) keeps the hot path free of interface conversions;
+// the simulator pushes and pops millions of events per run.
+type eventHeap struct {
+	items []event
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.items[i].t != h.items[j].t {
+		return h.items[i].t < h.items[j].t
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+
+// Push inserts an event.
+func (h *eventHeap) Push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest event. ok is false when empty.
+func (h *eventHeap) Pop() (event, bool) {
+	if len(h.items) == 0 {
+		return event{}, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.items) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top, true
+}
+
+// Peek returns the earliest event without removing it.
+func (h *eventHeap) Peek() (event, bool) {
+	if len(h.items) == 0 {
+		return event{}, false
+	}
+	return h.items[0], true
+}
+
+// Reset empties the heap, retaining capacity.
+func (h *eventHeap) Reset() { h.items = h.items[:0] }

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+
+	"qlec/internal/rng"
+)
+
+func TestHeapOrdersByTime(t *testing.T) {
+	var h eventHeap
+	times := []float64{5, 1, 3, 2, 4}
+	for _, tm := range times {
+		h.Push(event{t: tm, seq: uint64(tm)})
+	}
+	prev := -1.0
+	for {
+		ev, ok := h.Pop()
+		if !ok {
+			break
+		}
+		if ev.t < prev {
+			t.Fatalf("heap out of order: %v after %v", ev.t, prev)
+		}
+		prev = ev.t
+	}
+}
+
+func TestHeapTieBreaksBySeq(t *testing.T) {
+	var h eventHeap
+	for seq := uint64(10); seq > 0; seq-- {
+		h.Push(event{t: 7, seq: seq})
+	}
+	var prev uint64
+	for i := 0; i < 10; i++ {
+		ev, ok := h.Pop()
+		if !ok {
+			t.Fatal("heap emptied early")
+		}
+		if i > 0 && ev.seq <= prev {
+			t.Fatalf("seq tie-break wrong: %d after %d", ev.seq, prev)
+		}
+		prev = ev.seq
+	}
+}
+
+func TestHeapPopEmpty(t *testing.T) {
+	var h eventHeap
+	if _, ok := h.Pop(); ok {
+		t.Fatal("pop from empty heap succeeded")
+	}
+	if _, ok := h.Peek(); ok {
+		t.Fatal("peek at empty heap succeeded")
+	}
+}
+
+func TestHeapPeek(t *testing.T) {
+	var h eventHeap
+	h.Push(event{t: 2})
+	h.Push(event{t: 1, seq: 1})
+	ev, ok := h.Peek()
+	if !ok || ev.t != 1 {
+		t.Fatalf("peek = (%v, %v)", ev.t, ok)
+	}
+	if h.Len() != 2 {
+		t.Fatal("peek consumed an event")
+	}
+}
+
+func TestHeapRandomizedAgainstSort(t *testing.T) {
+	r := rng.New(42)
+	var h eventHeap
+	const n = 2000
+	for i := 0; i < n; i++ {
+		h.Push(event{t: float64(r.Intn(100)), seq: uint64(i)})
+	}
+	if h.Len() != n {
+		t.Fatalf("len = %d", h.Len())
+	}
+	prevT, prevSeq := -1.0, uint64(0)
+	for i := 0; i < n; i++ {
+		ev, ok := h.Pop()
+		if !ok {
+			t.Fatal("heap emptied early")
+		}
+		if ev.t < prevT || (ev.t == prevT && ev.seq < prevSeq) {
+			t.Fatalf("ordering violated at %d", i)
+		}
+		prevT, prevSeq = ev.t, ev.seq
+	}
+}
+
+func TestHeapReset(t *testing.T) {
+	var h eventHeap
+	h.Push(event{t: 1})
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("reset did not empty heap")
+	}
+}

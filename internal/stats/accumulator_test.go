@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	var a Accumulator
+	for _, x := range xs {
+		a.Observe(x)
+	}
+	want := Summarize(xs)
+	got := a.Summary()
+	if got.N != want.N || math.Abs(got.Mean-want.Mean) > 1e-12 ||
+		math.Abs(got.Variance-want.Variance) > 1e-12 ||
+		got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("accumulator %+v vs summarize %+v", got, want)
+	}
+	if a.N() != 8 || a.Min() != 1 || a.Max() != 9 {
+		t.Fatalf("accessors: n=%d min=%v max=%v", a.N(), a.Min(), a.Max())
+	}
+	if math.Abs(a.StdDev()-want.StdDev) > 1e-12 {
+		t.Fatalf("stddev %v vs %v", a.StdDev(), want.StdDev)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.StdDev() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Fatal("zero-value accumulator not neutral")
+	}
+	s := a.Summary()
+	if s.N != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var a Accumulator
+	a.Observe(-7)
+	if a.Mean() != -7 || a.Min() != -7 || a.Max() != -7 || a.StdDev() != 0 {
+		t.Fatalf("single observation: mean=%v min=%v max=%v", a.Mean(), a.Min(), a.Max())
+	}
+}
+
+// Property: accumulator agrees with batch Summarize on arbitrary input.
+func TestAccumulatorQuick(t *testing.T) {
+	f := func(raw []int16) bool {
+		var a Accumulator
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			a.Observe(xs[i])
+		}
+		want := Summarize(xs)
+		got := a.Summary()
+		if got.N != want.N {
+			return false
+		}
+		if got.N == 0 {
+			return true
+		}
+		return math.Abs(got.Mean-want.Mean) < 1e-9 &&
+			math.Abs(got.Variance-want.Variance) < 1e-6 &&
+			got.Min == want.Min && got.Max == want.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

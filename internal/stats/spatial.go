@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qlec/internal/geom"
+)
+
+// SpatialField pairs sample locations with scalar values — e.g. node
+// positions with per-node energy-consumption rates (Figure 4).
+type SpatialField struct {
+	Points []geom.Vec3
+	Values []float64
+}
+
+// Validate checks structural consistency.
+func (f SpatialField) Validate() error {
+	if len(f.Points) != len(f.Values) {
+		return fmt.Errorf("stats: %d points but %d values", len(f.Points), len(f.Values))
+	}
+	if len(f.Points) == 0 {
+		return fmt.Errorf("stats: empty spatial field")
+	}
+	return nil
+}
+
+// BinnedCV partitions the bounding box into side³ cubic bins, averages
+// the field inside each non-empty bin, and returns the coefficient of
+// variation of those bin means. A spatially even field (Figure 4's claim
+// for QLEC: "nodes with high energy consumption rate are evenly
+// distributed") has a low BinnedCV; hot spots inflate it.
+func (f SpatialField) BinnedCV(box geom.AABB, side int) (float64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if side <= 0 {
+		return 0, fmt.Errorf("stats: BinnedCV side must be positive, got %d", side)
+	}
+	if err := box.Validate(); err != nil {
+		return 0, err
+	}
+	sums := make([]float64, side*side*side)
+	counts := make([]int, side*side*side)
+	size := box.Size()
+	for i, p := range f.Points {
+		cx := clampIdx(int(float64(side)*(p.X-box.Min.X)/size.X), side)
+		cy := clampIdx(int(float64(side)*(p.Y-box.Min.Y)/size.Y), side)
+		cz := clampIdx(int(float64(side)*(p.Z-box.Min.Z)/size.Z), side)
+		c := (cz*side+cy)*side + cx
+		sums[c] += f.Values[i]
+		counts[c]++
+	}
+	var means []float64
+	for c, n := range counts {
+		if n > 0 {
+			means = append(means, sums[c]/float64(n))
+		}
+	}
+	if len(means) < 2 {
+		return 0, nil
+	}
+	return CoefficientOfVariation(means), nil
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// MoranI computes Moran's I spatial autocorrelation statistic with
+// inverse-distance weights truncated at the given neighbourhood radius.
+// Values near 0 indicate no spatial autocorrelation (consumption evenly
+// scattered); values near +1 indicate clustering of similar values (hot
+// spots); negative values indicate dispersion (checkerboarding).
+//
+//	I = (n / W) · Σᵢⱼ wᵢⱼ (xᵢ−x̄)(xⱼ−x̄) / Σᵢ (xᵢ−x̄)²
+//
+// It returns an error when the field is degenerate (no variance, no
+// neighbour pairs inside the radius).
+func (f SpatialField) MoranI(radius float64) (float64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if !(radius > 0) {
+		return 0, fmt.Errorf("stats: MoranI radius must be positive, got %v", radius)
+	}
+	n := len(f.Points)
+	mean := Mean(f.Values)
+	var denom float64
+	for _, v := range f.Values {
+		d := v - mean
+		denom += d * d
+	}
+	if denom == 0 {
+		return 0, fmt.Errorf("stats: MoranI undefined for constant field")
+	}
+	var num, wSum float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := f.Points[i].Dist(f.Points[j])
+			if d > radius || d == 0 {
+				continue
+			}
+			w := 1 / d
+			wSum += w
+			num += w * (f.Values[i] - mean) * (f.Values[j] - mean)
+		}
+	}
+	if wSum == 0 {
+		return 0, fmt.Errorf("stats: MoranI has no neighbour pairs within radius %v", radius)
+	}
+	return float64(n) / wSum * num / denom, nil
+}
+
+// GiniCoefficient returns the Gini inequality index of the (non-negative)
+// values: 0 means perfectly even consumption across nodes, 1 maximal
+// concentration. Used as a scalar companion to Figure 4.
+func GiniCoefficient(values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, fmt.Errorf("stats: Gini of empty sample")
+	}
+	sorted := append([]float64(nil), values...)
+	for _, v := range sorted {
+		if v < 0 || math.IsNaN(v) {
+			return 0, fmt.Errorf("stats: Gini requires non-negative values, got %v", v)
+		}
+	}
+	sort.Float64s(sorted)
+	var cum, total float64
+	n := float64(len(sorted))
+	for i, v := range sorted {
+		cum += float64(i+1) * v
+		total += v
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return (2*cum/(n*total) - (n+1)/n), nil
+}

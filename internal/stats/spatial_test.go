@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"qlec/internal/geom"
+	"qlec/internal/rng"
+)
+
+func uniformField(seed uint64, n int, value func(p geom.Vec3, r *rng.Stream) float64) SpatialField {
+	r := rng.New(seed)
+	box := geom.Cube(100)
+	pts := box.SampleUniformN(r, n)
+	vals := make([]float64, n)
+	for i, p := range pts {
+		vals[i] = value(p, r)
+	}
+	return SpatialField{Points: pts, Values: vals}
+}
+
+func TestSpatialFieldValidate(t *testing.T) {
+	f := SpatialField{Points: []geom.Vec3{{}}, Values: []float64{1, 2}}
+	if err := f.Validate(); err == nil {
+		t.Fatal("mismatched field validated")
+	}
+	empty := SpatialField{}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty field validated")
+	}
+}
+
+func TestBinnedCVDistinguishesEvenFromHotspot(t *testing.T) {
+	box := geom.Cube(100)
+	even := uniformField(1, 4000, func(p geom.Vec3, r *rng.Stream) float64 {
+		return 0.5 + 0.01*r.NormFloat64() // spatially flat
+	})
+	hot := uniformField(2, 4000, func(p geom.Vec3, r *rng.Stream) float64 {
+		// Consumption concentrated near the origin corner.
+		return math.Exp(-p.Norm() / 30)
+	})
+	cvEven, err := even.BinnedCV(box, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvHot, err := hot.BinnedCV(box, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cvEven >= cvHot {
+		t.Fatalf("BinnedCV failed to separate even (%v) from hotspot (%v)", cvEven, cvHot)
+	}
+	if cvEven > 0.1 {
+		t.Fatalf("even field CV too high: %v", cvEven)
+	}
+}
+
+func TestBinnedCVValidation(t *testing.T) {
+	f := uniformField(3, 100, func(geom.Vec3, *rng.Stream) float64 { return 1 })
+	if _, err := f.BinnedCV(geom.Cube(100), 0); err == nil {
+		t.Fatal("side=0 accepted")
+	}
+	bad := SpatialField{Points: []geom.Vec3{{}}, Values: nil}
+	if _, err := bad.BinnedCV(geom.Cube(100), 4); err == nil {
+		t.Fatal("invalid field accepted")
+	}
+}
+
+func TestMoranIDetectsClustering(t *testing.T) {
+	box := geom.Cube(100)
+	_ = box
+	clustered := uniformField(4, 800, func(p geom.Vec3, r *rng.Stream) float64 {
+		// Smooth spatial gradient → strong positive autocorrelation.
+		return p.X / 100
+	})
+	random := uniformField(5, 800, func(p geom.Vec3, r *rng.Stream) float64 {
+		return r.Float64()
+	})
+	iClustered, err := clustered.MoranI(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iRandom, err := random.MoranI(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iClustered < 0.3 {
+		t.Fatalf("Moran's I for gradient field = %v, want strongly positive", iClustered)
+	}
+	if math.Abs(iRandom) > 0.1 {
+		t.Fatalf("Moran's I for random field = %v, want ~0", iRandom)
+	}
+}
+
+func TestMoranIErrors(t *testing.T) {
+	constant := SpatialField{
+		Points: []geom.Vec3{{X: 1}, {X: 2}},
+		Values: []float64{3, 3},
+	}
+	if _, err := constant.MoranI(10); err == nil {
+		t.Fatal("constant field accepted")
+	}
+	far := SpatialField{
+		Points: []geom.Vec3{{X: 0}, {X: 1000}},
+		Values: []float64{1, 2},
+	}
+	if _, err := far.MoranI(1); err == nil {
+		t.Fatal("no neighbour pairs accepted")
+	}
+	f := uniformField(6, 10, func(geom.Vec3, *rng.Stream) float64 { return 1 })
+	if _, err := f.MoranI(0); err == nil {
+		t.Fatal("zero radius accepted")
+	}
+}
+
+func TestGiniCoefficient(t *testing.T) {
+	g, err := GiniCoefficient([]float64{1, 1, 1, 1})
+	if err != nil || math.Abs(g) > 1e-12 {
+		t.Fatalf("Gini of equal values = %v, %v", g, err)
+	}
+	// All value at one holder: Gini → (n-1)/n = 0.75 for n=4.
+	g, err = GiniCoefficient([]float64{0, 0, 0, 8})
+	if err != nil || math.Abs(g-0.75) > 1e-12 {
+		t.Fatalf("Gini of concentrated values = %v, %v", g, err)
+	}
+	if _, err := GiniCoefficient(nil); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, err := GiniCoefficient([]float64{-1, 2}); err == nil {
+		t.Fatal("negative value accepted")
+	}
+	g, err = GiniCoefficient([]float64{0, 0})
+	if err != nil || g != 0 {
+		t.Fatalf("Gini of all-zero = %v, %v", g, err)
+	}
+}
+
+func BenchmarkBinnedCV(b *testing.B) {
+	f := uniformField(7, 2896, func(p geom.Vec3, r *rng.Stream) float64 { return r.Float64() })
+	box := geom.Cube(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.BinnedCV(box, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package stats supplies the numeric tooling the QLEC reproduction needs:
+// descriptive statistics with confidence intervals for multi-seed
+// experiment replication, exponentially weighted moving averages for the
+// link-quality estimator of §4.2, histograms, and spatial-uniformity
+// measures (coefficient of variation over bins, Moran's I) used to back
+// Figure 4's claim that QLEC spreads energy consumption evenly.
+//
+// The reproduction band for this paper flags "weak numeric/plotting
+// tooling" as the main risk, so this package is deliberately
+// self-contained and heavily tested.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1) sample variance
+	StdDev   float64
+	Min, Max float64
+}
+
+// Summarize computes descriptive statistics using Welford's online
+// algorithm (numerically stable for long accumulations). An empty input
+// yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1)}
+	var m, m2 float64
+	for i, x := range xs {
+		s.N = i + 1
+		delta := x - m
+		m += delta / float64(s.N)
+		m2 += delta * (x - m)
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	if s.N == 0 {
+		return Summary{}
+	}
+	s.Mean = m
+	if s.N > 1 {
+		s.Variance = m2 / float64(s.N-1)
+		s.StdDev = math.Sqrt(s.Variance)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// StdDev returns the sample standard deviation, or 0 for n < 2.
+func StdDev(xs []float64) float64 { return Summarize(xs).StdDev }
+
+// CoefficientOfVariation returns stddev/mean. It returns NaN when the
+// mean is zero (undefined), matching statistical convention.
+func CoefficientOfVariation(xs []float64) float64 {
+	s := Summarize(xs)
+	if s.Mean == 0 {
+		return math.NaN()
+	}
+	return s.StdDev / s.Mean
+}
+
+// CI95HalfWidth returns the half-width of a normal-approximation 95 %
+// confidence interval for the mean (1.96·s/√n). It returns 0 for n < 2.
+func (s Summary) CI95HalfWidth() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// It panics on an empty sample or q outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("stats: Quantile q=%v outside [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// EWMA is an exponentially weighted moving average. QLEC's link-quality
+// estimator (§4.2: "the link probability can be estimated by the ratio
+// between the successfully transmitted packets and all the packets sent
+// recently") is implemented as an EWMA of success indicators so old
+// history decays.
+type EWMA struct {
+	alpha float64
+	value float64
+	seen  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]. Larger
+// alpha weights recent observations more. Panics outside (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if !(alpha > 0 && alpha <= 1) {
+		panic(fmt.Sprintf("stats: EWMA alpha %v outside (0,1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds x into the average. The first observation initializes
+// the value directly.
+func (e *EWMA) Observe(x float64) {
+	if !e.seen {
+		e.value = x
+		e.seen = true
+		return
+	}
+	e.value += e.alpha * (x - e.value)
+}
+
+// Value returns the current average and whether any observation was made.
+func (e *EWMA) Value() (float64, bool) { return e.value, e.seen }
+
+// ValueOr returns the current average, or def before any observation.
+func (e *EWMA) ValueOr(def float64) float64 {
+	if !e.seen {
+		return def
+	}
+	return e.value
+}
+
+// Histogram is a fixed-range, equal-width histogram.
+type Histogram struct {
+	lo, hi  float64
+	counts  []int
+	under   int
+	over    int
+	total   int
+	samples float64
+}
+
+// NewHistogram returns a histogram over [lo, hi) with the given number of
+// equal-width bins. Panics on bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if !(hi > lo) {
+		panic(fmt.Sprintf("stats: histogram range [%v, %v) is empty", lo, hi))
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, bins)}
+}
+
+// Observe adds x. Values outside [lo, hi) land in underflow/overflow.
+func (h *Histogram) Observe(x float64) {
+	h.total++
+	h.samples += x
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int(float64(len(h.counts)) * (x - h.lo) / (h.hi - h.lo))
+		if i == len(h.counts) { // guard float round-up at the edge
+			i--
+		}
+		h.counts[i]++
+	}
+}
+
+// Counts returns the per-bin counts (shared slice; do not mutate).
+func (h *Histogram) Counts() []int { return h.counts }
+
+// Under and Over return the out-of-range tallies.
+func (h *Histogram) Under() int { return h.under }
+
+// Over returns the overflow tally.
+func (h *Histogram) Over() int { return h.over }
+
+// Total returns the number of observations, including out-of-range.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.hi - h.lo) / float64(len(h.counts))
+	return h.lo + w*(float64(i)+0.5)
+}

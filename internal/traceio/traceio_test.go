@@ -1,0 +1,138 @@
+package traceio
+
+import (
+	"strings"
+	"testing"
+
+	"qlec/internal/experiment"
+	"qlec/internal/sim"
+)
+
+// traceOf runs a small QLEC simulation with the JSONL tracer and returns
+// the raw trace plus the run's metrics for cross-checking.
+func traceOf(t *testing.T) (string, int, int, int) {
+	t.Helper()
+	cfg := experiment.PaperConfig()
+	cfg.Rounds = 3
+	cfg.Seeds = []uint64{1}
+	var sb strings.Builder
+	tracer, flush := sim.JSONLTracer(&sb)
+	cfg.Tracer = tracer
+	res, err := cfg.RunOne(experiment.QLEC, 3, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String(), res.Generated, res.Delivered, res.DroppedTotal()
+}
+
+func TestParseAndAnalyzeConsistentWithMetrics(t *testing.T) {
+	raw, gen, del, drop := traceOf(t)
+	events, err := ParseJSONL(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Generated != gen || s.Delivered != del || s.Dropped != drop {
+		t.Fatalf("trace (%d,%d,%d) != metrics (%d,%d,%d)",
+			s.Generated, s.Delivered, s.Dropped, gen, del, drop)
+	}
+	if s.Events != len(events) {
+		t.Fatal("event count mismatch")
+	}
+	// Sends = accepts + rejects.
+	if s.ByKind[sim.TraceSend] != s.ByKind[sim.TraceAccept]+s.ByKind[sim.TraceReject] {
+		t.Fatal("send/accept/reject accounting broken")
+	}
+	// Three rounds tallied, ascending.
+	if len(s.Rounds) != 3 {
+		t.Fatalf("%d round tallies", len(s.Rounds))
+	}
+	sumGen := 0
+	for i, rt := range s.Rounds {
+		if rt.Round != i {
+			t.Fatalf("round order: %+v", s.Rounds)
+		}
+		sumGen += rt.Generated
+	}
+	if sumGen != gen {
+		t.Fatalf("per-round generated sums to %d, want %d", sumGen, gen)
+	}
+	// Attempts ≥ 1 per packet; access delay positive.
+	if s.AttemptsPerPacket.Mean < 1 {
+		t.Fatalf("mean attempts %v < 1", s.AttemptsPerPacket.Mean)
+	}
+	if s.AccessDelay.Mean <= 0 {
+		t.Fatalf("access delay %v", s.AccessDelay.Mean)
+	}
+	if len(s.HeadLoad) == 0 {
+		t.Fatal("no head load recorded")
+	}
+}
+
+func TestTopLoads(t *testing.T) {
+	s := &Stats{HeadLoad: map[int]int{3: 10, 7: 30, 2: 30, 9: 5}}
+	top := s.TopLoads(3)
+	want := [][2]int{{2, 30}, {7, 30}, {3, 10}}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("TopLoads = %v, want %v", top, want)
+		}
+	}
+	if got := s.TopLoads(100); len(got) != 4 {
+		t.Fatalf("TopLoads over-capped: %d", len(got))
+	}
+}
+
+func TestParseJSONLErrors(t *testing.T) {
+	if _, err := ParseJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	events, err := ParseJSONL(strings.NewReader("\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatal("blank lines produced events")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestAnalyzeDropReasons(t *testing.T) {
+	// Force queue drops and verify the reason tally.
+	cfg := experiment.PaperConfig()
+	cfg.Rounds = 2
+	cfg.Seeds = []uint64{1}
+	cfg.Sim.QueueCapacity = 2
+	cfg.Sim.ServiceTime = 1
+	var sb strings.Builder
+	tracer, flush := sim.JSONLTracer(&sb)
+	cfg.Tracer = tracer
+	if _, err := cfg.RunOne(experiment.KMeans, 1, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DropReasons["queue"] == 0 {
+		t.Fatalf("no queue drops recorded: %v", s.DropReasons)
+	}
+}

@@ -1,0 +1,139 @@
+package qlec
+
+// Always-on miniature reproduction of the paper's headline shapes.
+// The full-scale figures live in cmd/qlecfig and EXPERIMENTS.md; these
+// tests assert the *orderings* the paper reports on a reduced but
+// deterministic configuration, so a regression that flips a conclusion
+// fails the ordinary test suite, not just a manual figure run.
+
+import (
+	"testing"
+
+	"qlec/internal/experiment"
+)
+
+// shapeConfig: paper deployment, fewer rounds/seeds, k at the
+// deployment's true k_opt ≈ 11 where all of the paper's orderings hold
+// (see EXPERIMENTS.md on the k=5 caveats).
+func shapeConfig() experiment.Config {
+	c := experiment.PaperConfig()
+	c.K = 11
+	c.Rounds = 8
+	c.Seeds = []uint64{1, 2, 3}
+	c.LifespanDeathLine = 4.5
+	c.LifespanMaxRounds = 400
+	return c
+}
+
+func meanPDR(t *testing.T, c experiment.Config, id experiment.ProtocolID, lambda float64) float64 {
+	t.Helper()
+	total := 0.0
+	for _, seed := range c.Seeds {
+		res, err := c.RunOne(id, lambda, seed, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.PDR()
+	}
+	return total / float64(len(c.Seeds))
+}
+
+func meanLifespan(t *testing.T, c experiment.Config, id experiment.ProtocolID, lambda float64) float64 {
+	t.Helper()
+	total := 0.0
+	for _, seed := range c.Seeds {
+		res, err := c.RunOne(id, lambda, seed, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls := res.Lifespan
+		if ls == 0 {
+			ls = res.Rounds
+		}
+		total += float64(ls)
+	}
+	return total / float64(len(c.Seeds))
+}
+
+// Fig. 3(a): QLEC holds PDR ≈ 1 when idle; under congestion QLEC ≥
+// k-means and both far above FCM.
+func TestShapeFig3aPDROrdering(t *testing.T) {
+	c := shapeConfig()
+	if idle := meanPDR(t, c, experiment.QLEC, 8); idle < 0.995 {
+		t.Fatalf("QLEC idle PDR = %v, paper reports ≈ 1", idle)
+	}
+	qlec := meanPDR(t, c, experiment.QLEC, 1.5)
+	kmeans := meanPDR(t, c, experiment.KMeans, 1.5)
+	fcm := meanPDR(t, c, experiment.FCM, 1.5)
+	if qlec+0.005 < kmeans {
+		t.Fatalf("congested PDR: QLEC %v below k-means %v", qlec, kmeans)
+	}
+	if fcm > kmeans-0.1 {
+		t.Fatalf("FCM PDR %v not far below k-means %v (multi-hop loss missing)", fcm, kmeans)
+	}
+}
+
+// Fig. 3(b): FCM is the most energy-hungry baseline (its relays pay
+// Rx+Tx per fused packet).
+func TestShapeFig3bFCMEnergyHighest(t *testing.T) {
+	c := shapeConfig()
+	energyOf := func(id experiment.ProtocolID) float64 {
+		total := 0.0
+		for _, seed := range c.Seeds {
+			res, err := c.RunOne(id, 2, seed, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += float64(res.TotalEnergy)
+		}
+		return total
+	}
+	fcm := energyOf(experiment.FCM)
+	kmeans := energyOf(experiment.KMeans)
+	if fcm <= kmeans {
+		t.Fatalf("FCM energy %v not above k-means %v", fcm, kmeans)
+	}
+}
+
+// Fig. 3(c): QLEC outlives both baselines.
+func TestShapeFig3cLifespanOrdering(t *testing.T) {
+	c := shapeConfig()
+	qlec := meanLifespan(t, c, experiment.QLEC, 4)
+	kmeans := meanLifespan(t, c, experiment.KMeans, 4)
+	fcm := meanLifespan(t, c, experiment.FCM, 4)
+	if qlec <= kmeans {
+		t.Fatalf("lifespan: QLEC %v not above k-means %v", qlec, kmeans)
+	}
+	if qlec <= fcm {
+		t.Fatalf("lifespan: QLEC %v not above FCM %v", qlec, fcm)
+	}
+}
+
+// Fig. 4's evenness claim at miniature scale, including its mechanism:
+// after a few rounds consumption concentrates on whoever served as head,
+// but rotation spreads it — the Gini of per-node consumption *falls* as
+// rounds accumulate and ends moderate.
+func TestShapeFig4EvennessImprovesWithRotation(t *testing.T) {
+	run := func(rounds int) *experiment.Fig4Result {
+		cfg := experiment.PaperFig4Config()
+		cfg.Synth.N = 400
+		cfg.K = 30
+		cfg.Rounds = rounds
+		res, err := experiment.RunFig4(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	early := run(4)
+	late := run(20)
+	if late.Gini >= early.Gini {
+		t.Fatalf("rotation failed to even out consumption: Gini %v → %v", early.Gini, late.Gini)
+	}
+	if late.Gini > 0.45 {
+		t.Fatalf("consumption Gini %v after 20 rounds too concentrated for the evenness claim", late.Gini)
+	}
+	if late.MoranI > 0.5 {
+		t.Fatalf("Moran's I %v indicates strong hot-spotting", late.MoranI)
+	}
+}
