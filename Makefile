@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figs examples clean
+.PHONY: all build test race bench figs examples ci clean
 
 all: build test
 
@@ -15,6 +15,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Everything CI runs (see .github/workflows/ci.yml): build + vet, the
+# full test suite, the race detector, and a short real sweep through the
+# parallel runner under -race to shake out orchestration races that the
+# unit tests' stub protocols cannot reach.
+ci: build test race
+	$(GO) test -race -run 'TestSweepsParallelMatchSerial|TestMap' ./internal/experiment ./internal/runner
+	$(GO) run -race ./cmd/qlecfig -fig ksweep -quick -workers 0 >/dev/null
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

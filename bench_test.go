@@ -22,6 +22,7 @@
 package qlec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -34,6 +35,7 @@ import (
 	"qlec/internal/network"
 	"qlec/internal/qlearn"
 	"qlec/internal/rng"
+	"qlec/internal/runner"
 	"qlec/internal/sim"
 )
 
@@ -56,7 +58,7 @@ func BenchmarkTable2Defaults(b *testing.B) {
 	cfg := benchConfig()
 	var pdr, joules float64
 	for i := 0; i < b.N; i++ {
-		res, err := cfg.RunOne(experiment.QLEC, 4, uint64(i+1), false)
+		res, err := cfg.RunOne(context.Background(), experiment.QLEC, 4, uint64(i+1), false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +130,7 @@ func fig3Bench(b *testing.B, metric string) {
 				var value float64
 				for i := 0; i < b.N; i++ {
 					lifespan := metric == "rounds"
-					res, err := cfg.RunOne(id, lambda, uint64(i+1), lifespan)
+					res, err := cfg.RunOne(context.Background(), id, lambda, uint64(i+1), lifespan)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -171,7 +173,7 @@ func BenchmarkFig4LargeScale(b *testing.B) {
 	var cv, gini, moran float64
 	for i := 0; i < b.N; i++ {
 		cfg.Synth.Seed = uint64(2019 + i)
-		res, err := experiment.RunFig4(cfg)
+		res, err := experiment.RunFig4(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -274,11 +276,11 @@ func ablationBench(b *testing.B, variant experiment.ProtocolID) {
 	cfg.K = 8 // rerouting needs alternative heads near k_opt; see EXPERIMENTS.md
 	var fullPDR, variantPDR float64
 	for i := 0; i < b.N; i++ {
-		full, err := cfg.RunOne(experiment.QLEC, 1.5, uint64(i+1), false)
+		full, err := cfg.RunOne(context.Background(), experiment.QLEC, 1.5, uint64(i+1), false)
 		if err != nil {
 			b.Fatal(err)
 		}
-		abl, err := cfg.RunOne(variant, 1.5, uint64(i+1), false)
+		abl, err := cfg.RunOne(context.Background(), variant, 1.5, uint64(i+1), false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -317,11 +319,11 @@ func BenchmarkHeterogeneousLifespan(b *testing.B) {
 	cfg.LifespanMaxRounds = 500
 	var qlecLife, leachLife float64
 	for i := 0; i < b.N; i++ {
-		q, err := cfg.RunOne(experiment.QLEC, 4, uint64(i+1), true)
+		q, err := cfg.RunOne(context.Background(), experiment.QLEC, 4, uint64(i+1), true)
 		if err != nil {
 			b.Fatal(err)
 		}
-		l, err := cfg.RunOne(experiment.LEACH, 4, uint64(i+1), true)
+		l, err := cfg.RunOne(context.Background(), experiment.LEACH, 4, uint64(i+1), true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -347,7 +349,7 @@ func BenchmarkMobilityImpact(b *testing.B) {
 		cfg := benchConfig()
 		cfg.K = 8
 		mut(&cfg.Sim)
-		res, err := cfg.RunOne(experiment.QLEC, 4, uint64(i+1), false)
+		res, err := cfg.RunOne(context.Background(), experiment.QLEC, 4, uint64(i+1), false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -376,7 +378,7 @@ func BenchmarkCompressionSweep(b *testing.B) {
 			cfg.Sim.Compression = ratio
 			var joules float64
 			for i := 0; i < b.N; i++ {
-				res, err := cfg.RunOne(experiment.QLEC, 4, uint64(i+1), false)
+				res, err := cfg.RunOne(context.Background(), experiment.QLEC, 4, uint64(i+1), false)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -460,7 +462,7 @@ func BenchmarkScalability(b *testing.B) {
 			cfg.Rounds = 3
 			var packets int
 			for i := 0; i < b.N; i++ {
-				res, err := cfg.RunOne(experiment.QLEC, 4, uint64(i+1), false)
+				res, err := cfg.RunOne(context.Background(), experiment.QLEC, 4, uint64(i+1), false)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -481,11 +483,11 @@ func BenchmarkClusteringGainOverDirect(b *testing.B) {
 	cfg.Side = 400
 	var direct, clustered float64
 	for i := 0; i < b.N; i++ {
-		d, err := cfg.RunOne(experiment.Direct, 6, uint64(i+1), false)
+		d, err := cfg.RunOne(context.Background(), experiment.Direct, 6, uint64(i+1), false)
 		if err != nil {
 			b.Fatal(err)
 		}
-		q, err := cfg.RunOne(experiment.QLEC, 6, uint64(i+1), false)
+		q, err := cfg.RunOne(context.Background(), experiment.QLEC, 6, uint64(i+1), false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -495,4 +497,57 @@ func BenchmarkClusteringGainOverDirect(b *testing.B) {
 	b.ReportMetric(direct, "J_direct")
 	b.ReportMetric(clustered, "J_qlec")
 	b.ReportMetric(direct/clustered, "gain")
+}
+
+// BenchmarkRunnerOverhead measures the fixed cost runner.Map adds over
+// a plain serial loop on trivial jobs — the price every sweep pays for
+// ordering, cancellation and progress plumbing. Compare the two
+// sub-benchmarks: the delta is the per-job overhead.
+func BenchmarkRunnerOverhead(b *testing.B) {
+	const jobs = 256
+	work := func(i int) int { return i*i + 1 }
+	b.Run("serial-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out := make([]int, jobs)
+			for j := 0; j < jobs; j++ {
+				out[j] = work(j)
+			}
+			if out[3] != 10 {
+				b.Fatal("bad result")
+			}
+		}
+	})
+	b.Run("runner-map", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			out, err := runner.Map(ctx, jobs, runner.Options{},
+				func(ctx context.Context, j int) (int, error) { return work(j), nil })
+			if err != nil || out[3] != 10 {
+				b.Fatal("bad result")
+			}
+		}
+	})
+}
+
+// BenchmarkKSweepParallel runs the same k sweep on the serial reference
+// schedule and the parallel pool; the ratio is the orchestration
+// speedup on this machine (results are identical either way — see
+// TestSweepsParallelMatchSerial).
+func BenchmarkKSweepParallel(b *testing.B) {
+	ks := []int{3, 5, 8, 11}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Seeds = []uint64{1, 2}
+			cfg.Workers = bc.workers
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.RunKSweep(context.Background(), experiment.QLEC, ks, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"qlec/internal/cli"
 	"qlec/internal/dataset"
 	"qlec/internal/plot"
 	"qlec/internal/rng"
@@ -30,8 +31,12 @@ func main() {
 		out     = flag.String("out", "", "write x,y,z,energy CSV to this path")
 		wri     = flag.String("wri", "", "convert a WRI Global Power Plant Database CSV instead of synthesizing")
 		country = flag.String("country", "CHN", "country code filter for -wri")
+		timeout = flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	var (
 		ds  *dataset.Dataset
@@ -43,7 +48,7 @@ func main() {
 			fail(ferr)
 		}
 		defer fh.Close()
-		ds, err = dataset.LoadWRICSV(fh, *country, 1000, 100, 5, rng.NewNamed(*seed, "qlecdata/heights"))
+		ds, err = dataset.LoadWRICSV(cli.Reader(ctx, fh), *country, 1000, 100, 5, rng.NewNamed(*seed, "qlecdata/heights"))
 	} else {
 		cfg := dataset.DefaultSynthConfig()
 		cfg.N = *n

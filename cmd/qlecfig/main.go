@@ -3,19 +3,27 @@
 // Usage:
 //
 //	qlecfig -fig 3a|3b|3c|3|4|latency [-out DIR] [-quick]
+//	        [-timeout 5m] [-workers 0] [-reps 1]
 //
 // Each figure is printed as an ASCII chart on stdout and, when -out is
 // given, written as CSV (figures 3*) or x,y,z,value CSV (figure 4) for
 // external plotting. -quick shrinks seeds/rounds for a fast smoke run.
+//
+// Sweeps run their cells in parallel (-workers bounds the pool; 0 uses
+// every CPU, 1 forces the serial reference schedule — results are
+// identical either way) with a live cell counter on stderr. Ctrl-C or
+// an elapsed -timeout cancels the sweep promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"qlec"
+	"qlec/internal/cli"
 	"qlec/internal/dataset"
 	"qlec/internal/experiment"
 	"qlec/internal/geom"
@@ -24,15 +32,24 @@ import (
 	"qlec/internal/rng"
 )
 
+// workers is the -workers flag, applied to every sweep configuration.
+var workers int
+
 func main() {
 	var (
-		fig   = flag.String("fig", "3", "figure to regenerate: 1, 3a, 3b, 3c, 3 (all), latency, 4, ablation, ksweep, nsweep")
-		out   = flag.String("out", "", "directory for CSV output (optional)")
-		quick = flag.Bool("quick", false, "fast smoke run (fewer seeds/rounds/nodes)")
-		kOver = flag.Int("k", 0, "override the cluster count (0 = paper default)")
-		data  = flag.String("data", "", "figure 4 only: run over an x,y,z,energy_j CSV instead of the synthetic dataset")
+		fig     = flag.String("fig", "3", "figure to regenerate: 1, 3a, 3b, 3c, 3 (all), latency, 4, ablation, ksweep, nsweep")
+		out     = flag.String("out", "", "directory for CSV output (optional)")
+		quick   = flag.Bool("quick", false, "fast smoke run (fewer seeds/rounds/nodes)")
+		kOver   = flag.Int("k", 0, "override the cluster count (0 = paper default)")
+		data    = flag.String("data", "", "figure 4 only: run over an x,y,z,energy_j CSV instead of the synthetic dataset")
+		timeout = flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
+		reps    = flag.Int("reps", 1, "figure 4 only: replicate seeds to run and summarize")
 	)
+	flag.IntVar(&workers, "workers", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -43,18 +60,27 @@ func main() {
 	case "1":
 		runFig1(*kOver)
 	case "3", "3a", "3b", "3c", "latency":
-		runFig3(*fig, *out, *quick, *kOver)
+		runFig3(ctx, *fig, *out, *quick, *kOver)
 	case "4":
-		runFig4(*out, *quick, *kOver, *data)
+		runFig4(ctx, *out, *quick, *kOver, *data, *reps)
 	case "ablation":
-		runAblation(*quick, *kOver)
+		runAblation(ctx, *quick, *kOver)
 	case "ksweep":
-		runKSweep(*quick)
+		runKSweep(ctx, *quick)
 	case "nsweep":
-		runNSweep(*quick)
+		runNSweep(ctx, *quick)
 	default:
 		fail(fmt.Errorf("unknown figure %q", *fig))
 	}
+}
+
+// sweepMeter wires a throttled stderr progress meter into cfg and
+// returns its cleanup. Call close before printing results.
+func sweepMeter(cfg *experiment.Config, label string) func() {
+	m := cli.NewMeter(os.Stderr)
+	cfg.Workers = workers
+	cfg.Progress = m.SweepProgress(label)
+	return m.Close
 }
 
 func fail(err error) {
@@ -62,7 +88,7 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func runFig3(which, out string, quick bool, kOver int) {
+func runFig3(ctx context.Context, which, out string, quick bool, kOver int) {
 	cfg := experiment.PaperConfig()
 	if kOver > 0 {
 		cfg.K = kOver
@@ -76,7 +102,9 @@ func runFig3(which, out string, quick bool, kOver int) {
 	}
 	fmt.Fprintf(os.Stderr, "running Figure 3 sweep: %d protocols × %d λ × %d seeds (×2 run kinds)...\n",
 		len(qlec.Protocols()), len(cfg.Lambdas), len(cfg.Seeds))
-	f, err := qlec.ReproduceFigure3(cfg, nil)
+	done := sweepMeter(&cfg, "fig3 cells")
+	f, err := qlec.ReproduceFigure3Context(ctx, cfg, nil)
+	done()
 	if err != nil {
 		fail(err)
 	}
@@ -163,7 +191,7 @@ func runFig1(kOver int) {
 
 // runKSweep prints QLEC's sensitivity to the cluster count around
 // Theorem 1's optimum (DESIGN.md §6.2).
-func runKSweep(quick bool) {
+func runKSweep(ctx context.Context, quick bool) {
 	cfg := experiment.PaperConfig()
 	lambda := 2.0
 	ks := []int{3, 5, 8, 11, 15, 20}
@@ -175,7 +203,9 @@ func runKSweep(quick bool) {
 		ks = []int{5, 11}
 	}
 	fmt.Fprintf(os.Stderr, "running k sweep %v at λ=%g, %d seeds (×2 run kinds)...\n", ks, lambda, len(cfg.Seeds))
-	points, err := cfg.RunKSweep(experiment.QLEC, ks, lambda)
+	done := sweepMeter(&cfg, "k-sweep cells")
+	points, err := cfg.RunKSweep(ctx, experiment.QLEC, ks, lambda)
+	done()
 	if err != nil {
 		fail(err)
 	}
@@ -192,7 +222,7 @@ func runKSweep(quick bool) {
 }
 
 // runNSweep prints QLEC's constant-density scalability sweep.
-func runNSweep(quick bool) {
+func runNSweep(ctx context.Context, quick bool) {
 	cfg := experiment.PaperConfig()
 	lambda := 4.0
 	ns := []int{50, 100, 200, 400, 800}
@@ -204,7 +234,9 @@ func runNSweep(quick bool) {
 		ns = []int{50, 200}
 	}
 	fmt.Fprintf(os.Stderr, "running N sweep %v at λ=%g, %d seeds (×2 run kinds)...\n", ns, lambda, len(cfg.Seeds))
-	points, err := cfg.RunNSweep(experiment.QLEC, ns, lambda)
+	done := sweepMeter(&cfg, "n-sweep cells")
+	points, err := cfg.RunNSweep(ctx, experiment.QLEC, ns, lambda)
+	done()
 	if err != nil {
 		fail(err)
 	}
@@ -214,7 +246,7 @@ func runNSweep(quick bool) {
 // runAblation prints the design-choice ladder of DESIGN.md §4 under
 // congestion: full QLEC, each §3.1 improvement removed in turn, classic
 // DEEC/LEACH, the paper's baselines and the unclustered strawman.
-func runAblation(quick bool, kOver int) {
+func runAblation(ctx context.Context, quick bool, kOver int) {
 	cfg := experiment.PaperConfig()
 	cfg.Lambdas = []float64{1.5}
 	cfg.K = 8 // rerouting needs alternatives near k_opt; see EXPERIMENTS.md
@@ -235,14 +267,16 @@ func runAblation(quick bool, kOver int) {
 	}
 	fmt.Fprintf(os.Stderr, "running ablation ladder: %d variants × %d seeds (×2 run kinds)...\n",
 		len(ladder), len(cfg.Seeds))
-	sweep, err := cfg.RunFig3(ladder)
+	done := sweepMeter(&cfg, "ablation cells")
+	sweep, err := cfg.RunFig3(ctx, ladder)
+	done()
 	if err != nil {
 		fail(err)
 	}
 	fmt.Println(experiment.Fig3Table(sweep))
 }
 
-func runFig4(out string, quick bool, kOver int, dataPath string) {
+func runFig4(ctx context.Context, out string, quick bool, kOver int, dataPath string, reps int) {
 	cfg := experiment.PaperFig4Config()
 	if kOver > 0 {
 		cfg.K = kOver
@@ -251,6 +285,11 @@ func runFig4(out string, quick bool, kOver int, dataPath string) {
 		cfg.Synth.N = 400
 		cfg.K = 30
 		cfg.Rounds = 3
+	}
+	if reps > 1 {
+		for r := 0; r < reps; r++ {
+			cfg.Seeds = append(cfg.Seeds, cfg.Synth.Seed+uint64(r))
+		}
 	}
 	n := cfg.Synth.N
 	if dataPath != "" {
@@ -269,9 +308,13 @@ func runFig4(out string, quick bool, kOver int, dataPath string) {
 			cfg.K = 0 // derive from Theorem 1 for foreign datasets
 		}
 	}
-	fmt.Fprintf(os.Stderr, "running Figure 4: %d nodes, k=%d, %d rounds...\n",
-		n, cfg.K, cfg.Rounds)
-	res, err := qlec.ReproduceFigure4(cfg)
+	fmt.Fprintf(os.Stderr, "running Figure 4: %d nodes, k=%d, %d rounds, %d replicate(s)...\n",
+		n, cfg.K, cfg.Rounds, max(reps, 1))
+	m := cli.NewMeter(os.Stderr)
+	cfg.Workers = workers
+	cfg.Progress = m.SweepProgress("fig4 replicates")
+	res, err := qlec.ReproduceFigure4Context(ctx, cfg)
+	m.Close()
 	if err != nil {
 		fail(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"math"
 	"os"
 
+	"qlec/internal/cli"
 	"qlec/internal/energy"
 	"qlec/internal/geom"
 	"qlec/internal/plot"
@@ -23,13 +24,17 @@ import (
 
 func main() {
 	var (
-		n     = flag.Int("n", 100, "node count")
-		side  = flag.Float64("side", 200, "cube side length (meters)")
-		dtobs = flag.Float64("dtobs", 0, "mean node→BS distance; 0 = cube-center BS closed form")
-		bits  = flag.Int("bits", 4000, "packet size (bits)")
-		sweep = flag.Bool("sweep", false, "print the E_r(k) sweep around k_opt")
+		n       = flag.Int("n", 100, "node count")
+		side    = flag.Float64("side", 200, "cube side length (meters)")
+		dtobs   = flag.Float64("dtobs", 0, "mean node→BS distance; 0 = cube-center BS closed form")
+		bits    = flag.Int("bits", 4000, "packet size (bits)")
+		sweep   = flag.Bool("sweep", false, "print the E_r(k) sweep around k_opt")
+		timeout = flag.Duration("timeout", 0, "abort the brute-force cross-check after this long (0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	model := energy.DefaultModel()
 	d := *dtobs
@@ -58,6 +63,10 @@ func main() {
 	// Cross-check: the discrete argmin of Eq. (6) composed with Lemma 1.
 	bestK, bestE := 1, math.Inf(1)
 	for k := 1; k <= *n; k++ {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "qlecopt: cross-check interrupted at k=%d (%v)\n", k, ctx.Err())
+			break
+		}
 		e := float64(model.RoundEnergyAtK(*bits, *n, float64(k), *side, d))
 		if e < bestE {
 			bestK, bestE = k, e

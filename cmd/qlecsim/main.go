@@ -6,17 +6,25 @@
 //	qlecsim [-protocol QLEC|FCM|k-means|LEACH|DEEC-nearest]
 //	        [-lambda 4] [-rounds 20] [-n 100] [-side 200] [-k 5]
 //	        [-seed 1] [-lifespan] [-deathline 2.5] [-perround]
+//	        [-timeout 30s] [-quiet]
 //
 // With -lifespan the run uses the death-line / stop-on-first-death
 // methodology of Figure 3(c); otherwise it runs exactly -rounds rounds.
+// A live round counter streams to stderr (-quiet disables it). Ctrl-C
+// or an elapsed -timeout stops the run at the next round boundary and
+// prints the partial results accumulated so far.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"qlec"
+	"qlec/internal/cli"
 	"qlec/internal/dataset"
 	"qlec/internal/energy"
 	"qlec/internal/experiment"
@@ -43,8 +51,13 @@ func main() {
 		topoPath  = flag.String("topology", "", "load node positions/energies from an x,y,z,energy_j CSV instead of a uniform cube")
 		contend   = flag.Float64("contention", 0, "interference factor gamma (0 = off)")
 		tracePath = flag.String("trace", "", "write a JSONL packet-event trace to this path")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); partial results are printed")
+		quiet     = flag.Bool("quiet", false, "suppress the live per-round progress meter on stderr")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	s := qlec.DefaultScenario()
 	s.Protocol = experiment.ProtocolID(*protocol)
@@ -92,10 +105,24 @@ func main() {
 		flushTrace = flush
 	}
 
-	res, err := qlec.Run(s)
-	if err != nil {
+	meter := cli.NewMeter(os.Stderr)
+	if !*quiet {
+		s.Config.Observer = func(snap sim.RoundSnapshot) {
+			meter.Printf(snap.Done, "round %d  alive %d  energy %.2f J",
+				snap.Round+1, snap.Alive, float64(snap.EnergySoFar))
+		}
+	}
+	start := time.Now()
+	res, err := qlec.RunContext(ctx, s)
+	meter.Close()
+	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, "qlecsim:", err)
 		os.Exit(1)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "qlecsim: run stopped early (%v) after %d rounds in %v; partial results follow\n",
+			err, res.Rounds, time.Since(start).Round(time.Millisecond))
 	}
 	if flushTrace != nil {
 		if err := flushTrace(); err != nil {

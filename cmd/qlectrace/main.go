@@ -7,13 +7,18 @@
 //
 //	qlecsim -rounds 5 -trace run.jsonl
 //	qlectrace run.jsonl            # or: qlectrace - < run.jsonl
+//
+// Ctrl-C (or an elapsed -timeout) aborts a stalled read — useful when
+// analyzing a pipe that stops producing.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"qlec/internal/cli"
 	"qlec/internal/network"
 	"qlec/internal/plot"
 	"qlec/internal/sim"
@@ -21,22 +26,26 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: qlectrace <trace.jsonl | ->")
+	timeout := flag.Duration("timeout", 0, "abort reading after this long (0 = no limit)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qlectrace [-timeout 30s] <trace.jsonl | ->")
 		os.Exit(2)
 	}
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 	var src io.Reader
-	if os.Args[1] == "-" {
+	if flag.Arg(0) == "-" {
 		src = os.Stdin
 	} else {
-		fh, err := os.Open(os.Args[1])
+		fh, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fail(err)
 		}
 		defer fh.Close()
 		src = fh
 	}
-	events, err := traceio.ParseJSONL(src)
+	events, err := traceio.ParseJSONL(cli.Reader(ctx, src))
 	if err != nil {
 		fail(err)
 	}

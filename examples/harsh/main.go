@@ -13,11 +13,17 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"qlec"
+	"qlec/internal/cli"
 )
 
 func main() {
+	// Ctrl-C cancels the comparison sweep at the next cell boundary.
+	ctx, stop := cli.Context(0)
+	defer stop()
+
 	s := qlec.DefaultScenario()
 	s.Config.Rounds = 15
 	s.Config.K = 8 // near the deployment's true k_opt; see EXPERIMENTS.md
@@ -36,9 +42,12 @@ func main() {
 	fmt.Println("harsh 3-D environment: shadowing σ=0.9, contention γ=0.1, mobility 1–3 m/s")
 	fmt.Println()
 
-	rows, err := qlec.Compare(s, []qlec.Protocol{
+	m := cli.NewMeter(os.Stderr)
+	s.Config.Progress = m.SweepProgress("cells")
+	rows, err := qlec.CompareContext(ctx, s, []qlec.Protocol{
 		qlec.QLEC, qlec.DEECNearest, qlec.KMeans, qlec.LEACH,
 	})
+	m.Close()
 	if err != nil {
 		log.Fatal(err)
 	}

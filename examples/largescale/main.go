@@ -11,14 +11,22 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"qlec"
+	"qlec/internal/cli"
 	"qlec/internal/experiment"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run a reduced 500-node version")
+	timeout := flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	flag.Parse()
+
+	// Ctrl-C (or -timeout) cancels the run at the next round boundary.
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	cfg := experiment.PaperFig4Config()
 	if *quick {
@@ -28,10 +36,15 @@ func main() {
 	}
 	fmt.Printf("large-scale run: %d nodes, k=%d, %d rounds\n\n", cfg.Synth.N, cfg.K, cfg.Rounds)
 
-	res, err := qlec.ReproduceFigure4(cfg)
+	start := time.Now()
+	m := cli.NewMeter(os.Stderr)
+	cfg.Progress = m.SweepProgress("replicates")
+	res, err := qlec.ReproduceFigure4Context(ctx, cfg)
+	m.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("completed in %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	fmt.Println(experiment.Fig4Summary(res))
 	fmt.Println()

@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 
 	"qlec"
+	"qlec/internal/cli"
 	"qlec/internal/rng"
 )
 
@@ -67,7 +69,13 @@ func main() {
 	ladder := []qlec.Protocol{
 		qlec.QLEC, qlec.QLECNoFloor, qlec.QLECNoRR, qlec.DEECNearest, qlec.LEACH,
 	}
-	rows, err := qlec.Compare(s, ladder)
+	// Ctrl-C cancels the ablation sweep at the next cell boundary.
+	ctx, stop := cli.Context(0)
+	defer stop()
+	m := cli.NewMeter(os.Stderr)
+	s.Config.Progress = m.SweepProgress("cells")
+	rows, err := qlec.CompareContext(ctx, s, ladder)
+	m.Close()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,10 +5,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"qlec"
+	"qlec/internal/sim"
 )
 
 func main() {
@@ -16,7 +20,19 @@ func main() {
 	// R=20 rounds, k=5 clusters, λ=4 s mean packet inter-arrival.
 	scenario := qlec.DefaultScenario()
 
-	res, err := qlec.Run(scenario)
+	// RunContext honours cancellation at round boundaries — a deadline
+	// (or Ctrl-C wiring) stops the run and still returns the partial
+	// result — and the observer streams per-round progress.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	scenario.Config.Observer = func(snap sim.RoundSnapshot) {
+		fmt.Fprintf(os.Stderr, "\rround %d: %d alive, %.2f J spent", snap.Round+1, snap.Alive, float64(snap.EnergySoFar))
+		if snap.Done {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+
+	res, err := qlec.RunContext(ctx, scenario)
 	if err != nil {
 		log.Fatal(err)
 	}

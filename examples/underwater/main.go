@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 
 	"qlec"
+	"qlec/internal/cli"
 	"qlec/internal/rng"
 )
 
@@ -57,7 +59,13 @@ func main() {
 	fmt.Printf("underwater column: %d sensors over %gx%g m, %g m deep; buoy BS at surface\n\n",
 		nodes, sideX, sideY, depth)
 
-	rows, err := qlec.Compare(s, []qlec.Protocol{qlec.QLEC, qlec.FCM, qlec.KMeans, qlec.LEACH})
+	// Ctrl-C cancels the comparison sweep at the next cell boundary.
+	ctx, stop := cli.Context(0)
+	defer stop()
+	m := cli.NewMeter(os.Stderr)
+	s.Config.Progress = m.SweepProgress("cells")
+	rows, err := qlec.CompareContext(ctx, s, []qlec.Protocol{qlec.QLEC, qlec.FCM, qlec.KMeans, qlec.LEACH})
+	m.Close()
 	if err != nil {
 		log.Fatal(err)
 	}

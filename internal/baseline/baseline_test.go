@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"qlec/internal/cluster"
@@ -259,7 +260,7 @@ func TestBaselinesRunOnEngine(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := e.Run(10)
+		res, err := e.Run(context.Background(), 10)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -311,7 +312,7 @@ func TestClusteringSavesEnergyOverDirect(t *testing.T) {
 		cfg := sim.DefaultConfig()
 		cfg.MeanInterArrival = 6
 		e, _ := sim.NewEngine(w, proto, energy.DefaultModel(), cfg)
-		res, err := e.Run(5)
+		res, err := e.Run(context.Background(), 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -336,7 +337,7 @@ func TestFCMMultiHopVsKMeans(t *testing.T) {
 	hops := func(makeProto func(w *network.Network) cluster.Protocol) float64 {
 		w := paperNet(t, 12)
 		e, _ := sim.NewEngine(w, makeProto(w), energy.DefaultModel(), sim.DefaultConfig())
-		res, err := e.Run(10)
+		res, err := e.Run(context.Background(), 10)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,84 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestContextTimeout(t *testing.T) {
+	ctx, stop := Context(10 * time.Millisecond)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadline never fired")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("err = %v", ctx.Err())
+	}
+}
+
+func TestContextStopReleases(t *testing.T) {
+	ctx, stop := Context(0)
+	stop()
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("stop did not cancel: %v", ctx.Err())
+	}
+}
+
+func TestMeterThrottlesAndForces(t *testing.T) {
+	var buf strings.Builder
+	m := NewMeter(&buf)
+	m.Printf(false, "a 1")
+	m.Printf(false, "a 2") // inside the throttle window: dropped
+	m.Printf(true, "a 3")  // forced: always written
+	m.Close()
+	out := buf.String()
+	if !strings.Contains(out, "a 1") || !strings.Contains(out, "a 3") {
+		t.Fatalf("meter output %q", out)
+	}
+	if strings.Contains(out, "a 2") {
+		t.Fatalf("throttled write leaked: %q", out)
+	}
+	// Close erased the line and further writes are no-ops.
+	m.Printf(true, "late")
+	if strings.Contains(buf.String(), "late") {
+		t.Fatal("write after Close")
+	}
+}
+
+func TestSweepProgressEndsAccurate(t *testing.T) {
+	var buf strings.Builder
+	m := NewMeter(&buf)
+	p := m.SweepProgress("cells")
+	for i := 1; i <= 50; i++ {
+		p(i, 50)
+	}
+	if !strings.Contains(buf.String(), "cells 50/50") {
+		t.Fatalf("final update missing: %q", buf.String())
+	}
+}
+
+func TestReaderHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := Reader(ctx, strings.NewReader("hello world"))
+	buf := make([]byte, 5)
+	if n, err := r.Read(buf); err != nil || n != 5 {
+		t.Fatalf("read before cancel: %d, %v", n, err)
+	}
+	cancel()
+	if _, err := r.Read(buf); !errors.Is(err, context.Canceled) {
+		t.Fatalf("read after cancel: %v", err)
+	}
+}
+
+func TestReaderPassesEOF(t *testing.T) {
+	r := Reader(context.Background(), strings.NewReader(""))
+	if _, err := r.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("err = %v", err)
+	}
+}

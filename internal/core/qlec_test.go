@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"qlec/internal/cluster"
@@ -133,7 +134,7 @@ func TestQLECRunsOnEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(20)
+	res, err := e.Run(context.Background(), 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestQLECDeterministic(t *testing.T) {
 		cfg.K = 5
 		q := newQLEC(t, w, cfg)
 		e, _ := sim.NewEngine(w, q, energy.DefaultModel(), sim.DefaultConfig())
-		res, err := e.Run(10)
+		res, err := e.Run(context.Background(), 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -254,7 +255,7 @@ func TestQLearningBeatsNearestUnderCongestion(t *testing.T) {
 		scfg.MeanInterArrival = 1.5
 		scfg.QueueCapacity = 12
 		e, _ := sim.NewEngine(w, q, energy.DefaultModel(), scfg)
-		res, err := e.Run(10)
+		res, err := e.Run(context.Background(), 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -284,7 +285,7 @@ func TestLinkLearningPaysUnderShadowing(t *testing.T) {
 		scfg.ShadowSigma = 1.0    // strong persistent link heterogeneity
 		scfg.MaxRetries = 2
 		e, _ := sim.NewEngine(w, q, energy.DefaultModel(), scfg)
-		res, err := e.Run(10)
+		res, err := e.Run(context.Background(), 10)
 		if err != nil {
 			t.Fatal(err)
 		}

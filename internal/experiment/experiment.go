@@ -15,10 +15,9 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"qlec/internal/baseline"
 	"qlec/internal/cluster"
@@ -28,6 +27,7 @@ import (
 	"qlec/internal/metrics"
 	"qlec/internal/network"
 	"qlec/internal/rng"
+	"qlec/internal/runner"
 	"qlec/internal/sim"
 	"qlec/internal/stats"
 )
@@ -94,6 +94,18 @@ type Config struct {
 	// Tracer, when non-nil, observes every packet transition of every
 	// run (see sim.Tracer). Mostly useful with single runs.
 	Tracer sim.Tracer
+	// Observer, when non-nil, receives one sim.RoundSnapshot per round
+	// of single runs (RunOne) — live progress, early-stopping hooks.
+	// Like Tracer it is dropped in sweeps, where rounds from unrelated
+	// cells would interleave.
+	Observer sim.Observer
+	// Workers bounds sweep parallelism: 0 fans out across the CPUs,
+	// 1 forces the serial reference schedule (results are identical
+	// either way; see runner.Map).
+	Workers int
+	// Progress, when non-nil, receives sweep completion updates (cells
+	// done out of total). Called from worker goroutines, serialized.
+	Progress runner.Progress
 }
 
 // PaperConfig returns the paper's §5.1/Table 2 experiment setup.
@@ -193,7 +205,10 @@ func (c Config) BuildProtocol(id ProtocolID, w *network.Network, totalRounds int
 // first death and may run up to LifespanMaxRounds; otherwise it runs
 // exactly Rounds rounds with a zero death line (the paper's "lower the
 // energy death line" methodology for PDR/energy measurements).
-func (c Config) RunOne(id ProtocolID, lambda float64, seed uint64, lifespan bool) (*metrics.Result, error) {
+//
+// Cancelling ctx stops the run at the next round boundary; the partial
+// result accumulated so far is returned alongside ctx's error.
+func (c Config) RunOne(ctx context.Context, id ProtocolID, lambda float64, seed uint64, lifespan bool) (*metrics.Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -233,7 +248,10 @@ func (c Config) RunOne(id ProtocolID, lambda float64, seed uint64, lifespan bool
 	if c.Tracer != nil {
 		engine.SetTracer(c.Tracer)
 	}
-	return engine.Run(rounds)
+	if c.Observer != nil {
+		engine.SetObserver(c.Observer)
+	}
+	return engine.Run(ctx, rounds)
 }
 
 // SweepPoint aggregates one (protocol, λ) cell across seeds.
@@ -257,76 +275,55 @@ type cellResult struct {
 	pdr, energyJ, latency, access, lifespan float64
 }
 
+// sweepOptions bundles the runner knobs a sweep threads through, and
+// strips the single-run hooks (Tracer, Observer) that would interleave
+// unrelated concurrent cells. Trace or observe single runs via RunOne.
+func (c *Config) sweepOptions() runner.Options {
+	c.Tracer = nil
+	c.Observer = nil
+	return runner.Options{Workers: c.Workers, Progress: c.Progress}
+}
+
 // RunFig3 produces the data behind all three panels of Figure 3 for the
 // given protocols: per λ and protocol, PDR and total energy from
 // fixed-R runs and lifespan from death-line runs, each replicated over
 // the configured seeds.
 //
 // Every (protocol, λ, seed) cell is an independent simulation with its
-// own deterministic streams, so the sweep fans out across
-// runtime.NumCPU()-bounded workers; results are identical to a serial
-// run regardless of scheduling (tested).
-func (c Config) RunFig3(ids []ProtocolID) ([]SweepResult, error) {
+// own deterministic streams, so the sweep fans out through runner.Map;
+// results are identical to a serial run regardless of scheduling
+// (tested centrally in TestSweepsParallelMatchSerial). Cancelling ctx
+// stops launching cells and returns ctx's error; every failed cell is
+// reported, not just the first.
+func (c Config) RunFig3(ctx context.Context, ids []ProtocolID) ([]SweepResult, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	// Cells run concurrently; a shared Tracer would interleave unrelated
-	// runs (and race), so sweeps drop it. Trace single runs via RunOne.
-	c.Tracer = nil
-	type cellKey struct {
-		proto, lambdaIdx, seedIdx int
-	}
+	opts := c.sweepOptions()
 	type job struct {
-		key    cellKey
 		id     ProtocolID
 		lambda float64
 		seed   uint64
 	}
-	var jobs []job
-	for pi, id := range ids {
-		for li, lambda := range c.Lambdas {
-			for si, seed := range c.Seeds {
-				jobs = append(jobs, job{cellKey{pi, li, si}, id, lambda, seed})
+	jobs := make([]job, 0, len(ids)*len(c.Lambdas)*len(c.Seeds))
+	for _, id := range ids {
+		for _, lambda := range c.Lambdas {
+			for _, seed := range c.Seeds {
+				jobs = append(jobs, job{id, lambda, seed})
 			}
 		}
 	}
-
-	cells := make(map[cellKey]cellResult, len(jobs))
-	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	workers := runtime.NumCPU()
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	work := make(chan job)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range work {
-				cell, err := c.runCell(j.id, j.lambda, j.seed)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("%s λ=%v seed=%d: %w", j.id, j.lambda, j.seed, err)
-				}
-				cells[j.key] = cell
-				mu.Unlock()
+	cells, err := runner.Map(ctx, len(jobs), opts,
+		func(ctx context.Context, i int) (cellResult, error) {
+			j := jobs[i]
+			cell, err := c.runCell(ctx, j.id, j.lambda, j.seed)
+			if err != nil {
+				return cellResult{}, fmt.Errorf("%s λ=%v seed=%d: %w", j.id, j.lambda, j.seed, err)
 			}
-		}()
-	}
-	for _, j := range jobs {
-		work <- j
-	}
-	close(work)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+			return cell, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	var out []SweepResult
@@ -335,7 +332,7 @@ func (c Config) RunFig3(ids []ProtocolID) ([]SweepResult, error) {
 		for li, lambda := range c.Lambdas {
 			var pdrs, energies, lifespans, latencies, accesses []float64
 			for si := range c.Seeds {
-				cell := cells[cellKey{pi, li, si}]
+				cell := cells[(pi*len(c.Lambdas)+li)*len(c.Seeds)+si]
 				pdrs = append(pdrs, cell.pdr)
 				energies = append(energies, cell.energyJ)
 				latencies = append(latencies, cell.latency)
@@ -357,12 +354,12 @@ func (c Config) RunFig3(ids []ProtocolID) ([]SweepResult, error) {
 }
 
 // runCell executes one replication pair (fixed-round + lifespan run).
-func (c Config) runCell(id ProtocolID, lambda float64, seed uint64) (cellResult, error) {
-	res, err := c.RunOne(id, lambda, seed, false)
+func (c Config) runCell(ctx context.Context, id ProtocolID, lambda float64, seed uint64) (cellResult, error) {
+	res, err := c.RunOne(ctx, id, lambda, seed, false)
 	if err != nil {
 		return cellResult{}, err
 	}
-	lres, err := c.RunOne(id, lambda, seed, true)
+	lres, err := c.RunOne(ctx, id, lambda, seed, true)
 	if err != nil {
 		return cellResult{}, err
 	}
@@ -393,37 +390,44 @@ type KSweepPoint struct {
 // reported 5), and delivery under load indeed peaks near the theorem's
 // value because Q-learning rerouting needs alternative heads at
 // comparable distance.
-func (c Config) RunKSweep(id ProtocolID, ks []int, lambda float64) ([]KSweepPoint, error) {
+// Replications fan out through runner.Map — one job per (k, seed) cell,
+// deterministic regardless of scheduling — and cancelling ctx stops the
+// sweep with ctx's error.
+func (c Config) RunKSweep(ctx context.Context, id ProtocolID, ks []int, lambda float64) ([]KSweepPoint, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	if len(ks) == 0 {
 		return nil, fmt.Errorf("experiment: no k values")
 	}
-	var out []KSweepPoint
 	for _, k := range ks {
 		if k <= 0 {
 			return nil, fmt.Errorf("experiment: k=%d not positive", k)
 		}
-		kcfg := c
-		kcfg.K = k
+	}
+	opts := c.sweepOptions()
+	cells, err := runner.Map(ctx, len(ks)*len(c.Seeds), opts,
+		func(ctx context.Context, i int) (cellResult, error) {
+			k, seed := ks[i/len(c.Seeds)], c.Seeds[i%len(c.Seeds)]
+			kcfg := c
+			kcfg.K = k
+			cell, err := kcfg.runCell(ctx, id, lambda, seed)
+			if err != nil {
+				return cellResult{}, fmt.Errorf("k=%d seed=%d: %w", k, seed, err)
+			}
+			return cell, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []KSweepPoint
+	for ki, k := range ks {
 		var pdrs, energies, lifespans []float64
-		for _, seed := range c.Seeds {
-			res, err := kcfg.RunOne(id, lambda, seed, false)
-			if err != nil {
-				return nil, fmt.Errorf("k=%d seed=%d: %w", k, seed, err)
-			}
-			pdrs = append(pdrs, res.PDR())
-			energies = append(energies, float64(res.TotalEnergy))
-			lres, err := kcfg.RunOne(id, lambda, seed, true)
-			if err != nil {
-				return nil, fmt.Errorf("k=%d seed=%d lifespan: %w", k, seed, err)
-			}
-			ls := lres.Lifespan
-			if ls == 0 {
-				ls = lres.Rounds
-			}
-			lifespans = append(lifespans, float64(ls))
+		for si := range c.Seeds {
+			cell := cells[ki*len(c.Seeds)+si]
+			pdrs = append(pdrs, cell.pdr)
+			energies = append(energies, cell.energyJ)
+			lifespans = append(lifespans, cell.lifespan)
 		}
 		out = append(out, KSweepPoint{
 			K:        k,
@@ -449,7 +453,10 @@ type NSweepPoint struct {
 // keep the same nodes-per-cluster ratio — the scalability argument
 // behind the paper's "support higher scalability" framing (§1) and the
 // §5.3 jump from 100 to 2896 nodes.
-func (c Config) RunNSweep(id ProtocolID, ns []int, lambda float64) ([]NSweepPoint, error) {
+// Replications fan out through runner.Map — one job per (N, seed) cell,
+// deterministic regardless of scheduling — and cancelling ctx stops the
+// sweep with ctx's error.
+func (c Config) RunNSweep(ctx context.Context, id ProtocolID, ns []int, lambda float64) ([]NSweepPoint, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -458,8 +465,10 @@ func (c Config) RunNSweep(id ProtocolID, ns []int, lambda float64) ([]NSweepPoin
 	}
 	baseDensity := float64(c.N)
 	baseK := float64(c.K)
-	var out []NSweepPoint
-	for _, n := range ns {
+	// Derive each size's scaled deployment up front, so job functions
+	// stay pure lookups.
+	cfgs := make([]Config, len(ns))
+	for i, n := range ns {
 		if n <= 0 {
 			return nil, fmt.Errorf("experiment: N=%d not positive", n)
 		}
@@ -474,26 +483,32 @@ func (c Config) RunNSweep(id ProtocolID, ns []int, lambda float64) ([]NSweepPoin
 			k = n
 		}
 		ncfg.K = k
+		cfgs[i] = ncfg
+	}
+	opts := c.sweepOptions()
+	cells, err := runner.Map(ctx, len(ns)*len(c.Seeds), opts,
+		func(ctx context.Context, i int) (cellResult, error) {
+			ni, seed := i/len(c.Seeds), c.Seeds[i%len(c.Seeds)]
+			cell, err := cfgs[ni].runCell(ctx, id, lambda, seed)
+			if err != nil {
+				return cellResult{}, fmt.Errorf("N=%d seed=%d: %w", ns[ni], seed, err)
+			}
+			return cell, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []NSweepPoint
+	for ni, n := range ns {
 		var pdrs, perNode, lifespans []float64
-		for _, seed := range c.Seeds {
-			res, err := ncfg.RunOne(id, lambda, seed, false)
-			if err != nil {
-				return nil, fmt.Errorf("N=%d seed=%d: %w", n, seed, err)
-			}
-			pdrs = append(pdrs, res.PDR())
-			perNode = append(perNode, float64(res.TotalEnergy)/float64(n))
-			lres, err := ncfg.RunOne(id, lambda, seed, true)
-			if err != nil {
-				return nil, fmt.Errorf("N=%d seed=%d lifespan: %w", n, seed, err)
-			}
-			ls := lres.Lifespan
-			if ls == 0 {
-				ls = lres.Rounds
-			}
-			lifespans = append(lifespans, float64(ls))
+		for si := range c.Seeds {
+			cell := cells[ni*len(c.Seeds)+si]
+			pdrs = append(pdrs, cell.pdr)
+			perNode = append(perNode, cell.energyJ/float64(n))
+			lifespans = append(lifespans, cell.lifespan)
 		}
 		out = append(out, NSweepPoint{
-			N: n, K: k,
+			N: n, K: cfgs[ni].K,
 			PDR:           stats.Summarize(pdrs),
 			EnergyPerNode: stats.Summarize(perNode),
 			Lifespan:      stats.Summarize(lifespans),
@@ -519,6 +534,16 @@ type Fig4Config struct {
 	Sim sim.Config
 	// Model holds radio constants.
 	Model energy.Model
+	// Seeds, when non-empty, replicates the experiment across these
+	// seeds (dataset synthesis and protocol streams both reseed) and
+	// summarizes the evenness statistics across replicates; the first
+	// seed supplies the primary Field/Run/Net. Empty runs once at
+	// Synth.Seed.
+	Seeds []uint64
+	// Workers bounds replicate parallelism (0 = CPUs, 1 = serial).
+	Workers int
+	// Progress, when non-nil, receives replicate completion updates.
+	Progress runner.Progress
 }
 
 // PaperFig4Config mirrors §5.3.
@@ -549,18 +574,63 @@ type Fig4Result struct {
 	Net *network.Network
 	// K actually used.
 	K int
+	// BinnedCVStats, GiniStats and MoranIStats summarize the evenness
+	// statistics across the configured replicate seeds (N=1 without
+	// Fig4Config.Seeds).
+	BinnedCVStats stats.Summary
+	GiniStats     stats.Summary
+	MoranIStats   stats.Summary
 }
 
 // RunFig4 synthesizes the dataset, runs QLEC over it and computes the
-// spatial statistics.
-func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
+// spatial statistics. With Fig4Config.Seeds set, the per-seed
+// replicates fan out through runner.Map; the primary (first-seed)
+// replicate supplies the Field/Run/Net payload and the *Stats fields
+// summarize evenness across all replicates. Cancelling ctx stops the
+// experiment at the next round boundary with ctx's error.
+func RunFig4(ctx context.Context, cfg Fig4Config) (*Fig4Result, error) {
 	if cfg.Rounds <= 0 {
 		return nil, fmt.Errorf("experiment: Fig4 Rounds must be positive")
 	}
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{cfg.Synth.Seed}
+	}
+	reps, err := runner.Map(ctx, len(seeds),
+		runner.Options{Workers: cfg.Workers, Progress: cfg.Progress},
+		func(ctx context.Context, i int) (*Fig4Result, error) {
+			rep, err := runFig4Once(ctx, cfg, seeds[i])
+			if err != nil {
+				return nil, fmt.Errorf("seed=%d: %w", seeds[i], err)
+			}
+			return rep, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := reps[0]
+	cvs := make([]float64, len(reps))
+	ginis := make([]float64, len(reps))
+	morans := make([]float64, len(reps))
+	for i, rep := range reps {
+		cvs[i], ginis[i], morans[i] = rep.BinnedCV, rep.Gini, rep.MoranI
+	}
+	out.BinnedCVStats = stats.Summarize(cvs)
+	out.GiniStats = stats.Summarize(ginis)
+	out.MoranIStats = stats.Summarize(morans)
+	return out, nil
+}
+
+// runFig4Once executes one replicate of the large-scale experiment at
+// the given seed, which drives dataset synthesis (when no explicit Data
+// is set) and the protocol streams.
+func runFig4Once(ctx context.Context, cfg Fig4Config, seed uint64) (*Fig4Result, error) {
 	ds := cfg.Data
 	if ds == nil {
+		synth := cfg.Synth
+		synth.Seed = seed
 		var err error
-		ds, err = dataset.Synthesize(cfg.Synth)
+		ds, err = dataset.Synthesize(synth)
 		if err != nil {
 			return nil, err
 		}
@@ -578,7 +648,7 @@ func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
 	qc := core.DefaultConfig(cfg.Rounds)
 	qc.K = k
 	qc.Bits = cfg.Sim.Bits
-	qc.Seed = cfg.Synth.Seed
+	qc.Seed = seed
 	proto, err := core.New(w, cfg.Model, qc)
 	if err != nil {
 		return nil, err
@@ -587,7 +657,7 @@ func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.Run(cfg.Rounds)
+	res, err := engine.Run(ctx, cfg.Rounds)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestConfigValidation(t *testing.T) {
 func TestRunOneEveryProtocol(t *testing.T) {
 	c := quickConfig()
 	for _, id := range []ProtocolID{QLEC, FCM, KMeans, LEACH, DEECNearest, QLECNoFloor, QLECNoRR} {
-		res, err := c.RunOne(id, 4, 1, false)
+		res, err := c.RunOne(context.Background(), id, 4, 1, false)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -76,18 +77,18 @@ func TestRunOneEveryProtocol(t *testing.T) {
 
 func TestRunOneUnknownProtocol(t *testing.T) {
 	c := quickConfig()
-	if _, err := c.RunOne("nope", 4, 1, false); err == nil {
+	if _, err := c.RunOne(context.Background(), "nope", 4, 1, false); err == nil {
 		t.Fatal("unknown protocol accepted")
 	}
 }
 
 func TestRunOneDeterministic(t *testing.T) {
 	c := quickConfig()
-	a, err := c.RunOne(QLEC, 4, 7, false)
+	a, err := c.RunOne(context.Background(), QLEC, 4, 7, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.RunOne(QLEC, 4, 7, false)
+	b, err := c.RunOne(context.Background(), QLEC, 4, 7, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestRunOneDeterministic(t *testing.T) {
 
 func TestRunOneLifespanStops(t *testing.T) {
 	c := quickConfig()
-	res, err := c.RunOne(KMeans, 4, 1, true)
+	res, err := c.RunOne(context.Background(), KMeans, 4, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestRunOneLifespanStops(t *testing.T) {
 
 func TestRunFig3ShapeAndCharts(t *testing.T) {
 	c := quickConfig()
-	results, err := c.RunFig3([]ProtocolID{QLEC, KMeans})
+	results, err := c.RunFig3(context.Background(), []ProtocolID{QLEC, KMeans})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestHeterogeneousQLECOutlivesLEACH(t *testing.T) {
 	life := func(id ProtocolID) float64 {
 		total := 0.0
 		for _, seed := range []uint64{1, 2, 3} {
-			res, err := c.RunOne(id, 4, seed, true)
+			res, err := c.RunOne(context.Background(), id, 4, seed, true)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -212,7 +213,7 @@ func TestEnergyGapOverKMeansIsTransmit(t *testing.T) {
 	c := quickConfig()
 	c.Rounds = 8
 	run := func(id ProtocolID) *metrics.Result {
-		res, err := c.RunOne(id, 4, 1, false)
+		res, err := c.RunOne(context.Background(), id, 4, 1, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -234,14 +235,14 @@ func TestEnergyGapOverKMeansIsTransmit(t *testing.T) {
 // return — scheduling cannot leak into results.
 func TestRunFig3ParallelMatchesSerial(t *testing.T) {
 	c := quickConfig()
-	sweep, err := c.RunFig3([]ProtocolID{QLEC, KMeans})
+	sweep, err := c.RunFig3(context.Background(), []ProtocolID{QLEC, KMeans})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, sr := range sweep {
 		for pi, p := range sr.Points {
 			// Recompute one cell serially and compare.
-			res, err := c.RunOne(sr.Protocol, p.Lambda, c.Seeds[0], false)
+			res, err := c.RunOne(context.Background(), sr.Protocol, p.Lambda, c.Seeds[0], false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -260,7 +261,7 @@ func TestRunFig3ParallelMatchesSerial(t *testing.T) {
 		}
 	}
 	// Full determinism: two parallel sweeps agree exactly.
-	again, err := c.RunFig3([]ProtocolID{QLEC, KMeans})
+	again, err := c.RunFig3(context.Background(), []ProtocolID{QLEC, KMeans})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestRunFig3ParallelMatchesSerial(t *testing.T) {
 
 func TestRunKSweep(t *testing.T) {
 	c := quickConfig()
-	points, err := c.RunKSweep(QLEC, []int{3, 8}, 3)
+	points, err := c.RunKSweep(context.Background(), QLEC, []int{3, 8}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +305,7 @@ func TestRunKSweep(t *testing.T) {
 
 func TestRunNSweep(t *testing.T) {
 	c := quickConfig()
-	points, err := c.RunNSweep(QLEC, []int{50, 200}, 4)
+	points, err := c.RunNSweep(context.Background(), QLEC, []int{50, 200}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,20 +332,20 @@ func TestRunNSweep(t *testing.T) {
 
 func TestRunNSweepErrors(t *testing.T) {
 	c := quickConfig()
-	if _, err := c.RunNSweep(QLEC, nil, 4); err == nil {
+	if _, err := c.RunNSweep(context.Background(), QLEC, nil, 4); err == nil {
 		t.Fatal("empty ns accepted")
 	}
-	if _, err := c.RunNSweep(QLEC, []int{0}, 4); err == nil {
+	if _, err := c.RunNSweep(context.Background(), QLEC, []int{0}, 4); err == nil {
 		t.Fatal("N=0 accepted")
 	}
 }
 
 func TestRunKSweepErrors(t *testing.T) {
 	c := quickConfig()
-	if _, err := c.RunKSweep(QLEC, nil, 3); err == nil {
+	if _, err := c.RunKSweep(context.Background(), QLEC, nil, 3); err == nil {
 		t.Fatal("empty ks accepted")
 	}
-	if _, err := c.RunKSweep(QLEC, []int{0}, 3); err == nil {
+	if _, err := c.RunKSweep(context.Background(), QLEC, []int{0}, 3); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 	if _, err := KSweepChart(nil, QLEC, 3); err == nil {
@@ -357,7 +358,7 @@ func TestRunFig4Small(t *testing.T) {
 	cfg.Synth.N = 300
 	cfg.K = 20
 	cfg.Rounds = 3
-	res, err := RunFig4(cfg)
+	res, err := RunFig4(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +395,7 @@ func TestRunFig4ExternalDataset(t *testing.T) {
 	cfg.Data = ds
 	cfg.K = 12
 	cfg.Rounds = 2
-	res, err := RunFig4(cfg)
+	res, err := RunFig4(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,7 +405,7 @@ func TestRunFig4ExternalDataset(t *testing.T) {
 	// Invalid external data must be rejected.
 	bad := &dataset.Dataset{}
 	cfg.Data = bad
-	if _, err := RunFig4(cfg); err == nil {
+	if _, err := RunFig4(context.Background(), cfg); err == nil {
 		t.Fatal("invalid external dataset accepted")
 	}
 }
@@ -414,7 +415,7 @@ func TestRunFig4AutoK(t *testing.T) {
 	cfg.Synth.N = 200
 	cfg.K = 0 // derive from Theorem 1
 	cfg.Rounds = 2
-	res, err := RunFig4(cfg)
+	res, err := RunFig4(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

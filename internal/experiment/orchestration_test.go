@@ -1,0 +1,210 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fig4Quick returns a small Figure-4 configuration for orchestration
+// tests.
+func fig4Quick() Fig4Config {
+	cfg := PaperFig4Config()
+	cfg.Synth.N = 120
+	cfg.K = 8
+	cfg.Rounds = 2
+	return cfg
+}
+
+// TestSweepsParallelMatchSerial is the central determinism check the
+// orchestration layer promises: for every sweep, the parallel schedule
+// (Workers=0, CPUs) must produce results identical to the serial
+// reference schedule (Workers=1) — scheduling must not leak into
+// results.
+func TestSweepsParallelMatchSerial(t *testing.T) {
+	serial := quickConfig()
+	serial.Workers = 1
+	parallel := quickConfig()
+	parallel.Workers = 0
+	ctx := context.Background()
+	protos := []ProtocolID{QLEC, KMeans}
+
+	t.Run("Fig3", func(t *testing.T) {
+		a, err := serial.RunFig3(ctx, protos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := parallel.RunFig3(ctx, protos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("parallel Fig3 diverged from serial:\n%+v\nvs\n%+v", b, a)
+		}
+	})
+	t.Run("KSweep", func(t *testing.T) {
+		a, err := serial.RunKSweep(ctx, QLEC, []int{3, 8}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := parallel.RunKSweep(ctx, QLEC, []int{3, 8}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("parallel k-sweep diverged from serial:\n%+v\nvs\n%+v", b, a)
+		}
+	})
+	t.Run("NSweep", func(t *testing.T) {
+		a, err := serial.RunNSweep(ctx, QLEC, []int{50, 120}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := parallel.RunNSweep(ctx, QLEC, []int{50, 120}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("parallel n-sweep diverged from serial:\n%+v\nvs\n%+v", b, a)
+		}
+	})
+	t.Run("Fig4", func(t *testing.T) {
+		sc := fig4Quick()
+		sc.Seeds = []uint64{1, 2, 3}
+		sc.Workers = 1
+		pc := sc
+		pc.Workers = 0
+		a, err := RunFig4(ctx, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunFig4(ctx, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("parallel Fig4 replicates diverged from serial")
+		}
+	})
+}
+
+// Every sweep must refuse to start under an already-cancelled context.
+func TestSweepsCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := quickConfig()
+	if _, err := c.RunFig3(ctx, []ProtocolID{QLEC}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fig3: %v", err)
+	}
+	if _, err := c.RunKSweep(ctx, QLEC, []int{3}, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("k-sweep: %v", err)
+	}
+	if _, err := c.RunNSweep(ctx, QLEC, []int{50}, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("n-sweep: %v", err)
+	}
+	if _, err := RunFig4(ctx, fig4Quick()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fig4: %v", err)
+	}
+	if _, err := c.RunOne(ctx, QLEC, 4, 1, false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunOne: %v", err)
+	}
+}
+
+// Cancelling mid-sweep (from the progress callback, after the first
+// cell lands) must surface ctx.Err() rather than hanging or reporting
+// success.
+func TestSweepCancelMidway(t *testing.T) {
+	c := quickConfig()
+	c.Workers = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c.Progress = func(done, total int) {
+		if done == 1 {
+			cancel()
+		}
+	}
+	if _, err := c.RunFig3(ctx, []ProtocolID{QLEC, KMeans}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-sweep cancel returned %v", err)
+	}
+}
+
+// RunFig3 must report every failed cell, not just the first.
+func TestRunFig3ReportsAllFailures(t *testing.T) {
+	c := quickConfig()
+	c.Workers = 2
+	_, err := c.RunFig3(context.Background(), []ProtocolID{"bogus-a", "bogus-b"})
+	if err == nil {
+		t.Fatal("bogus protocols accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"bogus-a", "bogus-b"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error hides failed cell %q:\n%s", want, msg)
+		}
+	}
+	// Every failed cell is reported (2 protocols × 2 λ × 2 seeds).
+	cells := 2 * len(c.Lambdas) * len(c.Seeds)
+	if n := strings.Count(msg, "seed="); n != cells {
+		t.Fatalf("%d cells reported, want %d:\n%s", n, cells, msg)
+	}
+}
+
+// Fig4 replication: Seeds fans out across replicates, the summaries
+// cover every replicate, and the primary payload is the first seed's.
+func TestRunFig4Replicates(t *testing.T) {
+	cfg := fig4Quick()
+	cfg.Seeds = []uint64{1, 2, 3}
+	res, err := RunFig4(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]struct{ n int }{
+		"BinnedCV": {res.BinnedCVStats.N},
+		"Gini":     {res.GiniStats.N},
+		"MoranI":   {res.MoranIStats.N},
+	} {
+		if s.n != 3 {
+			t.Fatalf("%s summarized over %d replicates, want 3", name, s.n)
+		}
+	}
+	// Primary payload is the first seed's replicate.
+	first := cfg
+	first.Seeds = []uint64{1}
+	single, err := RunFig4(context.Background(), first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BinnedCV != single.BinnedCV || res.Gini != single.Gini || res.MoranI != single.MoranI {
+		t.Fatalf("primary replicate not seed 1: %+v vs %+v",
+			res.BinnedCV, single.BinnedCV)
+	}
+	if single.GiniStats.N != 1 {
+		t.Fatalf("single-seed stats N = %d", single.GiniStats.N)
+	}
+}
+
+// Sweep progress callbacks see every completion and end at total/total.
+func TestSweepProgress(t *testing.T) {
+	c := quickConfig()
+	var mu sync.Mutex
+	var last, total int
+	calls := 0
+	c.Progress = func(d, tot int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		last, total = d, tot
+	}
+	if _, err := c.RunKSweep(context.Background(), QLEC, []int{3, 8}, 3); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := 2 * len(quickConfig().Seeds)
+	if calls != want || last != want || total != want {
+		t.Fatalf("progress calls=%d last=%d/%d, want %d", calls, last, total, want)
+	}
+}

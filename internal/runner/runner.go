@@ -1,0 +1,126 @@
+// Package runner is the orchestration substrate for every sweep in the
+// harness: one bounded parallel map with deterministic result ordering,
+// context cancellation, complete error reporting and optional progress
+// updates.
+//
+// Design rules (tested in runner_test.go):
+//
+//   - Results land at the index of their job, so a parallel run returns
+//     byte-identical output to a serial run of the same (deterministic)
+//     job function, regardless of scheduling.
+//   - Cancellation stops the dispatch of new jobs immediately; jobs
+//     already running get the cancelled context and are expected to
+//     return promptly. The returned error matches errors.Is(err,
+//     ctx.Err()).
+//   - Every failed job is reported (errors.Join in job order), not just
+//     the first failure.
+//   - No goroutine outlives the call: Map returns only after every
+//     worker has exited.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Progress receives completion updates: done jobs out of total. It is
+// called from worker goroutines (serialized, monotone done counts);
+// implementations must be cheap and must not block.
+type Progress func(done, total int)
+
+// Options tunes a Map call. The zero value is ready to use.
+type Options struct {
+	// Workers bounds concurrency: 0 means one worker per CPU
+	// (runtime.GOMAXPROCS), 1 runs the jobs serially in a single
+	// goroutine — the reference schedule determinism tests compare
+	// against.
+	Workers int
+	// Progress, when non-nil, is invoked after every completed job.
+	Progress Progress
+}
+
+// Map runs fn(ctx, i) for i in [0, n) on a bounded worker pool and
+// returns the results in index order. On failure the error joins every
+// job error in index order; on cancellation it also includes ctx.Err()
+// and no further jobs are started (slots for unstarted jobs keep the
+// zero value of T).
+func Map[T any](ctx context.Context, n int, opt Options, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("runner: negative job count %d", n)
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	errs := make([]error, n)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // guards done for Progress
+		done int
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// A cancellation between dispatch and pickup: skip the
+				// job rather than start doomed work.
+				if ctx.Err() != nil {
+					continue
+				}
+				out[i], errs[i] = fn(ctx, i)
+				if opt.Progress != nil {
+					// Held across the call so updates arrive serialized
+					// with strictly increasing done counts.
+					mu.Lock()
+					done++
+					opt.Progress(done, n)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	joined := make([]error, 0, 1)
+	cancelled := ctx.Err() != nil
+	if cancelled {
+		joined = append(joined, ctx.Err())
+	}
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		// Jobs that merely relayed the cancellation add nothing beyond
+		// the ctx.Err() already recorded.
+		if cancelled && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue
+		}
+		joined = append(joined, err)
+	}
+	if len(joined) > 0 {
+		return out, errors.Join(joined...)
+	}
+	return out, nil
+}

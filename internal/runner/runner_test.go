@@ -1,0 +1,195 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderingAndValues(t *testing.T) {
+	// Jobs finish in scrambled wall-clock order; results must still land
+	// at their own index.
+	out, err := Map(context.Background(), 50, Options{Workers: 8},
+		func(_ context.Context, i int) (int, error) {
+			if i%7 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			return i * i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 50 {
+		t.Fatalf("%d results", len(out))
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapSerialWorkerMatchesParallel(t *testing.T) {
+	fn := func(_ context.Context, i int) (int, error) { return 3*i + 1, nil }
+	serial, err := Map(context.Background(), 40, Options{Workers: 1}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(context.Background(), 40, Options{Workers: 16}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("index %d: serial %d vs parallel %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestMapReportsEveryError(t *testing.T) {
+	wantFail := map[int]bool{3: true, 11: true, 17: true}
+	_, err := Map(context.Background(), 20, Options{Workers: 4},
+		func(_ context.Context, i int) (int, error) {
+			if wantFail[i] {
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+	if err == nil {
+		t.Fatal("no error reported")
+	}
+	for i := range wantFail {
+		if want := fmt.Sprintf("job %d failed", i); !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestMapCancellationPromptAndComplete(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	begun := make(chan struct{}, 64)
+	// Jobs block until cancellation; Map must return promptly once the
+	// context dies, without launching the remaining jobs.
+	doneCh := make(chan error, 1)
+	var out []int
+	go func() {
+		var err error
+		out, err = Map(ctx, 1000, Options{Workers: 4},
+			func(ctx context.Context, i int) (int, error) {
+				started.Add(1)
+				begun <- struct{}{}
+				<-ctx.Done()
+				return 0, ctx.Err()
+			})
+		doneCh <- err
+	}()
+	// Wait for the pool to fill, then cancel.
+	for i := 0; i < 4; i++ {
+		<-begun
+	}
+	cancel()
+	select {
+	case err := <-doneCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error %v does not wrap context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Map did not return promptly after cancellation")
+	}
+	if n := started.Load(); n > 8 {
+		t.Fatalf("%d jobs started after cancellation of a 4-worker pool", n)
+	}
+	if len(out) != 1000 {
+		t.Fatalf("result slice truncated to %d", len(out))
+	}
+}
+
+func TestMapCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, err := Map(ctx, 10, Options{},
+		func(context.Context, int) (int, error) { ran = true; return 0, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Fatal("job ran under a dead context")
+	}
+}
+
+func TestMapNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 5; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_, _ = Map(ctx, 100, Options{Workers: 8},
+			func(ctx context.Context, i int) (int, error) {
+				if i == 10 {
+					cancel()
+				}
+				return i, ctx.Err()
+			})
+		cancel()
+	}
+	// Allow the scheduler to retire exiting goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+func TestMapProgress(t *testing.T) {
+	var calls int32
+	last := int32(-1)
+	_, err := Map(context.Background(), 25, Options{Workers: 5,
+		Progress: func(done, total int) {
+			atomic.AddInt32(&calls, 1)
+			if total != 25 {
+				t.Errorf("total = %d", total)
+			}
+			// done counts are serialized and strictly increasing.
+			if prev := atomic.SwapInt32(&last, int32(done)); int32(done) <= prev {
+				t.Errorf("done went %d -> %d", prev, done)
+			}
+		}},
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 25 {
+		t.Fatalf("progress called %d times", calls)
+	}
+	if last != 25 {
+		t.Fatalf("final done = %d", last)
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	out, err := Map(context.Background(), 0, Options{},
+		func(context.Context, int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: %v, %d results", err, len(out))
+	}
+	if _, err := Map(context.Background(), -1, Options{},
+		func(context.Context, int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	// One job, default workers.
+	one, err := Map(context.Background(), 1, Options{},
+		func(context.Context, int) (string, error) { return "ok", nil })
+	if err != nil || one[0] != "ok" {
+		t.Fatalf("single job: %v %v", one, err)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -57,9 +58,20 @@ type Engine struct {
 	inFlight int
 
 	// tracer, when installed, observes every packet transition;
-	// curRound stamps trace events.
+	// curRound stamps trace events. observer, when installed, receives
+	// one RoundSnapshot per completed round (see step.go).
 	tracer   Tracer
+	observer Observer
 	curRound int
+
+	// Stepper state (see step.go): the planned round budget, the next
+	// round to execute, and whether the run has ended.
+	targetRounds int
+	nextRound    int
+	finished     bool
+
+	// posBuf is the reusable position scratch buffer for moveNodes.
+	posBuf []geom.Vec3
 
 	// breakdown tallies consumption by radio activity.
 	breakdown metrics.EnergyBreakdown
@@ -199,40 +211,36 @@ func (e *Engine) push(ev event) {
 	e.events.Push(ev)
 }
 
-// Run executes up to rounds rounds and returns the measurements.
-func (e *Engine) Run(rounds int) (*metrics.Result, error) {
-	if rounds <= 0 {
-		return nil, fmt.Errorf("sim: rounds must be positive, got %d", rounds)
+// Run executes up to rounds rounds and returns the measurements. It is
+// a thin loop over the stepper API (Start/Step/Result in step.go).
+// Cancelling ctx stops the run at the next round boundary and returns
+// the partial result accumulated so far alongside ctx's error, so
+// callers can report progress made before the interruption.
+func (e *Engine) Run(ctx context.Context, rounds int) (*metrics.Result, error) {
+	if err := e.Start(rounds); err != nil {
+		return nil, err
 	}
-	e.res = &metrics.Result{Protocol: e.proto.Name(), FirstDead: -1}
-	for r := 0; r < rounds; r++ {
-		e.runRound(r)
-		e.res.Rounds++
-		e.res.PerRound = append(e.res.PerRound, e.round)
-		if e.mover != nil {
-			e.moveNodes()
+	for {
+		snap, err := e.Step(ctx)
+		if err != nil {
+			return e.Result(), err
 		}
-		if id, dead := e.net.FirstDead(e.cfg.DeathLine); dead && e.res.Lifespan == 0 {
-			e.res.Lifespan = r + 1
-			e.res.FirstDead = id
-			if e.cfg.StopOnDeath {
-				break
-			}
+		if snap.Done {
+			return e.Result(), nil
 		}
 	}
-	e.res.Energy = e.breakdown
-	e.res.Latency = e.latency.Summary()
-	e.res.Access = e.access.Summary()
-	e.res.Hops = e.hops.Summary()
-	e.res.ConsumptionRates = e.net.ConsumptionRates()
-	return e.res, nil
 }
 
 // moveNodes advances every node one round of random-waypoint motion.
 // Positions mutate in place on the shared network, so the next round's
-// head selection and routing see the drifted topology.
+// head selection and routing see the drifted topology. The scratch
+// buffer persists across rounds — mobility runs for thousands of rounds
+// in lifespan mode, so a per-round allocation here is measurable.
 func (e *Engine) moveNodes() {
-	pos := make([]geom.Vec3, e.net.N())
+	if cap(e.posBuf) < e.net.N() {
+		e.posBuf = make([]geom.Vec3, e.net.N())
+	}
+	pos := e.posBuf[:e.net.N()]
 	for i, n := range e.net.Nodes {
 		pos[i] = n.Pos
 	}
@@ -243,8 +251,8 @@ func (e *Engine) moveNodes() {
 }
 
 // runRound executes one full round: head selection, event loop, drain,
-// end-of-round delivery.
-func (e *Engine) runRound(r int) {
+// end-of-round delivery. Returns the round's cluster-head ids.
+func (e *Engine) runRound(r int) []int {
 	roundStart := float64(r) * e.cfg.RoundDuration
 	roundEnd := roundStart + e.cfg.RoundDuration
 	e.now = roundStart
@@ -311,6 +319,7 @@ func (e *Engine) runRound(r int) {
 		e.res.Dropped[i] += d
 	}
 	e.res.TotalEnergy += e.round.Energy
+	return heads
 }
 
 // setupHeads resets per-round head state.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -99,7 +100,7 @@ func TestNewEngineValidation(t *testing.T) {
 func TestRunRejectsZeroRounds(t *testing.T) {
 	w := paperNet(t, 2)
 	e, _ := NewEngine(w, &stubProtocol{net: w, heads: []int{1, 2}}, energy.DefaultModel(), DefaultConfig())
-	if _, err := e.Run(0); err == nil {
+	if _, err := e.Run(context.Background(), 0); err == nil {
 		t.Fatal("Run(0) accepted")
 	}
 }
@@ -113,7 +114,7 @@ func TestIdleNetworkDeliversEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(5)
+	res, err := e.Run(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestEnergyBookkeepingConsistent(t *testing.T) {
 	w := paperNet(t, 4)
 	proto := &stubProtocol{net: w, heads: []int{5, 25, 45, 65, 85}}
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), DefaultConfig())
-	res, err := e.Run(10)
+	res, err := e.Run(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestDeterministicRuns(t *testing.T) {
 		w := paperNet(t, 5)
 		proto := &stubProtocol{net: w, heads: []int{5, 25, 45, 65, 85}}
 		e, _ := NewEngine(w, proto, energy.DefaultModel(), DefaultConfig())
-		res, err := e.Run(5)
+		res, err := e.Run(context.Background(), 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func TestSeedChangesOutcome(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Seed = seed
 		e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-		res, _ := e.Run(3)
+		res, _ := e.Run(context.Background(), 3)
 		return res.Generated
 	}
 	if gen(1) == gen(2) {
@@ -199,7 +200,7 @@ func TestCongestionCausesQueueDrops(t *testing.T) {
 	cfg.QueueCapacity = 4
 	cfg.ServiceTime = 1.0
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-	res, err := e.Run(3)
+	res, err := e.Run(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestLatencyGrowsWithCongestion(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.MeanInterArrival = lambda
 		e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-		res, err := e.Run(5)
+		res, err := e.Run(context.Background(), 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -243,7 +244,7 @@ func TestStopOnDeath(t *testing.T) {
 	cfg.DeathLine = 4.9999
 	cfg.StopOnDeath = true
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-	res, err := e.Run(100)
+	res, err := e.Run(context.Background(), 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestRunWithoutHeadsGoesDirectToBS(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MeanInterArrival = 8
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-	res, err := e.Run(2)
+	res, err := e.Run(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestForwardPerPacketMultiHop(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MeanInterArrival = 6
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-	res, err := e.Run(3)
+	res, err := e.Run(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +324,7 @@ func TestControlTrafficCharged(t *testing.T) {
 		cfg.MeanInterArrival = 1e9 // no data traffic at all
 		cfg.DisableControlTraffic = disable
 		e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-		if _, err := e.Run(3); err != nil {
+		if _, err := e.Run(context.Background(), 3); err != nil {
 			t.Fatal(err)
 		}
 		return float64(w.TotalConsumed())
@@ -347,7 +348,7 @@ func TestDeadNodesStopParticipating(t *testing.T) {
 	proto := &stubProtocol{net: w, heads: []int{60, 70, 80}}
 	cfg := DefaultConfig()
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-	res, err := e.Run(3)
+	res, err := e.Run(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +376,7 @@ func TestTransmissionToDeadHeadRetriesAndDrops(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MeanInterArrival = 5
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-	res, err := e.Run(1)
+	res, err := e.Run(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +392,7 @@ func TestPerRoundStatsSumToTotals(t *testing.T) {
 	w := paperNet(t, 15)
 	proto := &stubProtocol{net: w, heads: []int{10, 30, 50}}
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), DefaultConfig())
-	res, err := e.Run(6)
+	res, err := e.Run(context.Background(), 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +416,7 @@ func TestConsumptionRatesPopulated(t *testing.T) {
 	w := paperNet(t, 16)
 	proto := &stubProtocol{net: w, heads: []int{10, 30, 50}}
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), DefaultConfig())
-	res, _ := e.Run(3)
+	res, _ := e.Run(context.Background(), 3)
 	if len(res.ConsumptionRates) != 100 {
 		t.Fatalf("consumption rates length %d", len(res.ConsumptionRates))
 	}
@@ -442,7 +443,7 @@ func TestBSQueueBoundsDirectTraffic(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MeanInterArrival = 1
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-	res, err := e.Run(3)
+	res, err := e.Run(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,7 +460,7 @@ func TestBSQueueBoundsDirectTraffic(t *testing.T) {
 	w2 := paperNet(t, 30)
 	cfg.MeanInterArrival = 10
 	e2, _ := NewEngine(w2, &stubProtocol{net: w2}, energy.DefaultModel(), cfg)
-	res2, err := e2.Run(3)
+	res2, err := e2.Run(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -476,7 +477,7 @@ func TestBSServiceAddsLatency(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MeanInterArrival = 10
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-	res, err := e.Run(2)
+	res, err := e.Run(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -489,7 +490,7 @@ func TestEnergyBreakdownSumsToTotal(t *testing.T) {
 	w := paperNet(t, 32)
 	proto := &stubProtocol{net: w, heads: []int{10, 30, 50, 70, 90}}
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), DefaultConfig())
-	res, err := e.Run(5)
+	res, err := e.Run(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}

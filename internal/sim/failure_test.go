@@ -5,6 +5,7 @@ package sim
 // self-looping protocols, heads dying mid-round, zero service capacity.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestTerribleLinksLoseMostPacketsButConserveEnergy(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LinkPMax = 0.05 // 95 % of attempts fail at point blank
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-	res, err := e.Run(3)
+	res, err := e.Run(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestSelfLoopProtocolTerminates(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MeanInterArrival = 5
 	e, _ := NewEngine(w, &selfLoopProtocol{n: w.N()}, energy.DefaultModel(), cfg)
-	res, err := e.Run(2)
+	res, err := e.Run(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestRelayCycleIsCutByHopGuard(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MeanInterArrival = 8
 	e, _ := NewEngine(w, &cycleProtocol{net: w}, energy.DefaultModel(), cfg)
-	res, err := e.Run(1)
+	res, err := e.Run(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestHeadDyingMidRoundStrandsQueue(t *testing.T) {
 	cfg.DeathLine = 0.001
 	cfg.MeanInterArrival = 2
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-	res, err := e.Run(1)
+	res, err := e.Run(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestZeroServiceTimeIsInstantFusion(t *testing.T) {
 	cfg.ServiceTime = 0 // infinitely fast heads: queue never the bottleneck
 	cfg.MeanInterArrival = 1
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-	res, err := e.Run(2)
+	res, err := e.Run(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestAllNodesDeadFromStart(t *testing.T) {
 	}
 	proto := &stubProtocol{net: w}
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), DefaultConfig())
-	res, err := e.Run(2)
+	res, err := e.Run(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestBatchBurstFailureAccountsAllPackets(t *testing.T) {
 	cfg.BatchRetries = 1
 	cfg.MeanInterArrival = 4
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-	res, err := e.Run(2)
+	res, err := e.Run(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestRandomConfigsKeepInvariants(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := e.Run(1 + r.Intn(3))
+		res, err := e.Run(context.Background(), 1+r.Intn(3))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -289,7 +290,7 @@ func TestShadowingLowersDelivery(t *testing.T) {
 		cfg.MeanInterArrival = 6
 		cfg.MaxRetries = 0 // expose raw link quality
 		e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-		res, err := e.Run(3)
+		res, err := e.Run(context.Background(), 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -310,7 +311,7 @@ func TestContentionDegradesBusyChannels(t *testing.T) {
 		cfg.ContentionGamma = gamma
 		cfg.MeanInterArrival = lambda
 		e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
-		res, err := e.Run(3)
+		res, err := e.Run(context.Background(), 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -353,7 +354,7 @@ func TestMobilityMovesNodesBetweenRounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(5)
+	res, err := e.Run(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +383,7 @@ func TestStaticConfigKeepsPositions(t *testing.T) {
 	before := w.Positions()
 	proto := &stubProtocol{net: w, heads: []int{10, 30}}
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), DefaultConfig())
-	if _, err := e.Run(3); err != nil {
+	if _, err := e.Run(context.Background(), 3); err != nil {
 		t.Fatal(err)
 	}
 	for i, p := range w.Positions() {

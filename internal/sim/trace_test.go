@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -17,7 +18,7 @@ func TestCountingTracerConsistentWithMetrics(t *testing.T) {
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), cfg)
 	ct := NewCountingTracer()
 	e.SetTracer(ct.Trace)
-	res, err := e.Run(3)
+	res, err := e.Run(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestNilTracerIsFree(t *testing.T) {
 	proto := &stubProtocol{net: w, heads: []int{10}}
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), DefaultConfig())
 	e.SetTracer(nil)
-	if _, err := e.Run(1); err != nil {
+	if _, err := e.Run(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -59,7 +60,7 @@ func TestJSONLTracer(t *testing.T) {
 	var sb strings.Builder
 	tracer, flush := JSONLTracer(&sb)
 	e.SetTracer(tracer)
-	res, err := e.Run(1)
+	res, err := e.Run(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestJSONLTracerSurfacesWriteErrors(t *testing.T) {
 	e, _ := NewEngine(w, proto, energy.DefaultModel(), DefaultConfig())
 	tracer, flush := JSONLTracer(&failingWriter{})
 	e.SetTracer(tracer)
-	if _, err := e.Run(1); err != nil {
+	if _, err := e.Run(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := flush(); err == nil {

@@ -1,6 +1,7 @@
 package traceio
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func traceOf(t *testing.T) (string, int, int, int) {
 	var sb strings.Builder
 	tracer, flush := sim.JSONLTracer(&sb)
 	cfg.Tracer = tracer
-	res, err := cfg.RunOne(experiment.QLEC, 3, 1, false)
+	res, err := cfg.RunOne(context.Background(), experiment.QLEC, 3, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestAnalyzeDropReasons(t *testing.T) {
 	var sb strings.Builder
 	tracer, flush := sim.JSONLTracer(&sb)
 	cfg.Tracer = tracer
-	if _, err := cfg.RunOne(experiment.KMeans, 1, 1, false); err != nil {
+	if _, err := cfg.RunOne(context.Background(), experiment.KMeans, 1, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	if err := flush(); err != nil {

@@ -26,12 +26,24 @@
 //
 //	table, err := qlec.Compare(qlec.DefaultScenario(), qlec.Protocols())
 //
+// Long runs take a context for timeouts and Ctrl-C cancellation, and an
+// observer for live progress:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	s := qlec.DefaultScenario()
+//	s.Config.Observer = func(snap sim.RoundSnapshot) {
+//		fmt.Fprintf(os.Stderr, "\rround %d, %d alive", snap.Round, snap.Alive)
+//	}
+//	res, err := qlec.RunContext(ctx, s)
+//
 // Regenerate the paper's figures programmatically through
 // ReproduceFigure3 and ReproduceFigure4, or from the command line with
 // cmd/qlecfig.
 package qlec
 
 import (
+	"context"
 	"fmt"
 
 	"qlec/internal/dataset"
@@ -99,9 +111,18 @@ func DefaultScenario() Scenario {
 // Result re-exports the simulation result type.
 type Result = metrics.Result
 
-// Run executes a single simulation for the scenario's protocol.
+// Run executes a single simulation for the scenario's protocol. It is
+// RunContext with context.Background().
 func Run(s Scenario) (*Result, error) {
-	return s.Config.RunOne(s.Protocol, s.Lambda, s.Seed, s.MeasureLifespan)
+	return RunContext(context.Background(), s)
+}
+
+// RunContext executes a single simulation for the scenario's protocol.
+// Cancelling ctx stops the simulation at the next round boundary and
+// returns the partial result accumulated so far alongside ctx's error.
+// Set Scenario.Config.Observer for per-round progress.
+func RunContext(ctx context.Context, s Scenario) (*Result, error) {
+	return s.Config.RunOne(ctx, s.Protocol, s.Lambda, s.Seed, s.MeasureLifespan)
 }
 
 // ComparisonRow is one protocol's aggregate under Compare.
@@ -119,14 +140,23 @@ type ComparisonRow struct {
 
 // Compare runs every listed protocol at the scenario's λ across the
 // configured seeds and returns per-protocol aggregates (fixed-round runs
-// for PDR/energy/latency, death-line runs for lifespan).
+// for PDR/energy/latency, death-line runs for lifespan). It is
+// CompareContext with context.Background().
 func Compare(s Scenario, protocols []Protocol) ([]ComparisonRow, error) {
+	return CompareContext(context.Background(), s, protocols)
+}
+
+// CompareContext is Compare with cancellation: the per-cell runs fan out
+// through the bounded runner (Scenario.Config.Workers, Progress) and a
+// cancelled ctx stops launching cells and returns promptly with ctx's
+// error.
+func CompareContext(ctx context.Context, s Scenario, protocols []Protocol) ([]ComparisonRow, error) {
 	if len(protocols) == 0 {
 		return nil, fmt.Errorf("qlec: no protocols to compare")
 	}
 	cfg := s.Config
 	cfg.Lambdas = []float64{s.Lambda}
-	sweep, err := cfg.RunFig3(protocols)
+	sweep, err := cfg.RunFig3(ctx, protocols)
 	if err != nil {
 		return nil, err
 	}
@@ -156,12 +186,19 @@ type Figure3 struct {
 }
 
 // ReproduceFigure3 runs the full λ sweep for the given protocols (nil
-// means the paper's three) and assembles the panels.
+// means the paper's three) and assembles the panels. It is
+// ReproduceFigure3Context with context.Background().
 func ReproduceFigure3(cfg experiment.Config, protocols []Protocol) (*Figure3, error) {
+	return ReproduceFigure3Context(context.Background(), cfg, protocols)
+}
+
+// ReproduceFigure3Context is ReproduceFigure3 with cancellation and, via
+// cfg.Workers/cfg.Progress, bounded parallelism and sweep progress.
+func ReproduceFigure3Context(ctx context.Context, cfg experiment.Config, protocols []Protocol) (*Figure3, error) {
 	if protocols == nil {
 		protocols = Protocols()
 	}
-	sweep, err := cfg.RunFig3(protocols)
+	sweep, err := cfg.RunFig3(ctx, protocols)
 	if err != nil {
 		return nil, err
 	}
@@ -181,9 +218,17 @@ func ReproduceFigure3(cfg experiment.Config, protocols []Protocol) (*Figure3, er
 	return f, nil
 }
 
-// ReproduceFigure4 runs the large-scale dataset experiment (§5.3).
+// ReproduceFigure4 runs the large-scale dataset experiment (§5.3). It is
+// ReproduceFigure4Context with context.Background().
 func ReproduceFigure4(cfg experiment.Fig4Config) (*experiment.Fig4Result, error) {
-	return experiment.RunFig4(cfg)
+	return ReproduceFigure4Context(context.Background(), cfg)
+}
+
+// ReproduceFigure4Context is ReproduceFigure4 with cancellation; with
+// cfg.Seeds set the replicates run in parallel through the bounded
+// runner.
+func ReproduceFigure4Context(ctx context.Context, cfg experiment.Fig4Config) (*experiment.Fig4Result, error) {
+	return experiment.RunFig4(ctx, cfg)
 }
 
 // Vec3 is a point in 3-D space (meters).

@@ -1,9 +1,12 @@
 package qlec
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"qlec/internal/experiment"
+	"qlec/internal/sim"
 )
 
 // quickScenario shrinks the paper scenario for fast tests.
@@ -156,5 +159,53 @@ func TestOptimalClusterCount(t *testing.T) {
 	k := OptimalClusterCount(100, 200, 134)
 	if k < 4.5 || k >= 5.5 {
 		t.Fatalf("k_opt = %v", k)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	s := quickScenario()
+	s.Config.Rounds = 100
+	ctx, cancel := context.WithCancel(context.Background())
+	rounds := 0
+	s.Config.Observer = func(snap sim.RoundSnapshot) {
+		rounds++
+		if snap.Round == 1 {
+			cancel()
+		}
+	}
+	res, err := RunContext(ctx, s)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if res == nil || res.Rounds != 2 {
+		t.Fatalf("partial result = %+v", res)
+	}
+	if rounds != 2 {
+		t.Fatalf("observer saw %d rounds", rounds)
+	}
+}
+
+func TestCompareContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompareContext(ctx, quickScenario(), Protocols()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Context facade entry points agree exactly with their Background
+// wrappers.
+func TestContextFacadeMatchesWrappers(t *testing.T) {
+	s := quickScenario()
+	a, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PDR() != b.PDR() || a.TotalEnergy != b.TotalEnergy || a.Generated != b.Generated {
+		t.Fatal("RunContext diverged from Run")
 	}
 }

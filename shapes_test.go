@@ -7,6 +7,7 @@ package qlec
 // fails the ordinary test suite, not just a manual figure run.
 
 import (
+	"context"
 	"testing"
 
 	"qlec/internal/experiment"
@@ -29,7 +30,7 @@ func meanPDR(t *testing.T, c experiment.Config, id experiment.ProtocolID, lambda
 	t.Helper()
 	total := 0.0
 	for _, seed := range c.Seeds {
-		res, err := c.RunOne(id, lambda, seed, false)
+		res, err := c.RunOne(context.Background(), id, lambda, seed, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,7 +43,7 @@ func meanLifespan(t *testing.T, c experiment.Config, id experiment.ProtocolID, l
 	t.Helper()
 	total := 0.0
 	for _, seed := range c.Seeds {
-		res, err := c.RunOne(id, lambda, seed, true)
+		res, err := c.RunOne(context.Background(), id, lambda, seed, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,7 +81,7 @@ func TestShapeFig3bFCMEnergyHighest(t *testing.T) {
 	energyOf := func(id experiment.ProtocolID) float64 {
 		total := 0.0
 		for _, seed := range c.Seeds {
-			res, err := c.RunOne(id, 2, seed, false)
+			res, err := c.RunOne(context.Background(), id, 2, seed, false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -119,7 +120,7 @@ func TestShapeFig4EvennessImprovesWithRotation(t *testing.T) {
 		cfg.Synth.N = 400
 		cfg.K = 30
 		cfg.Rounds = rounds
-		res, err := experiment.RunFig4(cfg)
+		res, err := experiment.RunFig4(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
