@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figs examples ci clean
+.PHONY: all build test race bench bench-json figs examples ci clean
 
 all: build test
 
@@ -26,6 +26,22 @@ ci: build test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Hot-path benchmark trajectory: run the simulator- and selection-phase
+# benchmarks with allocation stats and fold the output into a JSON file
+# (name → ns/op, B/op, allocs/op, custom metrics) via cmd/qlecbench.
+# Commit BENCH_PR2.json alongside performance PRs so regressions diff in
+# review. BENCHTIME=1x (the default) is the quick CI mode; use e.g.
+# `make bench-json BENCHTIME=2s` for stable local timings.
+BENCHTIME ?= 1x
+BENCH_OUT ?= BENCH_PR2.json
+HOT_BENCH = ^(BenchmarkFig3aPacketDeliveryRate|BenchmarkRunnerOverhead|BenchmarkKSweepParallel|BenchmarkDecide|BenchmarkSelectPaperScale|BenchmarkSelectImproved)$$
+
+bench-json:
+	$(GO) test -run '^$$' -bench '$(HOT_BENCH)' -benchmem -benchtime $(BENCHTIME) \
+		. ./internal/qlearn ./internal/deec \
+		| $(GO) run ./cmd/qlecbench -out $(BENCH_OUT)
+	@echo wrote $(BENCH_OUT)
 
 # Regenerate every figure at full scale into ./figs (a few minutes).
 figs:

@@ -1,0 +1,144 @@
+// Command qlecbench converts `go test -bench -benchmem` output into a
+// stable JSON document, so benchmark trajectories can be committed and
+// diffed across PRs (see `make bench-json`, which emits BENCH_PR2.json).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | qlecbench -out BENCH.json
+//
+// Lines that are not benchmark results (package headers, PASS/ok, warm-up
+// noise) are ignored. Every metric column is captured — the standard
+// ns/op, B/op and allocs/op plus any b.ReportMetric custom units such as
+// the pdr/joules/rounds columns the repro benchmarks report.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// benchDoc is the emitted JSON document.
+type benchDoc struct {
+	Tool       string            `json:"tool"`
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []benchResult     `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qlecbench:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "qlecbench: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qlecbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "qlecbench:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads go-test benchmark output. Result lines have the shape
+//
+//	BenchmarkName-8   <N>   <value> <unit>   <value> <unit> ...
+//
+// goos/goarch/pkg/cpu header lines are folded into the env map (last
+// writer wins when piping several packages together — the values are
+// identical on one machine anyway).
+func parse(r io.Reader) (*benchDoc, error) {
+	doc := &benchDoc{Tool: "qlecbench", Env: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if k, v, ok := strings.Cut(line, ": "); ok {
+			switch k {
+			case "goos", "goarch", "cpu":
+				doc.Env[k] = v
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		doc.Benchmarks = append(doc.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// parseLine splits one result line into name, iteration count and
+// value/unit metric pairs. ok is false for anything malformed — the
+// caller skips such lines, since go-test output legitimately contains
+// non-result lines starting with "Benchmark" (e.g. a benchmark name
+// printed alone when -v interleaves).
+func parseLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	// Minimum shape: name, N, value, unit.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	// Strip a trailing -<GOMAXPROCS> so names are stable across machines;
+	// only a purely numeric suffix goes (the "-means" of
+	// "BenchmarkFig3aPacketDeliveryRate/k-means" must survive).
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	res := benchResult{
+		Name:       name,
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(fields)-2)/2),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, true
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: qlec
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig3aPacketDeliveryRate/QLEC/lambda=8         	       3	   1939927 ns/op	         0.9992 pdr	  363472 B/op	    2556 allocs/op
+BenchmarkFig3aPacketDeliveryRate/k-means/lambda=2      	       3	   3697223 ns/op	         0.9529 pdr	  968576 B/op	    2172 allocs/op
+BenchmarkDecide-8 	19073420	        64.29 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	qlec	0.358s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	if doc.Env["goos"] != "linux" || doc.Env["cpu"] == "" {
+		t.Fatalf("env not captured: %v", doc.Env)
+	}
+
+	first := doc.Benchmarks[0]
+	if first.Name != "BenchmarkFig3aPacketDeliveryRate/QLEC/lambda=8" {
+		t.Fatalf("name = %q", first.Name)
+	}
+	if first.Iterations != 3 {
+		t.Fatalf("iterations = %d", first.Iterations)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 1939927, "pdr": 0.9992, "B/op": 363472, "allocs/op": 2556,
+	} {
+		if got := first.Metrics[unit]; got != want {
+			t.Fatalf("metric %s = %v, want %v", unit, got, want)
+		}
+	}
+
+	// The -8 GOMAXPROCS suffix is stripped; "k-means" is not mangled.
+	if doc.Benchmarks[2].Name != "BenchmarkDecide" {
+		t.Fatalf("suffix not stripped: %q", doc.Benchmarks[2].Name)
+	}
+	if doc.Benchmarks[1].Name != "BenchmarkFig3aPacketDeliveryRate/k-means/lambda=2" {
+		t.Fatalf("k-means name mangled: %q", doc.Benchmarks[1].Name)
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkLonely",
+		"BenchmarkOddFields 3 12 ns/op extra",
+		"BenchmarkNotANumber x 12 ns/op",
+		"BenchmarkBadValue 3 twelve ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("malformed line accepted: %q", line)
+		}
+	}
+}

@@ -33,7 +33,13 @@ func main() {
 		country = flag.String("country", "CHN", "country code filter for -wri")
 		timeout = flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	)
+	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()

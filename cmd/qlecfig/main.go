@@ -46,7 +46,12 @@ func main() {
 		reps    = flag.Int("reps", 1, "figure 4 only: replicate seeds to run and summarize")
 	)
 	flag.IntVar(&workers, "workers", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
+	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fail(err)
+	}
+	defer prof.Stop()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()

@@ -31,7 +31,13 @@ func main() {
 		sweep   = flag.Bool("sweep", false, "print the E_r(k) sweep around k_opt")
 		timeout = flag.Duration("timeout", 0, "abort the brute-force cross-check after this long (0 = no limit)")
 	)
+	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()

@@ -54,7 +54,13 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); partial results are printed")
 		quiet     = flag.Bool("quiet", false, "suppress the live per-round progress meter on stderr")
 	)
+	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()

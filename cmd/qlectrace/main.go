@@ -27,11 +27,17 @@ import (
 
 func main() {
 	timeout := flag.Duration("timeout", 0, "abort reading after this long (0 = no limit)")
+	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: qlectrace [-timeout 30s] <trace.jsonl | ->")
 		os.Exit(2)
 	}
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 	var src io.Reader

@@ -1,0 +1,69 @@
+package qlec
+
+import (
+	"context"
+	"testing"
+
+	"qlec/internal/experiment"
+)
+
+// goldenRun pins the exact end-to-end output of a short Table 2 run —
+// every float compared with ==, not a tolerance. These values were
+// captured from the tree at the time the hot-path flattening landed and
+// enforce the determinism-preservation rule of DESIGN.md §8: an
+// optimization that changes any expression's rounding, any RNG stream's
+// consumption order, or any iteration order shows up here as a hard
+// failure, not a silent drift of the paper's curves.
+//
+// To regenerate after an INTENTIONAL behaviour change (never for a
+// performance change), print the fields of RunOne under this exact
+// configuration with %.17g and paste them below; %.17g round-trips
+// float64 exactly.
+type goldenRun struct {
+	id        experiment.ProtocolID
+	lambda    float64
+	generated int
+	delivered int
+	dropped   [4]int
+	energy    float64
+	latency   float64
+}
+
+var goldenRuns = []goldenRun{
+	{experiment.QLEC, 8, 1221, 1221, [4]int{0, 0, 0, 0}, 1.3790371812612059, 10.573950853840151},
+	{experiment.QLEC, 2, 5014, 4776, [4]int{13, 225, 0, 0}, 6.8022103887179997, 14.08728947564582},
+	{experiment.FCM, 8, 1221, 1220, [4]int{1, 0, 0, 0}, 1.4971597508597854, 0.31025494139038839},
+	{experiment.FCM, 2, 5014, 2748, [4]int{134, 2132, 0, 0}, 11.178108417996105, 2.5080345359835881},
+	{experiment.KMeans, 8, 1221, 1221, [4]int{0, 0, 0, 0}, 1.2042278868149177, 10.533533301995444},
+	{experiment.KMeans, 2, 5014, 4738, [4]int{15, 261, 0, 0}, 5.3382218422220218, 14.192807746751615},
+}
+
+func TestGoldenMetricsTable2Defaults(t *testing.T) {
+	cfg := experiment.PaperConfig()
+	cfg.Rounds = 5
+	cfg.Seeds = []uint64{1}
+	for _, g := range goldenRuns {
+		g := g
+		t.Run(string(g.id), func(t *testing.T) {
+			res, err := cfg.RunOne(context.Background(), g.id, g.lambda, 1, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Generated != g.generated {
+				t.Errorf("λ=%g generated = %d, want %d", g.lambda, res.Generated, g.generated)
+			}
+			if res.Delivered != g.delivered {
+				t.Errorf("λ=%g delivered = %d, want %d", g.lambda, res.Delivered, g.delivered)
+			}
+			if res.Dropped != g.dropped {
+				t.Errorf("λ=%g dropped = %v, want %v", g.lambda, res.Dropped, g.dropped)
+			}
+			if float64(res.TotalEnergy) != g.energy {
+				t.Errorf("λ=%g energy = %.17g, want %.17g", g.lambda, float64(res.TotalEnergy), g.energy)
+			}
+			if res.Latency.Mean != g.latency {
+				t.Errorf("λ=%g latency mean = %.17g, want %.17g", g.lambda, res.Latency.Mean, g.latency)
+			}
+		})
+	}
+}

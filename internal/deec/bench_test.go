@@ -1,0 +1,29 @@
+package deec
+
+import (
+	"testing"
+
+	"qlec/internal/network"
+	"qlec/internal/rng"
+)
+
+// BenchmarkSelectPaperScale measures one full round of improved-DEEC
+// head selection (Algorithms 2+3: lottery, energy floor, redundancy
+// reduction, top-up) at the Table 2 scale, complementing the §5.3-scale
+// BenchmarkSelectImproved. Steady-state rounds should allocate only the
+// returned sorted copy of the head set.
+func BenchmarkSelectPaperScale(b *testing.B) {
+	w, err := network.Deploy(network.Deployment{N: 100, Side: 200, InitialEnergy: 5}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSelector(w, ImprovedConfig(5, 20, 0), rng.NewNamed(1, "deec"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Select(i % 20)
+	}
+}

@@ -23,7 +23,7 @@ package deec
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"qlec/internal/cluster"
 	"qlec/internal/energy"
@@ -89,6 +89,16 @@ type Selector struct {
 	net *network.Network
 	rnd *rng.Stream
 	dc  float64
+
+	// Per-round scratch, reused across Select calls so steady-state
+	// selection performs no allocation. None of this affects results:
+	// Select returns a fresh sorted copy of the head set.
+	headsBuf []int
+	reserve  []candidate
+	ptsBuf   []geom.Vec3
+	nbrBuf   []int
+	grid     *geom.Grid // redundancy-reduction index, rebuilt in place
+	inHeads  []bool     // membership scratch for topUp, cleared after use
 }
 
 // NewSelector builds a selector. The stream drives the threshold
@@ -164,8 +174,8 @@ type candidate struct {
 // the head ids in ascending order. It updates LastCHRound on the chosen
 // nodes.
 func (s *Selector) Select(round int) []int {
-	var heads []int
-	var reserve []candidate // eligible-by-epoch nodes for top-up
+	heads := s.headsBuf[:0]
+	reserve := s.reserve[:0] // eligible-by-epoch nodes for top-up
 
 	for _, n := range s.net.Nodes {
 		if !n.Alive(s.cfg.DeathLine) {
@@ -201,8 +211,16 @@ func (s *Selector) Select(round int) []int {
 		// Shuffle first so equal-residual ties are drawn uniformly
 		// rather than biased toward low ids.
 		s.rnd.Shuffle(len(heads), func(i, j int) { heads[i], heads[j] = heads[j], heads[i] })
-		sort.SliceStable(heads, func(i, j int) bool {
-			return s.net.Nodes[heads[i]].Battery.Residual() > s.net.Nodes[heads[j]].Battery.Residual()
+		slices.SortStableFunc(heads, func(a, b int) int {
+			ra := s.net.Nodes[a].Battery.Residual()
+			rb := s.net.Nodes[b].Battery.Residual()
+			switch {
+			case ra > rb:
+				return -1
+			case ra < rb:
+				return 1
+			}
+			return 0
 		})
 		heads = heads[:s.cfg.K]
 	}
@@ -210,6 +228,8 @@ func (s *Selector) Select(round int) []int {
 		heads = s.topUp(heads, reserve)
 	}
 
+	s.headsBuf = heads[:0]
+	s.reserve = reserve[:0]
 	heads = cluster.SortedCopy(heads)
 	for _, h := range heads {
 		s.net.Nodes[h].LastCHRound = round
@@ -221,16 +241,26 @@ func (s *Selector) Select(round int) []int {
 // within d_c (ties break toward keeping the lower id, so exactly one of
 // an equal pair survives).
 func (s *Selector) reduceRedundancy(heads []int) []int {
-	pts := make([]geom.Vec3, len(heads))
-	for i, h := range heads {
-		pts[i] = s.net.Nodes[h].Pos
+	pts := s.ptsBuf[:0]
+	for _, h := range heads {
+		pts = append(pts, s.net.Nodes[h].Pos)
 	}
-	grid := geom.NewGrid(s.net.Box, pts, heads, 0)
-	var kept []int
+	s.ptsBuf = pts
+	// The grid is built once with the HELLO radius as its cell edge and
+	// re-indexed in place each round; the grid copies pts/ids, so heads
+	// can then be filtered in place (the query result is sorted, hence
+	// independent of cell size — determinism is unaffected).
+	if s.grid == nil {
+		s.grid = geom.NewGrid(s.net.Box, pts, heads, s.dc)
+	} else {
+		s.grid.Reindex(pts, heads)
+	}
+	kept := heads[:0]
 	for _, h := range heads {
 		hRes := s.net.Nodes[h].Battery.Residual()
 		quit := false
-		for _, other := range grid.WithinRadius(s.net.Nodes[h].Pos, s.dc) {
+		s.nbrBuf = s.grid.WithinRadiusAppend(s.net.Nodes[h].Pos, s.dc, s.nbrBuf[:0])
+		for _, other := range s.nbrBuf {
 			if other == h {
 				continue
 			}
@@ -251,16 +281,32 @@ func (s *Selector) reduceRedundancy(heads []int) []int {
 // candidates, preferring nodes at least d_c away from every existing
 // head so coverage stays spread.
 func (s *Selector) topUp(heads []int, reserve []candidate) []int {
-	inHeads := make(map[int]bool, len(heads))
+	if s.inHeads == nil {
+		s.inHeads = make([]bool, s.net.N())
+	}
+	inHeads := s.inHeads
 	for _, h := range heads {
 		inHeads[h] = true
 	}
+	// Every id ever set lands in the final head set, so clearing by the
+	// returned slice restores the scratch for the next round.
+	defer func() {
+		for _, h := range heads {
+			inHeads[h] = false
+		}
+	}()
 	// Shuffle before the stable sort so equal-residual candidates are
 	// drawn uniformly instead of biasing toward low ids; the stream makes
 	// the draw reproducible per seed.
 	s.rnd.Shuffle(len(reserve), func(i, j int) { reserve[i], reserve[j] = reserve[j], reserve[i] })
-	sort.SliceStable(reserve, func(i, j int) bool {
-		return reserve[i].residual > reserve[j].residual
+	slices.SortStableFunc(reserve, func(a, b candidate) int {
+		switch {
+		case a.residual > b.residual:
+			return -1
+		case a.residual < b.residual:
+			return 1
+		}
+		return 0
 	})
 	// Pass 1: spread-respecting candidates.
 	for _, pass := range []bool{true, false} {

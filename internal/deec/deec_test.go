@@ -339,6 +339,7 @@ func TestCoverageRadiusExposed(t *testing.T) {
 func BenchmarkSelectImproved(b *testing.B) {
 	w, _ := network.Deploy(network.Deployment{N: 2896, Side: 1000, InitialEnergy: 5}, rng.New(1))
 	s, _ := NewSelector(w, ImprovedConfig(272, 1000, 0), rng.New(2))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Select(i % 1000)

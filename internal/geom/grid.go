@@ -71,6 +71,39 @@ func NewGrid(bounds AABB, points []Vec3, ids []int, cellSize float64) *Grid {
 	return g
 }
 
+// Reindex rebuilds the index in place over a new point set, reusing the
+// existing cell structure and buffers — for callers that re-query a
+// fresh set of points every round over the same bounds (the per-round
+// head set of Algorithm 3). The grid keeps its bounds and cell size, so
+// build it with an explicit cellSize (e.g. the query radius) rather
+// than the point-count heuristic.
+func (g *Grid) Reindex(points []Vec3, ids []int) {
+	if ids != nil && len(ids) != len(points) {
+		panic("geom: Reindex ids length mismatch")
+	}
+	for _, c := range g.cellOfPt {
+		g.cells[c] = g.cells[c][:0]
+	}
+	g.points = append(g.points[:0], points...)
+	if ids == nil {
+		g.ids = g.ids[:0]
+		for i := range points {
+			g.ids = append(g.ids, i)
+		}
+	} else {
+		g.ids = append(g.ids[:0], ids...)
+	}
+	if cap(g.cellOfPt) < len(points) {
+		g.cellOfPt = make([]int, len(points))
+	}
+	g.cellOfPt = g.cellOfPt[:len(points)]
+	for i, p := range points {
+		c := g.cellIndex(p)
+		g.cells[c] = append(g.cells[c], i)
+		g.cellOfPt[i] = c
+	}
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a
@@ -109,10 +142,17 @@ func (g *Grid) Len() int { return len(g.points) }
 // for reproducible simulations). The query point itself is included if it
 // is indexed and within range.
 func (g *Grid) WithinRadius(q Vec3, d float64) []int {
+	return g.WithinRadiusAppend(q, d, nil)
+}
+
+// WithinRadiusAppend is WithinRadius appending into buf (which may be
+// nil or a reused buf[:0]), avoiding a per-query allocation on hot
+// paths. The returned slice holds the ids in ascending order.
+func (g *Grid) WithinRadiusAppend(q Vec3, d float64, buf []int) []int {
 	if d < 0 {
-		return nil
+		return buf
 	}
-	var out []int
+	out := buf
 	d2 := d * d
 	cx, cy, cz := g.cellCoords(q)
 	span := int(math.Ceil(d/g.cell)) + 1

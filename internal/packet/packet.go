@@ -29,9 +29,15 @@ type Packet struct {
 // Queue is a bounded FIFO of packets, as held by a cluster head awaiting
 // the end-of-round aggregation, or by a relay awaiting a send slot.
 // A zero-capacity queue drops everything.
+//
+// Storage is a fixed-size ring allocated lazily on the first accepted
+// push and retained across Reset, so a queue recycled round after round
+// (the simulator pools head queues) performs no steady-state allocation.
 type Queue struct {
 	cap     int
-	items   []Packet
+	buf     []Packet // ring storage; len(buf) == cap once allocated
+	head    int      // index of the oldest packet
+	n       int      // number of queued packets
 	dropped int
 	pushed  int
 }
@@ -49,10 +55,10 @@ func NewQueue(capacity int) *Queue {
 func (q *Queue) Cap() int { return q.cap }
 
 // Len returns the number of queued packets.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return q.n }
 
 // Free returns the remaining space.
-func (q *Queue) Free() int { return q.cap - len(q.items) }
+func (q *Queue) Free() int { return q.cap - q.n }
 
 // Dropped returns how many packets were rejected for lack of space.
 func (q *Queue) Dropped() int { return q.dropped }
@@ -64,43 +70,56 @@ func (q *Queue) Pushed() int { return q.pushed }
 // drop — when the queue is full.
 func (q *Queue) Push(p Packet) bool {
 	q.pushed++
-	if len(q.items) >= q.cap {
+	if q.n >= q.cap {
 		q.dropped++
 		return false
 	}
-	q.items = append(q.items, p)
+	if q.buf == nil {
+		q.buf = make([]Packet, q.cap)
+	}
+	i := q.head + q.n
+	if i >= q.cap {
+		i -= q.cap
+	}
+	q.buf[i] = p
+	q.n++
 	return true
 }
 
 // Pop removes and returns the oldest packet. ok is false when empty.
 func (q *Queue) Pop() (p Packet, ok bool) {
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return Packet{}, false
 	}
-	p = q.items[0]
-	// Shift-free pop: reslice; compact when the dead prefix dominates to
-	// keep memory bounded across long simulations.
-	q.items = q.items[1:]
-	if len(q.items) == 0 {
-		q.items = nil
-	} else if cap(q.items) > 4*q.cap && q.cap > 0 {
-		fresh := make([]Packet, len(q.items), q.cap)
-		copy(fresh, q.items)
-		q.items = fresh
+	p = q.buf[q.head]
+	q.head++
+	if q.head >= q.cap {
+		q.head = 0
 	}
+	q.n--
 	return p, true
 }
 
 // DrainAll removes and returns every queued packet in FIFO order.
 func (q *Queue) DrainAll() []Packet {
-	out := q.items
-	q.items = nil
-	return out
+	if q.n == 0 {
+		return nil
+	}
+	out := make([]Packet, 0, q.n)
+	for {
+		p, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+	}
 }
 
-// Reset empties the queue and clears the drop/push counters.
+// Reset empties the queue and clears the drop/push counters, retaining
+// the ring storage for reuse.
 func (q *Queue) Reset() {
-	q.items = nil
+	q.head = 0
+	q.n = 0
 	q.dropped = 0
 	q.pushed = 0
 }

@@ -38,7 +38,6 @@ import (
 	"qlec/internal/energy"
 	"qlec/internal/network"
 	"qlec/internal/rng"
-	"qlec/internal/stats"
 )
 
 // Params collects the reward weights and learning constants of Table 2.
@@ -126,9 +125,6 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// linkKey identifies a directed radio link.
-type linkKey struct{ from, to int }
-
 // Learner holds the Q-learning state for an entire network: V values per
 // node and link-probability estimators per directed link. One Learner
 // serves all nodes (the paper's nodes each keep their own table; pooling
@@ -142,9 +138,18 @@ type Learner struct {
 	model  energy.Model
 	bits   int
 
-	v     []float64 // V*(b_i), indexed by node id
-	vBS   float64   // V*(h_BS), terminal, stays 0
-	links map[linkKey]*stats.EWMA
+	v   []float64 // V*(b_i), indexed by node id
+	vBS float64   // V*(h_BS), terminal, stays 0
+	// links holds the flattened per-link EWMA success estimates, indexed
+	// from*stride + (to+1) with stride = N+1 (column 0 is the base
+	// station, BSID = −1). NaN marks a link with no observations yet —
+	// LinkP then reports the optimistic prior. Decide probes every head
+	// per packet, so this dense O(1) lookup replaces a map probe on the
+	// hottest path in the simulator; the O(N²) memory (8 bytes per
+	// directed link, ~67 MB at the §5.3 scale of 2896 nodes) is the
+	// accepted trade-off (DESIGN.md §8).
+	links  []float64
+	stride int
 
 	// yNorm is the Eq. (18) cost of the longest possible in-box hop,
 	// used to normalize y(·) into [0,1].
@@ -187,9 +192,13 @@ func NewLearner(w *network.Network, model energy.Model, bits int, params Params)
 		model:    model,
 		bits:     bits,
 		v:        make([]float64, w.N()),
-		links:    make(map[linkKey]*stats.EWMA),
+		links:    make([]float64, w.N()*(w.N()+1)),
+		stride:   w.N() + 1,
 		yNorm:    float64(model.TxAmplifier(bits, ref)),
 		maxDelta: newDeltaWindow(64),
+	}
+	for i := range l.links {
+		l.links[i] = math.NaN()
 	}
 	if l.yNorm <= 0 {
 		return nil, fmt.Errorf("qlearn: degenerate deployment box (size %v)", size)
@@ -222,8 +231,8 @@ func (l *Learner) y(from, to int) float64 {
 // LinkP returns the node's current estimate of the link success
 // probability to target.
 func (l *Learner) LinkP(from, to int) float64 {
-	if e, ok := l.links[linkKey{from, to}]; ok {
-		return e.ValueOr(l.params.InitialLinkP)
+	if p := l.links[from*l.stride+to+1]; !math.IsNaN(p) {
+		return p
 	}
 	return l.params.InitialLinkP
 }
@@ -244,15 +253,32 @@ func (l *Learner) rewardFailure(from, to int) float64 {
 
 // q evaluates Eq. (15)+(16) for one state-action pair.
 func (l *Learner) q(from, to int) float64 {
+	return l.qHoisted(from, to, l.x(from), l.v[from])
+}
+
+// qHoisted is q with the from-side invariants — x(from) and V*(from),
+// identical for every action probed by one Decide call — supplied by
+// the caller. The arithmetic is term-for-term the same expression as the
+// pre-flattening rewardSuccess/rewardFailure/q composition, so results
+// stay byte-identical (the determinism-preservation rule of DESIGN.md
+// §8); the transmission cost y is evaluated once instead of once per
+// reward term.
+func (l *Learner) qHoisted(from, to int, xFrom, vFrom float64) float64 {
 	p := l.LinkP(from, to)
-	rt := p*l.rewardSuccess(from, to) + (1-p)*l.rewardFailure(from, to)
+	y := l.y(from, to)
+	rs := -l.params.G + l.params.Alpha1*(xFrom+l.x(to)) - l.params.Alpha2*y
+	if to == network.BSID {
+		rs -= l.params.L
+	}
+	rf := -l.params.G + l.params.Beta1*xFrom - l.params.Beta2*y
+	rt := p*rs + (1-p)*rf
 	var vTo float64
 	if to == network.BSID {
 		vTo = l.vBS
 	} else {
 		vTo = l.v[to]
 	}
-	return rt + l.params.Gamma*(p*vTo+(1-p)*l.v[from])
+	return rt + l.params.Gamma*(p*vTo+(1-p)*vFrom)
 }
 
 // QValue evaluates Eq. (15)+(16) for one state-action pair without
@@ -271,16 +297,25 @@ func (l *Learner) SetExploration(s *rng.Stream) { l.explore = s }
 // the max, and returns the argmax target (a head id or network.BSID).
 // Ties break toward the lower id, BS last, for determinism. With
 // Epsilon > 0 and an exploration stream installed, it instead returns a
-// uniformly random head with probability ε (V is still refreshed from
-// the greedy max, as in standard ε-greedy value iteration).
+// head sampled uniformly from the heads other than from itself with
+// probability ε (V is still refreshed from the greedy max, as in
+// standard ε-greedy value iteration). Excluding from keeps the
+// realized exploration rate at ε for heads too — sampling the full
+// list and falling back to greedy when the draw landed on from would
+// silently depress it.
 func (l *Learner) Decide(from int, heads []int) int {
+	// Invariants of the from side — its normalized residual energy and
+	// current V — are identical for every probed action; hoist them out
+	// of the per-head loop.
+	xFrom := l.x(from)
+	vFrom := l.v[from]
 	best := network.BSID
-	bestQ := l.q(from, network.BSID)
+	bestQ := l.qHoisted(from, network.BSID, xFrom, vFrom)
 	for _, h := range heads {
 		if h == from {
 			continue
 		}
-		if q := l.q(from, h); q > bestQ || (q == bestQ && better(h, best)) {
+		if q := l.qHoisted(from, h, xFrom, vFrom); q > bestQ || (q == bestQ && better(h, best)) {
 			bestQ = q
 			best = h
 		}
@@ -288,9 +323,23 @@ func (l *Learner) Decide(from int, heads []int) int {
 	l.setV(from, bestQ)
 	if l.params.Epsilon > 0 && l.explore != nil && len(heads) > 0 &&
 		l.explore.Float64() < l.params.Epsilon {
-		pick := heads[l.explore.Intn(len(heads))]
-		if pick != from {
-			return pick
+		candidates := len(heads)
+		for _, h := range heads {
+			if h == from {
+				candidates--
+			}
+		}
+		if candidates > 0 {
+			j := l.explore.Intn(candidates)
+			for _, h := range heads {
+				if h == from {
+					continue
+				}
+				if j == 0 {
+					return h
+				}
+				j--
+			}
 		}
 	}
 	return best
@@ -306,21 +355,20 @@ func better(candidate, incumbent int) bool {
 }
 
 // Observe folds a transmission outcome into the link estimator —
-// the ACK-driven learning step of §4.2.
+// the ACK-driven learning step of §4.2. The inlined update is the same
+// arithmetic as stats.EWMA: first contact seeds the estimate with the
+// prior so one failure does not zero it, then folds the outcome.
 func (l *Learner) Observe(from, to int, success bool) {
-	key := linkKey{from, to}
-	e, ok := l.links[key]
-	if !ok {
-		e = stats.NewEWMA(l.params.LinkAlpha)
-		// Seed with the prior so one failure does not zero the estimate.
-		e.Observe(l.params.InitialLinkP)
-		l.links[key] = e
+	i := from*l.stride + to + 1
+	p := l.links[i]
+	if math.IsNaN(p) {
+		p = l.params.InitialLinkP
 	}
+	x := 0.0
 	if success {
-		e.Observe(1)
-	} else {
-		e.Observe(0)
+		x = 1
 	}
+	l.links[i] = p + l.params.LinkAlpha*(x-p)
 }
 
 // UpdateHeadValue implements Algorithm 1 line 15: after the end-of-round

@@ -30,25 +30,37 @@ type Engine struct {
 	seq    uint64
 	now    float64
 
-	// Per-round head state, indexed by node id.
-	isHead    []bool
-	queues    []*packet.Queue
-	busyUntil []float64
-	fused     []fusedBuf
+	// Per-round head state, indexed by node id. servicePending[h]
+	// reports that an evService event for head h is sitting in the heap;
+	// the fusion pipeline is re-armed only when it is clear, so an
+	// arrival landing at exactly the pending completion time cannot
+	// start a second concurrent service chain.
+	isHead         []bool
+	queues         []*packet.Queue
+	servicePending []bool
+	fused          []fusedBuf
+
+	// queuePool recycles head queues across rounds; without it every
+	// round allocates K fresh queues plus their ring storage.
+	queuePool []*packet.Queue
 
 	// Base-station receive pipeline for in-round packets (direct-to-BS
 	// traffic, FCM terminal hops). Finite, per Config.BSQueueCapacity.
-	bsQueue *packet.Queue
-	bsBusy  float64
+	// bsPending mirrors servicePending for the BS pipeline.
+	bsQueue   *packet.Queue
+	bsPending bool
 
 	// mover advances node positions between rounds when mobility is
 	// configured.
 	mover *mobility.RandomWaypoint
 
-	// shadow caches per-link log-normal quality factors (lazy; only
-	// links actually used get an entry). shadowSeed derives them
-	// deterministically so runs stay reproducible.
-	shadow     map[linkKey]float64
+	// shadow caches per-link log-normal quality factors in a dense
+	// slice indexed from*(N+1)+(to+1) (NaN = not drawn yet; lazily
+	// filled so the draw stream is only consumed for links actually
+	// used). shadowSeed derives the factors deterministically from the
+	// (from, target) pair so runs stay reproducible regardless of
+	// lookup order.
+	shadow     []float64
 	shadowSeed *rng.Stream
 
 	nextPkt packet.ID
@@ -105,15 +117,15 @@ func NewEngine(w *network.Network, proto cluster.Protocol, model energy.Model, c
 		return nil, fmt.Errorf("sim: nil protocol")
 	}
 	e := &Engine{
-		cfg:       cfg,
-		net:       w,
-		proto:     proto,
-		model:     model,
-		link:      rng.NewNamed(cfg.Seed, "sim/link"),
-		isHead:    make([]bool, w.N()),
-		queues:    make([]*packet.Queue, w.N()),
-		busyUntil: make([]float64, w.N()),
-		fused:     make([]fusedBuf, w.N()),
+		cfg:            cfg,
+		net:            w,
+		proto:          proto,
+		model:          model,
+		link:           rng.NewNamed(cfg.Seed, "sim/link"),
+		isHead:         make([]bool, w.N()),
+		queues:         make([]*packet.Queue, w.N()),
+		servicePending: make([]bool, w.N()),
+		fused:          make([]fusedBuf, w.N()),
 	}
 	traffic := rng.NewNamed(cfg.Seed, "sim/traffic")
 	e.nodeGen = make([]*rng.Stream, w.N())
@@ -121,7 +133,10 @@ func NewEngine(w *network.Network, proto cluster.Protocol, model energy.Model, c
 		e.nodeGen[i] = traffic.Split(uint64(i))
 	}
 	if cfg.ShadowSigma > 0 {
-		e.shadow = make(map[linkKey]float64)
+		e.shadow = make([]float64, w.N()*(w.N()+1))
+		for i := range e.shadow {
+			e.shadow[i] = math.NaN()
+		}
 		e.shadowSeed = rng.NewNamed(cfg.Seed, "sim/shadow")
 	}
 	if cfg.MobilitySpeedMax > 0 {
@@ -135,9 +150,6 @@ func NewEngine(w *network.Network, proto cluster.Protocol, model energy.Model, c
 	}
 	return e, nil
 }
-
-// linkKey identifies a directed radio link for shadowing lookups.
-type linkKey struct{ from, to int }
 
 // linkP returns the link success probability from node `from` to
 // `target` over distance d, including the persistent per-link shadowing
@@ -161,18 +173,17 @@ func (e *Engine) linkP(from, target int, d float64) float64 {
 
 // shadowFactor returns the link's persistent log-normal quality factor,
 // drawing it on first use from a stream keyed by the (from, target)
-// pair so the value is independent of lookup order.
+// pair so the value is independent of lookup order. target may be BSID
+// (−1); the dense index maps it to column 0.
 func (e *Engine) shadowFactor(from, target int) float64 {
-	key := linkKey{from, target}
-	if f, ok := e.shadow[key]; ok {
+	i := from*(e.net.N()+1) + target + 1
+	if f := e.shadow[i]; !math.IsNaN(f) {
 		return f
 	}
-	// Map the pair to a stable split index; target may be BSID (−1).
-	idx := uint64(from)*uint64(e.net.N()+1) + uint64(target+1)
-	z := e.shadowSeed.Split(idx).NormFloat64()
+	z := e.shadowSeed.Split(uint64(i)).NormFloat64()
 	sigma := e.cfg.ShadowSigma
 	f := math.Exp(sigma*z - sigma*sigma/2) // mean-1 log-normal
-	e.shadow[key] = f
+	e.shadow[i] = f
 	return f
 }
 
@@ -322,20 +333,35 @@ func (e *Engine) runRound(r int) []int {
 	return heads
 }
 
-// setupHeads resets per-round head state.
+// setupHeads resets per-round head state, recycling last round's queues
+// through the pool instead of allocating fresh ones.
 func (e *Engine) setupHeads(heads []int) {
 	for i := range e.isHead {
 		e.isHead[i] = false
-		e.queues[i] = nil
-		e.busyUntil[i] = 0
-		e.fused[i] = fusedBuf{}
+		e.servicePending[i] = false
+		if q := e.queues[i]; q != nil {
+			q.Reset()
+			e.queuePool = append(e.queuePool, q)
+			e.queues[i] = nil
+		}
+		e.fused[i].bits = 0
+		e.fused[i].pkts = e.fused[i].pkts[:0]
 	}
 	for _, h := range heads {
 		e.isHead[h] = true
-		e.queues[h] = packet.NewQueue(e.cfg.QueueCapacity)
+		if n := len(e.queuePool); n > 0 {
+			e.queues[h] = e.queuePool[n-1]
+			e.queuePool = e.queuePool[:n-1]
+		} else {
+			e.queues[h] = packet.NewQueue(e.cfg.QueueCapacity)
+		}
 	}
-	e.bsQueue = packet.NewQueue(e.cfg.BSQueueCapacity)
-	e.bsBusy = 0
+	if e.bsQueue == nil {
+		e.bsQueue = packet.NewQueue(e.cfg.BSQueueCapacity)
+	} else {
+		e.bsQueue.Reset()
+	}
+	e.bsPending = false
 }
 
 // chargeControl bills the per-round control traffic: every head
@@ -477,41 +503,46 @@ func (e *Engine) handleRetry(ev event) {
 	e.transmit(ev.pkt, ev.node, ev.attempt)
 }
 
-// scheduleService starts the head's fusion pipeline if it is idle.
+// scheduleService starts the head's fusion pipeline unless an evService
+// event is already pending. The explicit pending flag (not a busy-until
+// timestamp) makes an arrival at exactly the pending completion time a
+// no-op; a `busyUntil > now` guard passed on that tie and started a
+// second concurrent service chain (fixed ServiceTime/TxDelay/
+// RetryBackoff deltas make exact ties reachable).
 func (e *Engine) scheduleService(head int) {
-	if e.busyUntil[head] > e.now {
-		return // chain already running
+	if e.servicePending[head] || e.queues[head].Len() == 0 {
+		return // chain already running, or nothing to serve
 	}
-	if e.queues[head].Len() == 0 {
-		return
-	}
-	e.busyUntil[head] = e.now + e.cfg.ServiceTime
-	e.push(event{t: e.busyUntil[head], kind: evService, node: head})
+	e.servicePending[head] = true
+	e.push(event{t: e.now + e.cfg.ServiceTime, kind: evService, node: head})
 }
 
-// scheduleBSService starts the base station's receive pipeline if idle.
+// scheduleBSService starts the base station's receive pipeline if idle;
+// same pending-flag discipline as scheduleService.
 func (e *Engine) scheduleBSService() {
-	if e.bsBusy > e.now || e.bsQueue.Len() == 0 {
+	if e.bsPending || e.bsQueue.Len() == 0 {
 		return
 	}
-	e.bsBusy = e.now + e.cfg.BSServiceTime
-	e.push(event{t: e.bsBusy, kind: evService, node: network.BSID})
+	e.bsPending = true
+	e.push(event{t: e.now + e.cfg.BSServiceTime, kind: evService, node: network.BSID})
 }
 
 // handleService fuses the packet at the head's queue front, or completes
 // BS-side processing when node is the base station.
 func (e *Engine) handleService(ev event) {
 	if ev.node == network.BSID {
+		e.bsPending = false
 		if pkt, ok := e.bsQueue.Pop(); ok {
 			e.deliver(pkt)
 		}
 		if e.bsQueue.Len() > 0 {
-			e.bsBusy = e.now + e.cfg.BSServiceTime
-			e.push(event{t: e.bsBusy, kind: evService, node: network.BSID})
+			e.bsPending = true
+			e.push(event{t: e.now + e.cfg.BSServiceTime, kind: evService, node: network.BSID})
 		}
 		return
 	}
 	head := ev.node
+	e.servicePending[head] = false
 	q := e.queues[head]
 	if q == nil {
 		return
@@ -527,8 +558,8 @@ func (e *Engine) handleService(ev event) {
 		}
 	}
 	if q.Len() > 0 {
-		e.busyUntil[head] = e.now + e.cfg.ServiceTime
-		e.push(event{t: e.busyUntil[head], kind: evService, node: head})
+		e.servicePending[head] = true
+		e.push(event{t: e.now + e.cfg.ServiceTime, kind: evService, node: head})
 	}
 }
 
@@ -655,7 +686,8 @@ func (e *Engine) burst(head int) {
 			e.drop(metrics.DropBatch, pkt, head)
 		}
 	}
-	*buf = fusedBuf{}
+	buf.bits = 0
+	buf.pkts = buf.pkts[:0]
 }
 
 // forwardChainInstant pushes a leftover fused packet through the
