@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json figs examples ci clean
+.PHONY: all build test race race-service serve bench bench-json figs examples ci clean
 
 all: build test
 
@@ -16,11 +16,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The daemon and the parallel runner are the most concurrency-dense code
+# in the repo (worker pool, SSE fan-out, queue close/drain); run them
+# under -race twice so rare interleavings get a second chance to fire.
+race-service:
+	$(GO) test -race -count=2 ./internal/service/... ./internal/runner
+
+# Run the simulation daemon locally (Ctrl-C drains; second Ctrl-C
+# force-quits). See README "Running as a service" for the API.
+serve:
+	$(GO) run ./cmd/qlecd -addr :8080 -data-dir qlecd-data
+
 # Everything CI runs (see .github/workflows/ci.yml): build + vet, the
 # full test suite, the race detector, and a short real sweep through the
 # parallel runner under -race to shake out orchestration races that the
 # unit tests' stub protocols cannot reach.
-ci: build test race
+ci: build test race race-service
 	$(GO) test -race -run 'TestSweepsParallelMatchSerial|TestMap' ./internal/experiment ./internal/runner
 	$(GO) run -race ./cmd/qlecfig -fig ksweep -quick -workers 0 >/dev/null
 

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | qlecbench -out BENCH.json
+//	qlecbench -out BENCH.json bench.txt    # or from a saved log
+//	qlecbench - < bench.txt                # "-" names stdin explicitly
+//
+// The optional positional argument names the input: a file path, or "-"
+// for stdin (the default, so piping needs no temp file).
 //
 // Lines that are not benchmark results (package headers, PASS/ok, warm-up
 // noise) are ignored. Every metric column is captured — the standard
@@ -40,33 +45,60 @@ type benchDoc struct {
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
 	flag.Parse()
-
-	doc, err := parse(os.Stdin)
-	if err != nil {
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "qlecbench: at most one input (file path or -) expected")
+		os.Exit(1)
+	}
+	input := "-"
+	if flag.NArg() == 1 {
+		input = flag.Arg(0)
+	}
+	if err := run(input, *out, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "qlecbench:", err)
 		os.Exit(1)
 	}
+}
+
+// run converts the named input ("-" = stdin) to JSON on the named
+// output ("" = stdout). Factored out of main so tests can drive the
+// full path with plain readers and temp files.
+func run(input, out string, stdin io.Reader, stdout io.Writer) error {
+	r := stdin
+	if input != "-" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := parse(r)
+	if err != nil {
+		return err
+	}
 	if len(doc.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "qlecbench: no benchmark lines on stdin")
-		os.Exit(1)
+		return fmt.Errorf("no benchmark lines in %s", inputName(input))
 	}
 
-	w := io.Writer(os.Stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
+	w := stdout
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "qlecbench:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, "qlecbench:", err)
-		os.Exit(1)
+	return enc.Encode(doc)
+}
+
+func inputName(input string) string {
+	if input == "-" {
+		return "stdin"
 	}
+	return fmt.Sprintf("%q", input)
 }
 
 // parse reads go-test benchmark output. Result lines have the shape

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -49,6 +53,47 @@ func TestParse(t *testing.T) {
 	}
 	if doc.Benchmarks[1].Name != "BenchmarkFig3aPacketDeliveryRate/k-means/lambda=2" {
 		t.Fatalf("k-means name mangled: %q", doc.Benchmarks[1].Name)
+	}
+}
+
+// TestRunInputs drives the full convert path for both input spellings:
+// "-" (stdin, the piped `go test -bench | qlecbench` case) and a file
+// path argument. The two must produce identical documents.
+func TestRunInputs(t *testing.T) {
+	var fromStdin bytes.Buffer
+	if err := run("-", "", strings.NewReader(sample), &fromStdin); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(path, outPath, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromStdin.Bytes(), fromFile) {
+		t.Fatalf("stdin and file inputs disagree:\n%s\nvs\n%s", fromStdin.Bytes(), fromFile)
+	}
+
+	var doc benchDoc
+	if err := json.Unmarshal(fromFile, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("round-tripped %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+
+	if err := run(filepath.Join(t.TempDir(), "missing.txt"), "", nil, nil); err == nil {
+		t.Fatal("missing input file accepted")
+	}
+	if err := run("-", "", strings.NewReader("no benchmarks here\n"), &fromStdin); err == nil {
+		t.Fatal("benchmark-free input accepted")
 	}
 }
 

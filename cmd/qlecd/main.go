@@ -1,0 +1,105 @@
+// Command qlecd runs the QLEC simulation service: a long-lived daemon
+// that accepts simulation jobs over HTTP/JSON, executes them on a
+// bounded worker pool, streams per-round progress over SSE and caches
+// results content-addressed on disk — identical submissions never
+// simulate twice, across restarts included.
+//
+// Usage:
+//
+//	qlecd [-addr :8080] [-data-dir qlecd-data] [-workers 2]
+//	      [-sim-workers 0] [-queue 256] [-retries 1]
+//	      [-drain-timeout 30s] [-quiet]
+//
+// API (see README "Running as a service" for curl examples):
+//
+//	POST   /v1/jobs             submit a job (experiment config + kind)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job state
+//	DELETE /v1/jobs/{id}        cancel (idempotent; next round boundary)
+//	GET    /v1/jobs/{id}/events SSE progress stream
+//	GET    /v1/results/{hash}   content-addressed result download
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /metrics             uptime, queue depth, cache hit rate, …
+//
+// The first SIGINT/SIGTERM drains gracefully: submissions get 503,
+// in-flight jobs run to completion (bounded by -drain-timeout), queued
+// jobs stay queued on disk and resume on the next start. A second
+// signal force-quits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"qlec/internal/cli"
+	"qlec/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		dataDir      = flag.String("data-dir", "qlecd-data", "job/result store directory (empty = in-memory only)")
+		workers      = flag.Int("workers", 2, "concurrent simulation jobs")
+		simWorkers   = flag.Int("sim-workers", 0, "per-job sweep parallelism override (0 = as submitted)")
+		queueLimit   = flag.Int("queue", 256, "maximum queued jobs before 503")
+		retries      = flag.Int("retries", 1, "re-queues per job on transient failure")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		quiet        = flag.Bool("quiet", false, "suppress the operational log")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "qlecd: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	srv, err := service.New(service.Options{
+		DataDir:    *dataDir,
+		Workers:    *workers,
+		SimWorkers: *simWorkers,
+		QueueLimit: *queueLimit,
+		MaxRetries: *retries,
+		Logf:       logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qlecd:", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	logf("listening on %s (data dir %q, %d workers)", *addr, *dataDir, *workers)
+
+	// First signal cancels ctx (drain), second force-quits — the same
+	// two-stage Ctrl-C contract as every other tool in the repo.
+	ctx, stop := cli.Context(0)
+	defer stop()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "qlecd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	logf("draining: waiting up to %v for in-flight jobs", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		logf("drain incomplete: %v (interrupted jobs will resume on next start)", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logf("http shutdown: %v", err)
+	}
+	logf("bye")
+}

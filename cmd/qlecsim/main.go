@@ -6,13 +6,19 @@
 //	qlecsim [-protocol QLEC|FCM|k-means|LEACH|DEEC-nearest]
 //	        [-lambda 4] [-rounds 20] [-n 100] [-side 200] [-k 5]
 //	        [-seed 1] [-lifespan] [-deathline 2.5] [-perround]
-//	        [-timeout 30s] [-quiet]
+//	        [-timeout 30s] [-quiet] [-remote http://host:8080]
 //
 // With -lifespan the run uses the death-line / stop-on-first-death
 // methodology of Figure 3(c); otherwise it runs exactly -rounds rounds.
 // A live round counter streams to stderr (-quiet disables it). Ctrl-C
 // or an elapsed -timeout stops the run at the next round boundary and
 // prints the partial results accumulated so far.
+//
+// With -remote the simulation runs on a qlecd daemon instead of
+// in-process: the tool submits the identical configuration as a job,
+// streams per-round progress over SSE into the same stderr meter, and
+// prints the same result table. Identical submissions are answered from
+// the daemon's content-addressed cache without re-simulating.
 package main
 
 import (
@@ -29,6 +35,8 @@ import (
 	"qlec/internal/energy"
 	"qlec/internal/experiment"
 	"qlec/internal/plot"
+	"qlec/internal/service"
+	"qlec/internal/service/client"
 	"qlec/internal/sim"
 )
 
@@ -53,6 +61,7 @@ func main() {
 		tracePath = flag.String("trace", "", "write a JSONL packet-event trace to this path")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); partial results are printed")
 		quiet     = flag.Bool("quiet", false, "suppress the live per-round progress meter on stderr")
+		remote    = flag.String("remote", "", "submit the run to a qlecd daemon at this base URL instead of simulating in-process")
 	)
 	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -100,6 +109,10 @@ func main() {
 
 	var flushTrace func() error
 	if *tracePath != "" {
+		if *remote != "" {
+			fmt.Fprintln(os.Stderr, "qlecsim: -trace is per-packet and does not cross the wire; drop it or run without -remote")
+			os.Exit(1)
+		}
 		fh, err := os.Create(*tracePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qlecsim:", err)
@@ -112,23 +125,34 @@ func main() {
 	}
 
 	meter := cli.NewMeter(os.Stderr)
-	if !*quiet {
-		s.Config.Observer = func(snap sim.RoundSnapshot) {
-			meter.Printf(snap.Done, "round %d  alive %d  energy %.2f J",
-				snap.Round+1, snap.Alive, float64(snap.EnergySoFar))
+	var res *qlec.Result
+	var err error
+	if *remote != "" {
+		res, err = runRemote(ctx, *remote, s, meter, *quiet)
+		meter.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qlecsim:", err)
+			os.Exit(1)
 		}
-	}
-	start := time.Now()
-	res, err := qlec.RunContext(ctx, s)
-	meter.Close()
-	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
-	if err != nil && !interrupted {
-		fmt.Fprintln(os.Stderr, "qlecsim:", err)
-		os.Exit(1)
-	}
-	if interrupted {
-		fmt.Fprintf(os.Stderr, "qlecsim: run stopped early (%v) after %d rounds in %v; partial results follow\n",
-			err, res.Rounds, time.Since(start).Round(time.Millisecond))
+	} else {
+		if !*quiet {
+			s.Config.Observer = func(snap sim.RoundSnapshot) {
+				meter.Printf(snap.Done, "round %d  alive %d  energy %.2f J",
+					snap.Round+1, snap.Alive, float64(snap.EnergySoFar))
+			}
+		}
+		start := time.Now()
+		res, err = qlec.RunContext(ctx, s)
+		meter.Close()
+		interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+		if err != nil && !interrupted {
+			fmt.Fprintln(os.Stderr, "qlecsim:", err)
+			os.Exit(1)
+		}
+		if interrupted {
+			fmt.Fprintf(os.Stderr, "qlecsim: run stopped early (%v) after %d rounds in %v; partial results follow\n",
+				err, res.Rounds, time.Since(start).Round(time.Millisecond))
+		}
 	}
 	if flushTrace != nil {
 		if err := flushTrace(); err != nil {
@@ -202,4 +226,41 @@ func lifespanString(l int) string {
 		return "survived"
 	}
 	return fmt.Sprintf("%d", l)
+}
+
+// runRemote submits the scenario to a qlecd daemon as a KindOne job,
+// streams SSE round progress into the meter, and returns the fetched
+// result. On Ctrl-C the remote job is cancelled best-effort — the
+// daemon discards the partial run, so unlike local runs there is no
+// partial table to print.
+func runRemote(ctx context.Context, base string, s qlec.Scenario, meter *cli.Meter, quiet bool) (*qlec.Result, error) {
+	req := service.Request{
+		Kind:      service.KindOne,
+		Config:    s.Config,
+		Protocols: []experiment.ProtocolID{s.Protocol},
+		Lambda:    s.Lambda,
+		Seed:      s.Seed,
+		Lifespan:  s.MeasureLifespan,
+	}
+	cl := client.New(base)
+	res, job, err := cl.RunOne(ctx, req, func(e service.Event) {
+		if quiet || e.Round == nil {
+			return
+		}
+		meter.Printf(e.Round.Done, "round %d  alive %d  energy %.2f J  [remote]",
+			e.Round.Round+1, e.Round.Alive, e.Round.EnergyJ)
+	})
+	if err != nil {
+		if ctx.Err() != nil && job != nil && !job.State.Terminal() {
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_, _ = cl.Cancel(cctx, job.ID)
+			cancel()
+			return nil, fmt.Errorf("interrupted; cancelled remote job %s", job.ID)
+		}
+		return nil, err
+	}
+	if job.CacheHit {
+		fmt.Fprintf(os.Stderr, "qlecsim: served from qlecd result cache (job %s, hash %.12s)\n", job.ID, job.Hash)
+	}
+	return res, nil
 }

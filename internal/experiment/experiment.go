@@ -52,6 +52,22 @@ const (
 // PaperProtocols returns the three protocols of Figure 3.
 func PaperProtocols() []ProtocolID { return []ProtocolID{QLEC, FCM, KMeans} }
 
+// AllProtocols returns every implemented protocol id, ablations
+// included — the authority the job service validates requests against.
+func AllProtocols() []ProtocolID {
+	return []ProtocolID{QLEC, FCM, KMeans, LEACH, DEECNearest, QLECNoFloor, QLECNoRR, DEECPlain, Direct}
+}
+
+// KnownProtocol reports whether id names an implemented protocol.
+func KnownProtocol(id ProtocolID) bool {
+	for _, p := range AllProtocols() {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
 // Config assembles one experiment family.
 type Config struct {
 	// Deployment (§5.1): N nodes, cube side M, per-node initial energy.
@@ -92,20 +108,22 @@ type Config struct {
 	AdvancedFraction float64
 	AdvancedFactor   float64
 	// Tracer, when non-nil, observes every packet transition of every
-	// run (see sim.Tracer). Mostly useful with single runs.
-	Tracer sim.Tracer
+	// run (see sim.Tracer). Mostly useful with single runs. Excluded
+	// from JSON (func fields cannot round-trip).
+	Tracer sim.Tracer `json:"-"`
 	// Observer, when non-nil, receives one sim.RoundSnapshot per round
 	// of single runs (RunOne) — live progress, early-stopping hooks.
 	// Like Tracer it is dropped in sweeps, where rounds from unrelated
-	// cells would interleave.
-	Observer sim.Observer
+	// cells would interleave, and excluded from JSON.
+	Observer sim.Observer `json:"-"`
 	// Workers bounds sweep parallelism: 0 fans out across the CPUs,
 	// 1 forces the serial reference schedule (results are identical
 	// either way; see runner.Map).
 	Workers int
 	// Progress, when non-nil, receives sweep completion updates (cells
 	// done out of total). Called from worker goroutines, serialized.
-	Progress runner.Progress
+	// Excluded from JSON.
+	Progress runner.Progress `json:"-"`
 }
 
 // PaperConfig returns the paper's §5.1/Table 2 experiment setup.
@@ -212,6 +230,15 @@ func (c Config) RunOne(ctx context.Context, id ProtocolID, lambda float64, seed 
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	return c.runOneValidated(ctx, id, lambda, seed, lifespan)
+}
+
+// runOneValidated is RunOne minus the Validate call — the sweep entry
+// points validate their (derived) configurations exactly once up front
+// and then run every (protocol, λ, seed) cell through this path, so a
+// bad configuration is reported immediately instead of N times from
+// inside the worker pool.
+func (c Config) runOneValidated(ctx context.Context, id ProtocolID, lambda float64, seed uint64, lifespan bool) (*metrics.Result, error) {
 	var w *network.Network
 	var err error
 	if c.Topology != nil {
@@ -354,12 +381,14 @@ func (c Config) RunFig3(ctx context.Context, ids []ProtocolID) ([]SweepResult, e
 }
 
 // runCell executes one replication pair (fixed-round + lifespan run).
+// The configuration must already be validated (sweeps validate once up
+// front; see runOneValidated).
 func (c Config) runCell(ctx context.Context, id ProtocolID, lambda float64, seed uint64) (cellResult, error) {
-	res, err := c.RunOne(ctx, id, lambda, seed, false)
+	res, err := c.runOneValidated(ctx, id, lambda, seed, false)
 	if err != nil {
 		return cellResult{}, err
 	}
-	lres, err := c.RunOne(ctx, id, lambda, seed, true)
+	lres, err := c.runOneValidated(ctx, id, lambda, seed, true)
 	if err != nil {
 		return cellResult{}, err
 	}
@@ -400,18 +429,23 @@ func (c Config) RunKSweep(ctx context.Context, id ProtocolID, ks []int, lambda f
 	if len(ks) == 0 {
 		return nil, fmt.Errorf("experiment: no k values")
 	}
-	for _, k := range ks {
-		if k <= 0 {
-			return nil, fmt.Errorf("experiment: k=%d not positive", k)
+	// Derive and validate every per-k configuration up front, so an
+	// invalid k (non-positive, or k > N) is reported once and
+	// immediately instead of len(Seeds) times from inside the sweep.
+	kcfgs := make([]Config, len(ks))
+	for i, k := range ks {
+		kcfg := c
+		kcfg.K = k
+		if err := kcfg.Validate(); err != nil {
+			return nil, fmt.Errorf("experiment: k=%d: %w", k, err)
 		}
+		kcfgs[i] = kcfg
 	}
 	opts := c.sweepOptions()
 	cells, err := runner.Map(ctx, len(ks)*len(c.Seeds), opts,
 		func(ctx context.Context, i int) (cellResult, error) {
 			k, seed := ks[i/len(c.Seeds)], c.Seeds[i%len(c.Seeds)]
-			kcfg := c
-			kcfg.K = k
-			cell, err := kcfg.runCell(ctx, id, lambda, seed)
+			cell, err := kcfgs[i/len(c.Seeds)].runCell(ctx, id, lambda, seed)
 			if err != nil {
 				return cellResult{}, fmt.Errorf("k=%d seed=%d: %w", k, seed, err)
 			}
@@ -465,8 +499,10 @@ func (c Config) RunNSweep(ctx context.Context, id ProtocolID, ns []int, lambda f
 	}
 	baseDensity := float64(c.N)
 	baseK := float64(c.K)
-	// Derive each size's scaled deployment up front, so job functions
-	// stay pure lookups.
+	// Derive each size's scaled deployment up front and validate it
+	// once, so job functions stay pure lookups and an invalid size is
+	// reported immediately instead of len(Seeds) times from inside the
+	// sweep.
 	cfgs := make([]Config, len(ns))
 	for i, n := range ns {
 		if n <= 0 {
@@ -483,6 +519,9 @@ func (c Config) RunNSweep(ctx context.Context, id ProtocolID, ns []int, lambda f
 			k = n
 		}
 		ncfg.K = k
+		if err := ncfg.Validate(); err != nil {
+			return nil, fmt.Errorf("experiment: N=%d: %w", n, err)
+		}
 		cfgs[i] = ncfg
 	}
 	opts := c.sweepOptions()

@@ -1,0 +1,357 @@
+// Package client is the typed Go client for the qlecd daemon
+// (cmd/qlecd, internal/service): submit jobs, poll state, stream SSE
+// progress, download content-addressed results. All calls honour their
+// context; transport-level failures and 5xx responses retry with
+// exponential backoff — safe even for POST /v1/jobs, because
+// submissions are content-addressed and therefore idempotent.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"qlec/internal/metrics"
+	"qlec/internal/service"
+)
+
+// Client talks to one qlecd base URL.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (timeouts, proxies, test
+// servers).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times a failed call is retried (default 3).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the initial retry backoff, doubled per attempt
+// (default 100ms).
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New builds a client for a base URL like "http://localhost:8080".
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		retries: 3,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response from the daemon.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("qlecd: %d %s: %s", e.Status, http.StatusText(e.Status), e.Message)
+}
+
+// retryable reports whether the failure is worth another attempt:
+// transport errors and 5xx. 4xx are the caller's bug and final.
+func retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status >= 500
+	}
+	// Transport-level failure (connection refused, reset, timeout).
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// do runs one JSON request with retry/backoff; out, when non-nil,
+// receives the decoded 2xx body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	backoff := c.backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return errors.Join(ctx.Err(), lastErr)
+			}
+			backoff *= 2
+		}
+		lastErr = c.once(ctx, method, path, body, out)
+		if lastErr == nil || !retryable(lastErr) {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &apiErr) == nil && apiErr.Error != "" {
+			return &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+		}
+		return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(msg))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// Submit posts a job. The returned Job may already be done (cache hit)
+// or be an existing in-flight job (coalesced duplicate).
+func (c *Client) Submit(ctx context.Context, req service.Request) (*service.Job, error) {
+	var j service.Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Job fetches one job record.
+func (c *Client) Job(ctx context.Context, id string) (*service.Job, error) {
+	var j service.Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Jobs lists every job the daemon knows.
+func (c *Client) Jobs(ctx context.Context) ([]*service.Job, error) {
+	var js []*service.Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &js); err != nil {
+		return nil, err
+	}
+	return js, nil
+}
+
+// Cancel requests cancellation; idempotent. A running job stops at its
+// next round boundary — poll or stream events for the terminal state.
+func (c *Client) Cancel(ctx context.Context, id string) (*service.Job, error) {
+	var j service.Job
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Result downloads a content-addressed result envelope.
+func (c *Client) Result(ctx context.Context, hash string) (*service.ResultEnvelope, error) {
+	var env service.ResultEnvelope
+	if err := c.do(ctx, http.MethodGet, "/v1/results/"+hash, nil, &env); err != nil {
+		return nil, err
+	}
+	return &env, nil
+}
+
+// Metrics fetches the daemon's operational counters.
+func (c *Client) Metrics(ctx context.Context) (*service.Metrics, error) {
+	var m service.Metrics
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Events streams a job's SSE progress, invoking fn per event until fn
+// returns false, the stream ends (terminal state), or ctx is done.
+// Dropped connections reconnect with Last-Event-ID, so no terminal
+// event is lost, up to the client's retry budget per gap.
+func (c *Client) Events(ctx context.Context, id string, fn func(service.Event) bool) error {
+	lastSeq := 0
+	attempts := 0
+	for {
+		terminal, err := c.streamOnce(ctx, id, &lastSeq, fn)
+		if terminal || err == nil {
+			return err
+		}
+		if !retryable(err) || attempts >= c.retries {
+			return err
+		}
+		attempts++
+		select {
+		case <-time.After(c.backoff * time.Duration(1<<attempts)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// streamOnce consumes one SSE connection. terminal reports a clean end:
+// fn stopped the stream, or the job announced a terminal state and the
+// server closed it.
+func (c *Client) streamOnce(ctx context.Context, id string, lastSeq *int, fn func(service.Event) bool) (terminal bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *lastSeq > 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprint(*lastSeq))
+	}
+	// SSE outlives any sane request timeout; use the transport without
+	// the client-wide deadline.
+	hc := *c.hc
+	hc.Timeout = 0
+	resp, err := hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return false, &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(msg))}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var data []byte
+	sawTerminal := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "" && data != nil:
+			var e service.Event
+			if err := json.Unmarshal(data, &e); err != nil {
+				return false, fmt.Errorf("client: decode event: %w", err)
+			}
+			data = nil
+			if e.Seq > *lastSeq {
+				*lastSeq = e.Seq
+			}
+			if e.Type == service.EventState && e.State.Terminal() {
+				sawTerminal = true
+			}
+			if !fn(e) {
+				return true, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && !sawTerminal {
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		return false, err
+	}
+	// A clean EOF after a terminal state is the normal end of stream; a
+	// clean EOF without one is a dropped connection worth resuming.
+	return sawTerminal, nil
+}
+
+// Wait polls until the job reaches a terminal state.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*service.Job, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.State.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return j, ctx.Err()
+		}
+	}
+}
+
+// RunOne drives a single-simulation (KindOne) job end to end: submit,
+// stream progress through onEvent (nil ok), wait for the terminal
+// state, download the result. The returned Job reports cache hits and
+// attempt counts.
+func (c *Client) RunOne(ctx context.Context, req service.Request, onEvent func(service.Event)) (*metrics.Result, *service.Job, error) {
+	req.Kind = service.KindOne
+	j, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !j.State.Terminal() {
+		err := c.Events(ctx, j.ID, func(e service.Event) bool {
+			if onEvent != nil {
+				onEvent(e)
+			}
+			return true
+		})
+		if err != nil && ctx.Err() != nil {
+			return nil, j, err
+		}
+		// Stream errors beyond the retry budget degrade to polling.
+		if j, err = c.Wait(ctx, j.ID, 0); err != nil {
+			return nil, j, err
+		}
+	}
+	switch j.State {
+	case service.StateDone:
+		env, err := c.Result(ctx, j.Hash)
+		if err != nil {
+			return nil, j, err
+		}
+		if env.One == nil {
+			return nil, j, fmt.Errorf("client: result %s is not a single-run payload (kind %q)", j.Hash, env.Kind)
+		}
+		return env.One, j, nil
+	case service.StateFailed:
+		return nil, j, fmt.Errorf("client: job %s failed: %s", j.ID, j.Error)
+	case service.StateCancelled:
+		return nil, j, fmt.Errorf("client: job %s cancelled", j.ID)
+	default:
+		return nil, j, fmt.Errorf("client: job %s in unexpected state %q", j.ID, j.State)
+	}
+}

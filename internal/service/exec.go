@@ -1,0 +1,74 @@
+package service
+
+import (
+	"context"
+
+	"qlec/internal/sim"
+)
+
+// RunFunc executes one normalized, validated request and returns its
+// result envelope. publish streams progress events (Seq is assigned by
+// the hub, not the producer). Implementations must honour ctx — the
+// server cancels it on DELETE and on hard shutdown.
+type RunFunc func(ctx context.Context, req Request, publish func(Event)) (*ResultEnvelope, error)
+
+// Execute is the production RunFunc: it dispatches a request to the
+// experiment harness entry point its kind names, wiring per-round
+// progress (KindOne, via the sim.Observer hook) or per-cell sweep
+// progress (the runner.Progress hook) into the event stream.
+func Execute(ctx context.Context, req Request, publish func(Event)) (*ResultEnvelope, error) {
+	cfg := req.Config
+	env := &ResultEnvelope{Kind: req.Kind}
+	switch req.Kind {
+	case KindOne:
+		cfg.Observer = func(snap sim.RoundSnapshot) {
+			publish(Event{Type: EventRound, Round: &RoundProgress{
+				Round:     snap.Round,
+				Alive:     snap.Alive,
+				Generated: snap.Stats.Generated,
+				Delivered: snap.Stats.Delivered,
+				EnergyJ:   float64(snap.EnergySoFar),
+				Done:      snap.Done,
+			}})
+		}
+		res, err := cfg.RunOne(ctx, req.Protocols[0], req.Lambda, req.Seed, req.Lifespan)
+		if err != nil {
+			return nil, err
+		}
+		env.One = res
+	case KindFig3:
+		cfg.Progress = sweepProgress(publish)
+		out, err := cfg.RunFig3(ctx, req.Protocols)
+		if err != nil {
+			return nil, err
+		}
+		env.Fig3 = out
+	case KindKSweep:
+		cfg.Progress = sweepProgress(publish)
+		out, err := cfg.RunKSweep(ctx, req.Protocols[0], req.Ks, req.Lambda)
+		if err != nil {
+			return nil, err
+		}
+		env.KSweep = out
+	case KindNSweep:
+		cfg.Progress = sweepProgress(publish)
+		out, err := cfg.RunNSweep(ctx, req.Protocols[0], req.Ns, req.Lambda)
+		if err != nil {
+			return nil, err
+		}
+		env.NSweep = out
+	default:
+		return nil, &badKindError{kind: req.Kind}
+	}
+	return env, nil
+}
+
+func sweepProgress(publish func(Event)) func(done, total int) {
+	return func(done, total int) {
+		publish(Event{Type: EventSweep, Sweep: &SweepProgress{Done: done, Total: total}})
+	}
+}
+
+type badKindError struct{ kind JobKind }
+
+func (e *badKindError) Error() string { return "service: unknown job kind " + string(e.kind) }

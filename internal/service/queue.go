@@ -1,0 +1,64 @@
+package service
+
+import "sync"
+
+// jobQueue is the FIFO dispatch queue between the HTTP front end and
+// the worker pool. It holds job IDs only — the job table is the source
+// of truth, so a job cancelled while queued is simply skipped when its
+// ID surfaces. close wakes every blocked worker and makes pop return
+// false; IDs still queued at close time are deliberately left behind
+// (they persist as queued and re-enter the queue on restart).
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ids    []string
+	closed bool
+}
+
+func newJobQueue() *jobQueue {
+	q := &jobQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends an ID. Pushing to a closed queue is a no-op.
+func (q *jobQueue) push(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.ids = append(q.ids, id)
+	q.cond.Signal()
+}
+
+// pop blocks until an ID is available or the queue closes; ok is false
+// only on close.
+func (q *jobQueue) pop() (id string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.ids) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return "", false
+	}
+	id = q.ids[0]
+	q.ids = q.ids[1:]
+	return id, true
+}
+
+// depth returns the number of queued IDs.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.ids)
+}
+
+// close wakes all poppers; subsequent pops return false.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,537 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Server. The zero value works: in-memory store,
+// two workers, default queue bound, the production Execute run
+// function.
+type Options struct {
+	// DataDir enables the disk-backed store; empty keeps everything in
+	// memory (tests, throwaway servers).
+	DataDir string
+	// Workers sizes the pool; default 2.
+	Workers int
+	// QueueLimit bounds queued jobs; submissions beyond it get 503.
+	// Default 256.
+	QueueLimit int
+	// MaxRetries is how many times a transiently-failed job re-enters
+	// the queue before failing terminally. Default 1.
+	MaxRetries int
+	// SimWorkers, when positive, overrides each job's Config.Workers so
+	// a W-worker pool doesn't fan every sweep out across every CPU.
+	// Zero honours the submitted configuration.
+	SimWorkers int
+	// Run executes jobs; default Execute. Tests substitute stubs.
+	Run RunFunc
+	// Logf receives operational log lines; default drops them.
+	Logf func(format string, args ...any)
+}
+
+// Server is the qlecd core: job table, queue, worker pool, cache,
+// store, and the HTTP handler over them. Create with New, serve
+// Handler(), stop with Drain (graceful) or Close (hard).
+type Server struct {
+	opt   Options
+	store *Store // nil without DataDir
+	cache *resultCache
+	queue *jobQueue
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	hubs     map[string]*eventHub
+	cancels  map[string]context.CancelFunc
+	inflight map[string]string // request hash → queued/running job ID
+	nextID   int
+
+	start    time.Time
+	simsRun  atomic.Int64
+	draining atomic.Bool
+
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// New builds and starts a server: opens the store, reloads persisted
+// jobs (interrupted ones re-enter the queue), indexes persisted
+// results, and launches the worker pool.
+func New(opt Options) (*Server, error) {
+	if opt.Workers <= 0 {
+		opt.Workers = 2
+	}
+	if opt.QueueLimit <= 0 {
+		opt.QueueLimit = 256
+	}
+	if opt.MaxRetries < 0 {
+		opt.MaxRetries = 0
+	} else if opt.MaxRetries == 0 {
+		opt.MaxRetries = 1
+	}
+	if opt.Run == nil {
+		opt.Run = Execute
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		opt:      opt,
+		queue:    newJobQueue(),
+		jobs:     make(map[string]*Job),
+		hubs:     make(map[string]*eventHub),
+		cancels:  make(map[string]context.CancelFunc),
+		inflight: make(map[string]string),
+		nextID:   1,
+		start:    time.Now(),
+	}
+	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+	if opt.DataDir != "" {
+		store, err := OpenStore(opt.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+	}
+	cache, err := newResultCache(s.store)
+	if err != nil {
+		return nil, err
+	}
+	s.cache = cache
+	if err := s.reload(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < opt.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.workerLoop()
+		}()
+	}
+	return s, nil
+}
+
+// reload restores the job table from the store. Jobs the previous
+// process left queued re-enter the queue; jobs it left running were
+// interrupted mid-flight (crash, hard kill), so they re-enter the queue
+// too — re-execution is safe because simulations are deterministic and
+// results are content-addressed.
+func (s *Server) reload() error {
+	if s.store == nil {
+		return nil
+	}
+	jobs, warns := s.store.LoadJobs()
+	for _, w := range warns {
+		s.opt.Logf("reload: %v", w)
+	}
+	if warns != nil && jobs == nil {
+		return fmt.Errorf("service: reload failed: %w", warns[0])
+	}
+	for _, j := range jobs { // sorted by ID = submission order
+		if n, err := strconv.Atoi(j.ID[1:]); err == nil && n >= s.nextID {
+			s.nextID = n + 1
+		}
+		if j.State == StateRunning {
+			s.opt.Logf("reload: job %s was running at shutdown; requeueing", j.ID)
+			j.State = StateQueued
+			j.CancelRequested = false
+			if err := s.store.SaveJob(j); err != nil {
+				s.opt.Logf("reload: %v", err)
+			}
+		}
+		s.jobs[j.ID] = j
+		if j.State == StateQueued {
+			s.hubs[j.ID] = newEventHub()
+			if prev, dup := s.inflight[j.Hash]; dup {
+				// Two queued jobs with one identity (crash between the
+				// duplicate check and persistence): keep the older one
+				// queued, the younger will coalesce via the cache when
+				// the older finishes.
+				s.opt.Logf("reload: jobs %s and %s share hash %s", prev, j.ID, j.Hash)
+			} else {
+				s.inflight[j.Hash] = j.ID
+			}
+			s.queue.push(j.ID)
+		}
+	}
+	return nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// httpError is the JSON error payload.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit implements POST /v1/jobs: validate, content-address,
+// dedupe (done → cache hit, in-flight → coalesce), enqueue.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	req = req.Normalize()
+	if err := req.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash, err := req.Hash()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if _, ok := s.cache.peek(hash); ok {
+		// Identical experiment already simulated: answer without
+		// queueing. The job record exists so the client workflow
+		// (submit → poll → fetch) is uniform either way.
+		s.cache.hits.Add(1)
+		s.mu.Lock()
+		j := s.newJobLocked(req, hash)
+		j.State = StateDone
+		j.CacheHit = true
+		j.StartedAt = j.CreatedAt
+		j.FinishedAt = j.CreatedAt
+		s.persistLocked(j)
+		view := j.clone()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+
+	s.mu.Lock()
+	if id, ok := s.inflight[hash]; ok {
+		// Same experiment already queued or running: coalesce onto it.
+		// This still counts as a cache hit — the submission triggers no
+		// new simulation.
+		s.cache.hits.Add(1)
+		view := s.jobs[id].clone()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	s.cache.misses.Add(1)
+	if s.queue.depth() >= s.opt.QueueLimit {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "queue full (%d jobs)", s.opt.QueueLimit)
+		return
+	}
+	j := s.newJobLocked(req, hash)
+	j.State = StateQueued
+	s.hubs[j.ID] = newEventHub()
+	s.inflight[hash] = j.ID
+	s.persistLocked(j)
+	view := j.clone()
+	s.mu.Unlock()
+	s.queue.push(j.ID)
+	s.opt.Logf("job %s queued (kind=%s hash=%.12s)", j.ID, req.Kind, hash)
+	writeJSON(w, http.StatusCreated, view)
+}
+
+// newJobLocked allocates the next job record; caller holds s.mu.
+func (s *Server) newJobLocked(req Request, hash string) *Job {
+	j := &Job{
+		ID:        fmt.Sprintf("j%08d", s.nextID),
+		Hash:      hash,
+		Request:   req,
+		CreatedAt: time.Now().UTC(),
+	}
+	s.nextID++
+	s.jobs[j.ID] = j
+	return j
+}
+
+// persistLocked writes the job record through to the store (when one is
+// configured); caller holds s.mu, which also serializes the file write
+// per job.
+func (s *Server) persistLocked(j *Job) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.SaveJob(j); err != nil {
+		s.opt.Logf("%v", err)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.clone())
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var view *Job
+	if ok {
+		view = j.clone()
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleCancel implements DELETE /v1/jobs/{id}. Cancelling a queued job
+// is immediate; a running job stops at its next round boundary (the
+// engine's cancellation unit). Cancelling a terminal job is a no-op —
+// DELETE is idempotent.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	switch j.State {
+	case StateQueued:
+		j.State = StateCancelled
+		j.CancelRequested = true
+		j.Error = "cancelled while queued"
+		j.FinishedAt = time.Now().UTC()
+		delete(s.inflight, j.Hash)
+		s.persistLocked(j)
+		if hub := s.hubs[id]; hub != nil {
+			hub.publish(Event{Type: EventState, State: StateCancelled, Error: j.Error})
+			hub.close()
+		}
+		s.opt.Logf("job %s cancelled (queued)", id)
+	case StateRunning:
+		j.CancelRequested = true
+		if cancel := s.cancels[id]; cancel != nil {
+			cancel()
+		}
+		s.persistLocked(j)
+		s.opt.Logf("job %s cancel requested (running)", id)
+	}
+	view := j.clone()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleEvents implements GET /v1/jobs/{id}/events: an SSE stream of
+// the job's progress. The full history replays first (or from
+// Last-Event-ID on reconnect), then live events until the job reaches a
+// terminal state — the final event is always that state transition.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	hub := s.hubs[id]
+	_, known := s.jobs[id]
+	s.mu.Unlock()
+	if !known {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	afterSeq := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			afterSeq = n
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(e Event) bool {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	if hub == nil {
+		// Terminal before any stream existed (cache hit, reloaded
+		// history): emit the one state event the client needs.
+		s.mu.Lock()
+		j := s.jobs[id].clone()
+		s.mu.Unlock()
+		writeEvent(Event{Seq: 1, Type: EventState, State: j.State, Error: j.Error})
+		return
+	}
+
+	replay, live, unsub := hub.subscribe(afterSeq)
+	defer unsub()
+	for _, e := range replay {
+		if !writeEvent(e) {
+			return
+		}
+	}
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case e, ok := <-live:
+			if !ok {
+				return // job finished (or server shut down); stream complete
+			}
+			if !writeEvent(e) {
+				return
+			}
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.hardCtx.Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	env, ok := s.cache.peek(hash)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no result %q", hash)
+		return
+	}
+	writeJSON(w, http.StatusOK, env)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	body := map[string]any{"status": "ok"}
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+		body["status"] = "draining"
+	}
+	writeJSON(w, status, body)
+}
+
+// Metrics snapshots the operational counters (also served at /metrics).
+func (s *Server) Metrics() Metrics {
+	hits, misses := s.cache.stats()
+	m := Metrics{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Workers:        s.opt.Workers,
+		QueueDepth:     s.queue.depth(),
+		Jobs:           make(map[JobState]int),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		SimulationsRun: s.simsRun.Load(),
+		Draining:       s.draining.Load(),
+	}
+	if total := hits + misses; total > 0 {
+		m.CacheHitRate = float64(hits) / float64(total)
+	}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		m.Jobs[j.State]++
+	}
+	s.mu.Unlock()
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// Drain gracefully shuts the pool down: new submissions get 503,
+// workers finish their in-flight jobs (queued jobs stay queued — they
+// persist and resume on the next start), then every event stream
+// closes. If ctx expires first, the remaining jobs are hard-cancelled
+// and Drain returns ctx's error after they unwind.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.hardCancel() // cancel in-flight jobs; workers exit promptly
+		<-done
+	}
+	s.closeHubs()
+	return err
+}
+
+// Close hard-stops the server: in-flight jobs are cancelled (and will
+// re-run on the next start — their interrupted state persists as
+// queued), workers exit, streams close.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.queue.close()
+	s.hardCancel()
+	s.wg.Wait()
+	s.closeHubs()
+}
+
+func (s *Server) closeHubs() {
+	s.mu.Lock()
+	hubs := make([]*eventHub, 0, len(s.hubs))
+	for _, h := range s.hubs {
+		hubs = append(hubs, h)
+	}
+	s.mu.Unlock()
+	for _, h := range hubs {
+		h.close()
+	}
+}

@@ -1,0 +1,341 @@
+// Package service is qlecd's simulation-as-a-service core: a job queue,
+// a bounded worker pool over the experiment harness, a content-addressed
+// result cache and an HTTP/JSON + SSE front end.
+//
+// The lifecycle (DESIGN.md §9):
+//
+//	queued → running → done | failed | cancelled
+//	            ↘ queued (retry on transient failure)
+//
+// Identity is content-addressed: a submission is hashed over its
+// canonical form (Request.Hash, built on experiment.Config.Hash), and
+// identical submissions never simulate twice — an in-flight duplicate
+// coalesces onto the existing job, and a finished duplicate is answered
+// from the result cache. Results persist as JSON under the data
+// directory and survive daemon restarts; jobs interrupted by a crash
+// reload as queued and run again.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"qlec/internal/energy"
+	"qlec/internal/experiment"
+	"qlec/internal/metrics"
+	"qlec/internal/sim"
+)
+
+// JobKind selects which experiment entry point a job drives.
+type JobKind string
+
+const (
+	// KindOne is a single simulation (experiment.Config.RunOne):
+	// protocol, λ, seed, optional lifespan methodology. Per-round
+	// progress streams over SSE via the sim.Observer hook.
+	KindOne JobKind = "one"
+	// KindFig3 is the full Figure 3 λ sweep for a protocol set.
+	KindFig3 JobKind = "fig3"
+	// KindKSweep is the cluster-count sensitivity sweep.
+	KindKSweep JobKind = "ksweep"
+	// KindNSweep is the constant-density scalability sweep.
+	KindNSweep JobKind = "nsweep"
+)
+
+// JobState is a node of the job lifecycle state machine.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state ends the lifecycle.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Request describes one simulation job: a full experiment configuration
+// plus the sweep kind and its parameters. Unused parameters for a kind
+// are ignored and excluded from the job's identity (see Normalize).
+type Request struct {
+	Kind      JobKind                 `json:"kind"`
+	Config    experiment.Config       `json:"config"`
+	Protocols []experiment.ProtocolID `json:"protocols"`
+	// Lambda is the traffic level for one/ksweep/nsweep jobs.
+	Lambda float64 `json:"lambda,omitempty"`
+	// Seed drives one-shot jobs (KindOne).
+	Seed uint64 `json:"seed,omitempty"`
+	// Lifespan switches KindOne to the death-line methodology.
+	Lifespan bool `json:"lifespan,omitempty"`
+	// Ks lists the cluster counts of a KindKSweep job.
+	Ks []int `json:"ks,omitempty"`
+	// Ns lists the network sizes of a KindNSweep job.
+	Ns []int `json:"ns,omitempty"`
+}
+
+// Normalize returns the request with kind-irrelevant parameters zeroed
+// and kind-implied configuration filled in, so that two submissions
+// that would run the identical simulation share a canonical form and
+// therefore a cache entry:
+//
+//   - KindOne runs exactly (Lambda, Seed), so Config.Lambdas/Seeds are
+//     forced to the single-point equivalents.
+//   - KindKSweep/KindNSweep take traffic from Lambda, so Config.Lambdas
+//     is forced to [Lambda].
+//   - KindFig3 ignores Lambda/Seed/Lifespan/Ks/Ns entirely.
+func (r Request) Normalize() Request {
+	n := r
+	switch r.Kind {
+	case KindOne:
+		n.Config.Lambdas = []float64{r.Lambda}
+		n.Config.Seeds = []uint64{r.Seed}
+		n.Ks, n.Ns = nil, nil
+	case KindFig3:
+		n.Lambda, n.Seed, n.Lifespan = 0, 0, false
+		n.Ks, n.Ns = nil, nil
+	case KindKSweep:
+		n.Config.Lambdas = []float64{r.Lambda}
+		n.Seed, n.Lifespan = 0, false
+		n.Ns = nil
+	case KindNSweep:
+		n.Config.Lambdas = []float64{r.Lambda}
+		n.Seed, n.Lifespan = 0, false
+		n.Ks = nil
+	}
+	// Auxiliary knobs left at their zero value fall back to the paper
+	// baseline — zero is invalid (or physically meaningless, for the
+	// energy model) for all of them — so a minimal HTTP submission works,
+	// and one that spells the defaults out shares its cache entry with
+	// one that omits them.
+	def := experiment.PaperConfig()
+	if n.Config.Sim == (sim.Config{}) {
+		n.Config.Sim = def.Sim
+	}
+	if n.Config.Model == (energy.Model{}) {
+		n.Config.Model = def.Model
+	}
+	if n.Config.LifespanDeathLine == 0 {
+		n.Config.LifespanDeathLine = def.LifespanDeathLine
+	}
+	if n.Config.LifespanMaxRounds == 0 {
+		n.Config.LifespanMaxRounds = def.LifespanMaxRounds
+	}
+	if n.Config.FCMLevels == 0 {
+		n.Config.FCMLevels = def.FCMLevels
+	}
+	// Hooks never cross the wire (json:"-") but guard against in-process
+	// submitters leaking them into workers.
+	n.Config.Tracer = nil
+	n.Config.Observer = nil
+	n.Config.Progress = nil
+	return n
+}
+
+// Validate checks the request against its kind. Call on the Normalize'd
+// form — the server does.
+func (r Request) Validate() error {
+	switch r.Kind {
+	case KindOne, KindKSweep, KindNSweep:
+		if len(r.Protocols) != 1 {
+			return fmt.Errorf("service: kind %q takes exactly one protocol, got %d", r.Kind, len(r.Protocols))
+		}
+		if !(r.Lambda > 0) {
+			return fmt.Errorf("service: kind %q requires a positive lambda, got %v", r.Kind, r.Lambda)
+		}
+	case KindFig3:
+		if len(r.Protocols) == 0 {
+			return fmt.Errorf("service: kind %q requires at least one protocol", r.Kind)
+		}
+	default:
+		return fmt.Errorf("service: unknown job kind %q", r.Kind)
+	}
+	for _, p := range r.Protocols {
+		if !experiment.KnownProtocol(p) {
+			return fmt.Errorf("service: unknown protocol %q", p)
+		}
+	}
+	if r.Kind == KindKSweep && len(r.Ks) == 0 {
+		return fmt.Errorf("service: ksweep requires a non-empty ks list")
+	}
+	if r.Kind == KindNSweep && len(r.Ns) == 0 {
+		return fmt.Errorf("service: nsweep requires a non-empty ns list")
+	}
+	if err := r.Config.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// canonicalRequest freezes the hashed field order of a request; the
+// config slot holds experiment.Config.CanonicalJSON.
+type canonicalRequest struct {
+	Kind      JobKind                 `json:"kind"`
+	Config    json.RawMessage         `json:"config"`
+	Protocols []experiment.ProtocolID `json:"protocols"`
+	Lambda    float64                 `json:"lambda"`
+	Seed      uint64                  `json:"seed"`
+	Lifespan  bool                    `json:"lifespan"`
+	Ks        []int                   `json:"ks"`
+	Ns        []int                   `json:"ns"`
+}
+
+// Hash returns the content address of the request: the SHA-256 hex
+// digest of its normalized canonical JSON. Identical experiments hash
+// identically regardless of execution knobs (workers, hooks) or
+// kind-irrelevant parameters.
+func (r Request) Hash() (string, error) {
+	n := r.Normalize()
+	cfg, err := n.Config.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	cr := canonicalRequest{
+		Kind:      n.Kind,
+		Config:    cfg,
+		Protocols: n.Protocols,
+		Lambda:    n.Lambda,
+		Seed:      n.Seed,
+		Lifespan:  n.Lifespan,
+		Ks:        n.Ks,
+		Ns:        n.Ns,
+	}
+	if cr.Protocols == nil {
+		cr.Protocols = []experiment.ProtocolID{}
+	}
+	if cr.Ks == nil {
+		cr.Ks = []int{}
+	}
+	if cr.Ns == nil {
+		cr.Ns = []int{}
+	}
+	b, err := json.Marshal(cr)
+	if err != nil {
+		return "", fmt.Errorf("service: canonicalize request: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Job is one submission's lifecycle record.
+type Job struct {
+	ID   string `json:"id"`
+	Hash string `json:"hash"`
+	// State is the current lifecycle node; see JobState.
+	State   JobState `json:"state"`
+	Request Request  `json:"request"`
+	// Attempts counts execution starts (> 1 after transient retries).
+	Attempts int `json:"attempts"`
+	// Error holds the failure (or cancellation) reason in terminal
+	// states.
+	Error string `json:"error,omitempty"`
+	// CacheHit marks a job satisfied from the result cache without
+	// simulating.
+	CacheHit bool `json:"cacheHit,omitempty"`
+	// CancelRequested is set once DELETE has been observed; the job
+	// reaches StateCancelled at the next round boundary.
+	CancelRequested bool      `json:"cancelRequested,omitempty"`
+	CreatedAt       time.Time `json:"createdAt"`
+	StartedAt       time.Time `json:"startedAt"`
+	FinishedAt      time.Time `json:"finishedAt"`
+}
+
+// clone returns a shallow copy safe to serialize outside the server
+// lock.
+func (j *Job) clone() *Job {
+	c := *j
+	return &c
+}
+
+// ResultEnvelope carries one job result with its kind discriminator;
+// exactly one payload field is set.
+type ResultEnvelope struct {
+	Kind JobKind `json:"kind"`
+	Hash string  `json:"hash"`
+	// One is the KindOne payload.
+	One *metrics.Result `json:"one,omitempty"`
+	// Fig3 is the KindFig3 payload.
+	Fig3 []experiment.SweepResult `json:"fig3,omitempty"`
+	// KSweep is the KindKSweep payload.
+	KSweep []experiment.KSweepPoint `json:"ksweep,omitempty"`
+	// NSweep is the KindNSweep payload.
+	NSweep []experiment.NSweepPoint `json:"nsweep,omitempty"`
+}
+
+// EventType tags an SSE progress event.
+type EventType string
+
+const (
+	// EventRound streams per-round progress of KindOne jobs.
+	EventRound EventType = "round"
+	// EventSweep streams cell-completion progress of sweep jobs.
+	EventSweep EventType = "sweep"
+	// EventState announces a lifecycle transition; the terminal one is
+	// the stream's last event.
+	EventState EventType = "state"
+)
+
+// RoundProgress is the payload of an EventRound.
+type RoundProgress struct {
+	Round     int     `json:"round"`
+	Alive     int     `json:"alive"`
+	Generated int     `json:"generated"`
+	Delivered int     `json:"delivered"`
+	EnergyJ   float64 `json:"energyJ"`
+	Done      bool    `json:"done"`
+}
+
+// SweepProgress is the payload of an EventSweep.
+type SweepProgress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Event is one entry of a job's progress stream.
+type Event struct {
+	// Seq numbers events from 1 within a job; SSE ids carry it so
+	// clients resume streams with Last-Event-ID.
+	Seq   int            `json:"seq"`
+	Type  EventType      `json:"type"`
+	Round *RoundProgress `json:"round,omitempty"`
+	Sweep *SweepProgress `json:"sweep,omitempty"`
+	State JobState       `json:"state,omitempty"`
+	Error string         `json:"error,omitempty"`
+}
+
+// ErrTransient marks an error as retryable: a job failing with it goes
+// back to the queue (bounded by Options.MaxRetries) instead of
+// terminally failing. Wrap with fmt.Errorf("...: %w", ErrTransient), or
+// implement interface{ Transient() bool }.
+var ErrTransient = errors.New("transient failure")
+
+// IsTransient classifies an execution error as worth retrying.
+func IsTransient(err error) bool {
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// Metrics is the /metrics payload.
+type Metrics struct {
+	UptimeSeconds float64          `json:"uptimeSeconds"`
+	Workers       int              `json:"workers"`
+	QueueDepth    int              `json:"queueDepth"`
+	Jobs          map[JobState]int `json:"jobs"`
+	CacheHits     int64            `json:"cacheHits"`
+	CacheMisses   int64            `json:"cacheMisses"`
+	CacheHitRate  float64          `json:"cacheHitRate"`
+	// SimulationsRun counts completed executions — the number that must
+	// NOT grow when a duplicate submission hits the cache.
+	SimulationsRun int64 `json:"simulationsRun"`
+	Draining       bool  `json:"draining"`
+}

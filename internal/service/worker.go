@@ -1,0 +1,136 @@
+package service
+
+import (
+	"context"
+	"time"
+)
+
+// workerLoop is one pool worker: pop job IDs until the queue closes.
+func (s *Server) workerLoop() {
+	for {
+		id, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.runJob(id)
+	}
+}
+
+// runJob executes one queued job end to end: late cache check, state
+// transition to running, execution under a per-job cancellable context,
+// and terminal-state (or retry/interruption) bookkeeping.
+func (s *Server) runJob(id string) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil || j.State != StateQueued {
+		// Cancelled (or otherwise finished) while queued; the queue
+		// entry is stale.
+		s.mu.Unlock()
+		return
+	}
+	hub := s.hubs[id]
+	if hub == nil {
+		hub = newEventHub()
+		s.hubs[id] = hub
+	}
+	// Late dedupe: an identical job may have finished between this
+	// job's submission and its dequeue (the submit-path check can race
+	// with completion). Content addressing makes the recheck free.
+	if env, ok := s.cache.peek(j.Hash); ok && env != nil {
+		now := time.Now().UTC()
+		j.State = StateDone
+		j.CacheHit = true
+		j.StartedAt, j.FinishedAt = now, now
+		delete(s.inflight, j.Hash)
+		s.persistLocked(j)
+		s.mu.Unlock()
+		hub.publish(Event{Type: EventState, State: StateDone})
+		hub.close()
+		return
+	}
+	j.State = StateRunning
+	j.Attempts++
+	j.StartedAt = time.Now().UTC()
+	ctx, cancel := context.WithCancel(s.hardCtx)
+	s.cancels[id] = cancel
+	if j.CancelRequested {
+		// DELETE raced the dequeue: start pre-cancelled so the engine
+		// stops before its first round.
+		cancel()
+	}
+	req := j.Request
+	if s.opt.SimWorkers > 0 {
+		req.Config.Workers = s.opt.SimWorkers
+	}
+	s.persistLocked(j)
+	s.mu.Unlock()
+
+	hub.publish(Event{Type: EventState, State: StateRunning})
+	env, err := s.opt.Run(ctx, req, hub.publish)
+	interrupted := ctx.Err() != nil
+	cancel()
+
+	s.mu.Lock()
+	delete(s.cancels, id)
+	now := time.Now().UTC()
+	var requeue, closeHub bool
+	switch {
+	case err == nil:
+		if env == nil {
+			env = &ResultEnvelope{Kind: req.Kind}
+		}
+		env.Hash = j.Hash
+		s.simsRun.Add(1)
+		if perr := s.cache.put(j.Hash, env, true); perr != nil {
+			s.opt.Logf("%v", perr)
+		}
+		j.State = StateDone
+		j.Error = ""
+		j.FinishedAt = now
+		delete(s.inflight, j.Hash)
+		closeHub = true
+	case interrupted && j.CancelRequested:
+		j.State = StateCancelled
+		j.Error = "cancelled"
+		j.FinishedAt = now
+		delete(s.inflight, j.Hash)
+		closeHub = true
+	case interrupted:
+		// Shutdown took the context, not a DELETE: the job is
+		// interrupted, not over. It persists as queued and re-enters
+		// the queue on the next start; the aborted attempt doesn't
+		// count against the retry budget.
+		j.State = StateQueued
+		j.Attempts--
+		s.opt.Logf("job %s interrupted by shutdown; persisted as queued", id)
+	case IsTransient(err) && j.Attempts <= s.opt.MaxRetries:
+		j.State = StateQueued
+		j.Error = err.Error()
+		requeue = true
+		s.opt.Logf("job %s transient failure (attempt %d/%d): %v",
+			id, j.Attempts, s.opt.MaxRetries+1, err)
+	default:
+		j.State = StateFailed
+		j.Error = err.Error()
+		j.FinishedAt = now
+		delete(s.inflight, j.Hash)
+		closeHub = true
+		s.opt.Logf("job %s failed: %v", id, err)
+	}
+	s.persistLocked(j)
+	state, errMsg := j.State, j.Error
+	s.mu.Unlock()
+
+	if requeue {
+		hub.publish(Event{Type: EventState, State: StateQueued, Error: errMsg})
+		s.queue.push(id)
+		return
+	}
+	if closeHub {
+		hub.publish(Event{Type: EventState, State: state, Error: errMsg})
+		hub.close()
+		if state == StateDone {
+			s.opt.Logf("job %s done", id)
+		}
+	}
+}

@@ -76,9 +76,7 @@ const (
 func Protocols() []Protocol { return experiment.PaperProtocols() }
 
 // AllProtocols returns every implemented protocol, ablations included.
-func AllProtocols() []Protocol {
-	return []Protocol{QLEC, FCM, KMeans, LEACH, DEECNearest, QLECNoFloor, QLECNoRR, DEECPlain, Direct}
-}
+func AllProtocols() []Protocol { return experiment.AllProtocols() }
 
 // Scenario is a runnable experiment configuration. The zero value is not
 // valid; start from DefaultScenario.
