@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-service serve bench bench-json figs examples ci clean
+.PHONY: all build test race race-service serve bench bench-json figs examples obs-demo ci clean
 
 all: build test
 
@@ -17,10 +17,12 @@ race:
 	$(GO) test -race ./...
 
 # The daemon and the parallel runner are the most concurrency-dense code
-# in the repo (worker pool, SSE fan-out, queue close/drain); run them
-# under -race twice so rare interleavings get a second chance to fire.
+# in the repo (worker pool, SSE fan-out, queue close/drain, metric
+# registry atomics); run them under -race twice so rare interleavings
+# get a second chance to fire. This also covers the /metrics scrape +
+# exposition-lint e2e tests in internal/service/obs_test.go.
 race-service:
-	$(GO) test -race -count=2 ./internal/service/... ./internal/runner
+	$(GO) test -race -count=2 ./internal/service/... ./internal/runner ./internal/obs
 
 # Run the simulation daemon locally (Ctrl-C drains; second Ctrl-C
 # force-quits). See README "Running as a service" for the API.
@@ -61,6 +63,34 @@ figs:
 	$(GO) run ./cmd/qlecfig -fig 3a -k 11 | tee figs/fig3_k11.txt
 	$(GO) run ./cmd/qlecfig -fig 4 -out figs | tee figs/fig4.txt
 	$(GO) run ./cmd/qlecfig -fig ablation | tee figs/ablation.txt
+
+# Observability demo: boot qlecd with Prometheus metrics and pprof
+# enabled, submit a quick Figure-3 sweep plus a single QLEC run against
+# it, then snapshot the exposition and the per-job Chrome traces under
+# figs/. Open the trace JSON at https://ui.perfetto.dev (or
+# chrome://tracing); point a Prometheus scrape at /metrics for the live
+# version of the snapshot. See README "Observability".
+OBS_ADDR ?= 127.0.0.1:8089
+obs-demo:
+	mkdir -p figs
+	$(GO) build -o figs/.qlecd-demo ./cmd/qlecd
+	@set -e; \
+	figs/.qlecd-demo -addr $(OBS_ADDR) -pprof -data-dir '' -log-format json >figs/obs-demo-qlecd.log 2>&1 & \
+	QLECD=$$!; trap "kill $$QLECD 2>/dev/null" EXIT INT TERM; \
+	until curl -sf http://$(OBS_ADDR)/healthz >/dev/null 2>&1; do sleep 0.2; done; \
+	curl -s http://$(OBS_ADDR)/version; echo; \
+	ONE=$$(curl -s http://$(OBS_ADDR)/v1/jobs -d '{"kind":"one","protocols":["QLEC"],"lambda":4,"seed":1,"config":{"N":30,"Side":120,"K":3,"Rounds":20,"InitialEnergy":5,"Lambdas":[4],"Seeds":[1]}}' \
+		| sed -n 's/.*"id": *"\([^"]*\)".*/\1/p'); \
+	FIG3=$$(curl -s http://$(OBS_ADDR)/v1/jobs -d '{"kind":"fig3","protocols":["QLEC","FCM","k-means"],"config":{"N":30,"Side":120,"K":3,"Rounds":5,"InitialEnergy":5,"Lambdas":[4,2],"Seeds":[1]}}' \
+		| sed -n 's/.*"id": *"\([^"]*\)".*/\1/p'); \
+	echo "jobs: one=$$ONE fig3=$$FIG3"; \
+	for J in $$ONE $$FIG3; do \
+		while curl -s http://$(OBS_ADDR)/v1/jobs/$$J | grep -Eq '"state": *"(queued|running)"'; do sleep 0.3; done; \
+	done; \
+	curl -s http://$(OBS_ADDR)/v1/jobs/$$ONE/trace  >figs/obs-demo-trace-run.json; \
+	curl -s http://$(OBS_ADDR)/v1/jobs/$$FIG3/trace >figs/obs-demo-trace-fig3.json; \
+	curl -s http://$(OBS_ADDR)/metrics >figs/obs-demo-metrics.txt; \
+	echo "wrote figs/obs-demo-trace-{run,fig3}.json and figs/obs-demo-metrics.txt"
 
 examples:
 	$(GO) run ./examples/quickstart

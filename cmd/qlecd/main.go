@@ -8,7 +8,8 @@
 //
 //	qlecd [-addr :8080] [-data-dir qlecd-data] [-workers 2]
 //	      [-sim-workers 0] [-queue 256] [-retries 1]
-//	      [-drain-timeout 30s] [-quiet]
+//	      [-drain-timeout 30s] [-log-level info] [-log-format text]
+//	      [-pprof] [-version] [-quiet]
 //
 // API (see README "Running as a service" for curl examples):
 //
@@ -17,9 +18,13 @@
 //	GET    /v1/jobs/{id}        job state
 //	DELETE /v1/jobs/{id}        cancel (idempotent; next round boundary)
 //	GET    /v1/jobs/{id}/events SSE progress stream
+//	GET    /v1/jobs/{id}/trace  Chrome trace_event JSON for the job
 //	GET    /v1/results/{hash}   content-addressed result download
 //	GET    /healthz             liveness (503 while draining)
-//	GET    /metrics             uptime, queue depth, cache hit rate, …
+//	GET    /metrics             Prometheus text exposition
+//	GET    /metrics.json        legacy JSON counter snapshot
+//	GET    /version             build/VCS metadata
+//	GET    /debug/pprof/        profiling endpoints (with -pprof)
 //
 // The first SIGINT/SIGTERM drains gracefully: submissions get 503,
 // in-flight jobs run to completion (bounded by -drain-timeout), queued
@@ -32,12 +37,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"net/http"
 	"os"
 	"time"
 
 	"qlec/internal/cli"
+	"qlec/internal/obs"
 	"qlec/internal/service"
 )
 
@@ -50,15 +56,26 @@ func main() {
 		queueLimit   = flag.Int("queue", 256, "maximum queued jobs before 503")
 		retries      = flag.Int("retries", 1, "re-queues per job on transient failure")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		enablePprof  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		version      = flag.Bool("version", false, "print build/VCS metadata and exit")
 		quiet        = flag.Bool("quiet", false, "suppress the operational log")
 	)
+	logCfg := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "qlecd: ", log.LstdFlags)
-	logf := logger.Printf
-	if *quiet {
-		logf = func(string, ...any) {}
+	if *version {
+		fmt.Println(obs.Version())
+		return
 	}
+
+	var logDst io.Writer = os.Stderr
+	if *quiet {
+		logDst = io.Discard
+	}
+	logger := logCfg.MustSetup(logDst)
+	bi := obs.Version()
+	logger.Info("qlecd starting",
+		"version", bi.Version, "go", bi.GoVersion, "revision", bi.Revision)
 
 	srv, err := service.New(service.Options{
 		DataDir:    *dataDir,
@@ -66,7 +83,8 @@ func main() {
 		SimWorkers: *simWorkers,
 		QueueLimit: *queueLimit,
 		MaxRetries: *retries,
-		Logf:       logf,
+		Logger:     logger,
+		Pprof:      *enablePprof,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qlecd:", err)
@@ -76,7 +94,8 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	logf("listening on %s (data dir %q, %d workers)", *addr, *dataDir, *workers)
+	logger.Info("listening",
+		"addr", *addr, "dataDir", *dataDir, "workers", *workers, "pprof", *enablePprof)
 
 	// First signal cancels ctx (drain), second force-quits — the same
 	// two-stage Ctrl-C contract as every other tool in the repo.
@@ -90,16 +109,16 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	logf("draining: waiting up to %v for in-flight jobs", *drainTimeout)
+	logger.Info("draining", "timeout", drainTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		logf("drain incomplete: %v (interrupted jobs will resume on next start)", err)
+		logger.Warn("drain incomplete; interrupted jobs will resume on next start", "err", err)
 	}
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
-	logf("bye")
+	logger.Info("bye")
 }

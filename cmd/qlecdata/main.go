@@ -34,7 +34,9 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	)
 	prof := cli.ProfileFlags(flag.CommandLine)
+	logCfg := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
+	logCfg.MustSetup(os.Stderr)
 	if err := prof.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

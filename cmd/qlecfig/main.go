@@ -47,7 +47,9 @@ func main() {
 	)
 	flag.IntVar(&workers, "workers", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
 	prof := cli.ProfileFlags(flag.CommandLine)
+	logCfg := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
+	logCfg.MustSetup(os.Stderr)
 	if err := prof.Start(); err != nil {
 		fail(err)
 	}

@@ -7,6 +7,7 @@
 //	        [-lambda 4] [-rounds 20] [-n 100] [-side 200] [-k 5]
 //	        [-seed 1] [-lifespan] [-deathline 2.5] [-perround]
 //	        [-timeout 30s] [-quiet] [-remote http://host:8080]
+//	        [-chrometrace trace.json] [-log-level info] [-log-format text]
 //
 // With -lifespan the run uses the death-line / stop-on-first-death
 // methodology of Figure 3(c); otherwise it runs exactly -rounds rounds.
@@ -26,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -34,6 +36,7 @@ import (
 	"qlec/internal/dataset"
 	"qlec/internal/energy"
 	"qlec/internal/experiment"
+	"qlec/internal/obs"
 	"qlec/internal/plot"
 	"qlec/internal/service"
 	"qlec/internal/service/client"
@@ -42,29 +45,32 @@ import (
 
 func main() {
 	var (
-		protocol  = flag.String("protocol", "QLEC", "protocol: QLEC, FCM, k-means, LEACH, DEEC-nearest, QLEC-nofloor, QLEC-norr")
-		lambda    = flag.Float64("lambda", 4, "mean packet inter-arrival time per node (seconds); smaller = more congested")
-		rounds    = flag.Int("rounds", 20, "rounds to simulate (fixed-round mode)")
-		n         = flag.Int("n", 100, "node count")
-		side      = flag.Float64("side", 200, "cube side length (meters)")
-		k         = flag.Int("k", 5, "cluster count per round")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		lifespan  = flag.Bool("lifespan", false, "measure lifespan (stop at first node death)")
-		deathline = flag.Float64("deathline", 2.5, "death line in Joules (lifespan mode)")
-		maxRounds = flag.Int("maxrounds", 3000, "round cap in lifespan mode")
-		perRound  = flag.Bool("perround", false, "print per-round statistics")
-		csvPath   = flag.String("csv", "", "write the per-round time series as CSV to this path")
-		shadow    = flag.Float64("shadow", 0, "per-link log-normal shadowing sigma (0 = off)")
-		speed     = flag.Float64("speed", 0, "random-waypoint mobility max speed in m/s (0 = static)")
-		topoPath  = flag.String("topology", "", "load node positions/energies from an x,y,z,energy_j CSV instead of a uniform cube")
-		contend   = flag.Float64("contention", 0, "interference factor gamma (0 = off)")
-		tracePath = flag.String("trace", "", "write a JSONL packet-event trace to this path")
-		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); partial results are printed")
-		quiet     = flag.Bool("quiet", false, "suppress the live per-round progress meter on stderr")
-		remote    = flag.String("remote", "", "submit the run to a qlecd daemon at this base URL instead of simulating in-process")
+		protocol   = flag.String("protocol", "QLEC", "protocol: QLEC, FCM, k-means, LEACH, DEEC-nearest, QLEC-nofloor, QLEC-norr")
+		lambda     = flag.Float64("lambda", 4, "mean packet inter-arrival time per node (seconds); smaller = more congested")
+		rounds     = flag.Int("rounds", 20, "rounds to simulate (fixed-round mode)")
+		n          = flag.Int("n", 100, "node count")
+		side       = flag.Float64("side", 200, "cube side length (meters)")
+		k          = flag.Int("k", 5, "cluster count per round")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		lifespan   = flag.Bool("lifespan", false, "measure lifespan (stop at first node death)")
+		deathline  = flag.Float64("deathline", 2.5, "death line in Joules (lifespan mode)")
+		maxRounds  = flag.Int("maxrounds", 3000, "round cap in lifespan mode")
+		perRound   = flag.Bool("perround", false, "print per-round statistics")
+		csvPath    = flag.String("csv", "", "write the per-round time series as CSV to this path")
+		shadow     = flag.Float64("shadow", 0, "per-link log-normal shadowing sigma (0 = off)")
+		speed      = flag.Float64("speed", 0, "random-waypoint mobility max speed in m/s (0 = static)")
+		topoPath   = flag.String("topology", "", "load node positions/energies from an x,y,z,energy_j CSV instead of a uniform cube")
+		contend    = flag.Float64("contention", 0, "interference factor gamma (0 = off)")
+		tracePath  = flag.String("trace", "", "write a JSONL packet-event trace to this path")
+		chromePath = flag.String("chrometrace", "", "write per-round spans as Chrome trace_event JSON to this path (open in chrome://tracing or Perfetto)")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); partial results are printed")
+		quiet      = flag.Bool("quiet", false, "suppress the live per-round progress meter on stderr")
+		remote     = flag.String("remote", "", "submit the run to a qlecd daemon at this base URL instead of simulating in-process")
 	)
 	prof := cli.ProfileFlags(flag.CommandLine)
+	logCfg := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
+	logger := logCfg.MustSetup(os.Stderr)
 	if err := prof.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -128,17 +134,34 @@ func main() {
 	var res *qlec.Result
 	var err error
 	if *remote != "" {
-		res, err = runRemote(ctx, *remote, s, meter, *quiet)
+		if *chromePath != "" {
+			fmt.Fprintln(os.Stderr, "qlecsim: -chrometrace records locally; fetch /v1/jobs/{id}/trace from the daemon instead, or run without -remote")
+			os.Exit(1)
+		}
+		res, err = runRemote(ctx, *remote, s, logger, meter, *quiet)
 		meter.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qlecsim:", err)
 			os.Exit(1)
 		}
 	} else {
-		if !*quiet {
+		var rec *obs.TraceRecorder
+		if *chromePath != "" {
+			rec = obs.NewTraceRecorder(0)
+		}
+		if !*quiet || rec != nil {
+			prev := time.Now()
 			s.Config.Observer = func(snap sim.RoundSnapshot) {
-				meter.Printf(snap.Done, "round %d  alive %d  energy %.2f J",
-					snap.Round+1, snap.Alive, float64(snap.EnergySoFar))
+				if rec != nil {
+					now := time.Now()
+					rec.Span(fmt.Sprintf("round %d", snap.Round), "sim", prev, now,
+						map[string]any{"alive": snap.Alive, "delivered": snap.Stats.Delivered})
+					prev = now
+				}
+				if !*quiet {
+					meter.Printf(snap.Done, "round %d  alive %d  energy %.2f J",
+						snap.Round+1, snap.Alive, float64(snap.EnergySoFar))
+				}
 			}
 		}
 		start := time.Now()
@@ -152,6 +175,21 @@ func main() {
 		if interrupted {
 			fmt.Fprintf(os.Stderr, "qlecsim: run stopped early (%v) after %d rounds in %v; partial results follow\n",
 				err, res.Rounds, time.Since(start).Round(time.Millisecond))
+		}
+		if rec != nil {
+			fh, err := os.Create(*chromePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qlecsim:", err)
+				os.Exit(1)
+			}
+			if err := rec.WriteJSON(fh); err == nil {
+				err = fh.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qlecsim:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d events)\n", *chromePath, rec.Len())
 		}
 	}
 	if flushTrace != nil {
@@ -233,7 +271,7 @@ func lifespanString(l int) string {
 // result. On Ctrl-C the remote job is cancelled best-effort — the
 // daemon discards the partial run, so unlike local runs there is no
 // partial table to print.
-func runRemote(ctx context.Context, base string, s qlec.Scenario, meter *cli.Meter, quiet bool) (*qlec.Result, error) {
+func runRemote(ctx context.Context, base string, s qlec.Scenario, logger *slog.Logger, meter *cli.Meter, quiet bool) (*qlec.Result, error) {
 	req := service.Request{
 		Kind:      service.KindOne,
 		Config:    s.Config,
@@ -242,7 +280,7 @@ func runRemote(ctx context.Context, base string, s qlec.Scenario, meter *cli.Met
 		Seed:      s.Seed,
 		Lifespan:  s.MeasureLifespan,
 	}
-	cl := client.New(base)
+	cl := client.New(base, client.WithLogger(logger))
 	res, job, err := cl.RunOne(ctx, req, func(e service.Event) {
 		if quiet || e.Round == nil {
 			return

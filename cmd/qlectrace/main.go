@@ -28,7 +28,9 @@ import (
 func main() {
 	timeout := flag.Duration("timeout", 0, "abort reading after this long (0 = no limit)")
 	prof := cli.ProfileFlags(flag.CommandLine)
+	logCfg := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
+	logCfg.MustSetup(os.Stderr)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: qlectrace [-timeout 30s] <trace.jsonl | ->")
 		os.Exit(2)

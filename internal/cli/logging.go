@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"log/slog"
+	"os"
+
+	"qlec/internal/obs"
+)
+
+// LogConfig holds the -log-level/-log-format flag values shared by
+// every command-line tool. Register with LogFlags, build the logger
+// after flag parsing with Setup:
+//
+//	lc := cli.LogFlags(flag.CommandLine)
+//	flag.Parse()
+//	logger, err := lc.Setup(os.Stderr)
+//
+// Setup also installs the logger as the slog default, so library code
+// using slog.Default participates.
+type LogConfig struct {
+	level  string
+	format string
+}
+
+// LogFlags registers -log-level and -log-format on fs and returns the
+// LogConfig that will honour them.
+func LogFlags(fs *flag.FlagSet) *LogConfig {
+	c := &LogConfig{}
+	fs.StringVar(&c.level, "log-level", "info", "log level: debug, info, warn, error")
+	fs.StringVar(&c.format, "log-format", "text", "log format: text or json")
+	return c
+}
+
+// Setup builds the slog.Logger the flags describe, writing to w
+// (normally os.Stderr so data output on stdout stays clean), and makes
+// it the process default.
+func (c *LogConfig) Setup(w io.Writer) (*slog.Logger, error) {
+	level, err := obs.ParseLevel(c.level)
+	if err != nil {
+		return nil, err
+	}
+	logger, err := obs.NewLogger(w, level, c.format)
+	if err != nil {
+		return nil, err
+	}
+	slog.SetDefault(logger)
+	return logger, nil
+}
+
+// MustSetup is Setup with flag-style error handling: invalid values
+// print to stderr and exit 2, matching flag.ExitOnError semantics.
+func (c *LogConfig) MustSetup(w io.Writer) *slog.Logger {
+	logger, err := c.Setup(w)
+	if err != nil {
+		io.WriteString(os.Stderr, err.Error()+"\n")
+		os.Exit(2)
+	}
+	return logger
+}

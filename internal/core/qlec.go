@@ -233,3 +233,13 @@ func (q *QLEC) EndRound(round int) {
 
 // RelayMode implements cluster.Protocol.
 func (q *QLEC) RelayMode() cluster.RelayMode { return cluster.HoldAndBurst }
+
+// QLearningStats implements sim.QLearningStats: the mean V value and
+// effective exploration rate, for per-round telemetry. ok is false in
+// the DEEC ablation modes, where no Q-table exists to report.
+func (q *QLEC) QLearningStats() (meanQ, epsilon float64, ok bool) {
+	if q.cfg.DisableQLearning {
+		return 0, 0, false
+	}
+	return q.learner.MeanV(), q.cfg.QParams.Epsilon, true
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// BuildInfo is the version report served at GET /version and printed by
+// the -version flags.
+type BuildInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"buildTime,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// Version collects module/VCS build metadata via
+// runtime/debug.ReadBuildInfo. Fields missing from the build (e.g. a
+// non-VCS test binary) are left empty.
+func Version() BuildInfo {
+	bi := BuildInfo{Version: "(devel)"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.Module = info.Main.Path
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	bi.GoVersion = info.GoVersion
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.time":
+			bi.BuildTime = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+}
+
+// String renders a one-line human version report.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Modified {
+		rev += "+dirty"
+	}
+	s := fmt.Sprintf("%s %s (%s)", b.Module, b.Version, b.GoVersion)
+	if rev != "" {
+		s += " rev " + rev
+	}
+	return s
+}

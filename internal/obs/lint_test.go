@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"no TYPE", "foo 1\n"},
+		{"bad TYPE", "# TYPE foo summary\nfoo 1\n"},
+		{"duplicate TYPE", "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n"},
+		{"bad value", "# TYPE foo counter\nfoo abc\n"},
+		{"bad metric name", "# TYPE foo counter\n2foo 1\n"},
+		{"duplicate series", "# TYPE foo counter\nfoo 1\nfoo 2\n"},
+		{"malformed label", `# TYPE foo counter` + "\n" + `foo{bad} 1` + "\n"},
+		{"bucket without le", "# TYPE foo histogram\nfoo_bucket 1\nfoo_sum 1\nfoo_count 1\n"},
+		{"non-cumulative buckets", "# TYPE foo histogram\n" +
+			`foo_bucket{le="1"} 5` + "\n" + `foo_bucket{le="+Inf"} 3` + "\n" +
+			"foo_sum 1\nfoo_count 3\n"},
+		{"inf != count", "# TYPE foo histogram\n" +
+			`foo_bucket{le="1"} 1` + "\n" + `foo_bucket{le="+Inf"} 2` + "\n" +
+			"foo_sum 1\nfoo_count 3\n"},
+		{"missing +Inf", "# TYPE foo histogram\n" +
+			`foo_bucket{le="1"} 1` + "\n" + "foo_sum 1\nfoo_count 1\n"},
+	}
+	for _, tc := range cases {
+		if err := LintExposition(strings.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: lint accepted invalid input:\n%s", tc.name, tc.input)
+		}
+	}
+}
+
+func TestLintAcceptsValid(t *testing.T) {
+	input := "# HELP up Liveness.\n# TYPE up gauge\nup 1\n" +
+		"# TYPE lat histogram\n" +
+		`lat_bucket{op="a",le="1"} 2` + "\n" +
+		`lat_bucket{op="a",le="+Inf"} 3` + "\n" +
+		`lat_sum{op="a"} 4.5` + "\n" +
+		`lat_count{op="a"} 3` + "\n" +
+		"# TYPE special gauge\nspecial NaN\n"
+	if err := LintExposition(strings.NewReader(input)); err != nil {
+		t.Fatalf("lint rejected valid input: %v", err)
+	}
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("test_gauge", "help")
+	g.Set(10)
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+}
+
+func TestCounterDecreasePanics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) on a counter did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "help")
+	b := r.Counter("dup_total", "help")
+	a.Inc()
+	b.Inc()
+	if got := a.Value(); got != 2 {
+		t.Fatalf("re-registered counter is a different series: %v, want 2", got)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("clash", "help")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, fn := range []func(){
+		func() { r.Counter("1bad", "h") },
+		func() { r.CounterVec("ok_total", "h", "bad-label") },
+		func() { r.HistogramVec("ok_seconds", "h", []float64{1}, "le") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid name accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestHistogramBoundaries pins the le-inclusive contract: a value
+// exactly on an upper bound lands in that bound's bucket.
+func TestHistogramBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "help", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 5, 5.0000001, math.Inf(1)} {
+		h.Observe(v)
+	}
+	d := h.c.hist
+	want := []uint64{2, 2, 1} // {0.5,1}, {1.0000001,2}, {5}
+	for i, w := range want {
+		if got := d.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := d.inf.Load(); got != 2 {
+		t.Errorf("+Inf bucket = %d, want 2", got)
+	}
+	if got := h.Count(); got != 7 {
+		t.Errorf("count = %d, want 7", got)
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "help", "method", "code")
+	v.With("GET", "200").Add(3)
+	v.With("POST", "500").Inc()
+	v.With("GET", "200").Inc()
+	if got := v.With("GET", "200").Value(); got != 4 {
+		t.Fatalf(`With("GET","200") = %v, want 4`, got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	v.With("GET")
+}
+
+// TestGoldenExposition pins the exact exposition bytes for a registry
+// covering every metric shape: bare and labelled counters/gauges, a
+// histogram, label escaping, and callback collectors.
+func TestGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("alpha_total", "A counter.").Add(3)
+	g := r.Gauge("beta", "A gauge with\nnewline help and back\\slash.")
+	g.Set(2.5)
+	v := r.CounterVec("gamma_total", "Labelled.", "op")
+	v.With(`quo"te`).Inc()
+	v.With("plain").Add(2)
+	h := r.Histogram("delta_seconds", "A histogram.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.1)
+	h.Observe(7)
+	r.GaugeFunc("epsilon", "Callback.", func() float64 { return 42 })
+	r.GaugeFunc("zeta", "Callback vec.", func() float64 { return 1 }, "state", "queued")
+	r.GaugeFunc("zeta", "Callback vec.", func() float64 { return 2 }, "state", "running")
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP alpha_total A counter.
+# TYPE alpha_total counter
+alpha_total 3
+# HELP beta A gauge with\nnewline help and back\\slash.
+# TYPE beta gauge
+beta 2.5
+# HELP delta_seconds A histogram.
+# TYPE delta_seconds histogram
+delta_seconds_bucket{le="0.1"} 2
+delta_seconds_bucket{le="1"} 2
+delta_seconds_bucket{le="+Inf"} 3
+delta_seconds_sum 7.15
+delta_seconds_count 3
+# HELP epsilon Callback.
+# TYPE epsilon gauge
+epsilon 42
+# HELP gamma_total Labelled.
+# TYPE gamma_total counter
+gamma_total{op="plain"} 2
+gamma_total{op="quo\"te"} 1
+# HELP zeta Callback vec.
+# TYPE zeta gauge
+zeta{state="queued"} 1
+zeta{state="running"} 2
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if err := LintExposition(strings.NewReader(b.String())); err != nil {
+		t.Errorf("golden output fails lint: %v", err)
+	}
+}
+
+// TestConcurrentIncrements drives every collector type from many
+// goroutines; run under -race this is the concurrency-safety test, and
+// the final values double as a lost-update check.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "h")
+	g := r.Gauge("conc_gauge", "h")
+	h := r.Histogram("conc_seconds", "h", []float64{0.5})
+	v := r.CounterVec("conc_vec_total", "h", "worker")
+
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lbl := string(rune('a' + id))
+			for k := 0; k < perG; k++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(k%2) + 0.25) // half ≤0.5, half above
+				v.With(lbl).Inc()
+			}
+		}(i)
+	}
+	// Concurrent scrapes must not race with writers.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var b strings.Builder
+			_ = r.WritePrometheus(&b)
+		}()
+	}
+	wg.Wait()
+
+	total := float64(goroutines * perG)
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %v, want %v", got, total)
+	}
+	if got := g.Value(); got != total {
+		t.Errorf("gauge = %v, want %v", got, total)
+	}
+	if got := h.Count(); got != uint64(total) {
+		t.Errorf("histogram count = %v, want %v", got, uint64(total))
+	}
+	if got := h.c.hist.counts[0].Load(); got != uint64(total/2) {
+		t.Errorf("bucket[0] = %d, want %d", got, uint64(total/2))
+	}
+	for i := 0; i < goroutines; i++ {
+		if got := v.With(string(rune('a' + i))).Value(); got != perG {
+			t.Errorf("vec[%d] = %v, want %d", i, got, perG)
+		}
+	}
+}
+
+func TestVersion(t *testing.T) {
+	bi := Version()
+	if bi.GoVersion == "" {
+		t.Error("GoVersion empty; ReadBuildInfo should work in tests")
+	}
+	if bi.String() == "" {
+		t.Error("String() empty")
+	}
+}

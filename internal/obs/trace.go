@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceRecorder accumulates spans and instants and exports them as
+// Chrome trace_event JSON, loadable in chrome://tracing and Perfetto.
+// One recorder covers one job; the event list is bounded so a
+// million-round simulation cannot exhaust memory — once the cap is hit
+// further events are counted but dropped (the drop count is emitted as
+// a final metadata instant on export).
+type TraceRecorder struct {
+	mu      sync.Mutex
+	start   time.Time
+	events  []traceEvent
+	max     int
+	dropped int
+}
+
+// traceEvent is one entry in the Chrome trace_event format. ph "X" is a
+// complete span (ts+dur), "i" an instant.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`            // microseconds since trace start
+	Dur   int64          `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// DefaultTraceCap bounds events kept per recorder (~a few MB of JSON).
+const DefaultTraceCap = 20000
+
+// NewTraceRecorder returns a recorder whose timestamps are relative to
+// now. maxEvents <= 0 uses DefaultTraceCap.
+func NewTraceRecorder(maxEvents int) *TraceRecorder {
+	if maxEvents <= 0 {
+		maxEvents = DefaultTraceCap
+	}
+	return &TraceRecorder{start: time.Now(), max: maxEvents}
+}
+
+// Span records a complete span from start to end (wall-clock times).
+func (t *TraceRecorder) Span(name, cat string, start, end time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	dur := end.Sub(start).Microseconds()
+	if dur < 1 {
+		dur = 1 // zero-duration spans render invisibly in trace viewers
+	}
+	t.add(traceEvent{
+		Name: name, Cat: cat, Phase: "X",
+		TS: start.Sub(t.start).Microseconds(), Dur: dur,
+		PID: 1, TID: 1, Args: args,
+	})
+}
+
+// Instant records a point event at time now.
+func (t *TraceRecorder) Instant(name, cat string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.add(traceEvent{
+		Name: name, Cat: cat, Phase: "i",
+		TS:  time.Since(t.start).Microseconds(),
+		PID: 1, TID: 1, Scope: "t", Args: args,
+	})
+}
+
+func (t *TraceRecorder) add(ev traceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) >= t.max {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Len returns the number of recorded (non-dropped) events.
+func (t *TraceRecorder) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSON emits the Chrome trace_event envelope.
+func (t *TraceRecorder) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	events := append([]traceEvent(nil), t.events...)
+	dropped := t.dropped
+	t.mu.Unlock()
+	if dropped > 0 {
+		events = append(events, traceEvent{
+			Name: "events dropped (trace cap reached)", Cat: "meta", Phase: "i",
+			TS: events[len(events)-1].TS, PID: 1, TID: 1, Scope: "g",
+			Args: map[string]any{"dropped": dropped},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{events, "ms"})
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRecorderJSON(t *testing.T) {
+	rec := NewTraceRecorder(0)
+	start := time.Now()
+	rec.Span("job j1", "job", start, start.Add(50*time.Millisecond),
+		map[string]any{"kind": "one"})
+	rec.Span("round 0", "sim", start, start.Add(10*time.Millisecond), nil)
+	rec.Instant("cell 1/4", "sweep", map[string]any{"done": 1})
+
+	var b strings.Builder
+	if err := rec.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    int64          `json:"ts"`
+			Dur   int64          `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	span := doc.TraceEvents[0]
+	if span.Phase != "X" || span.Dur < 45000 || span.Dur > 55000 {
+		t.Errorf("span = ph %q dur %dµs, want X ~50000µs", span.Phase, span.Dur)
+	}
+	if span.PID != 1 || span.TID != 1 {
+		t.Errorf("span pid/tid = %d/%d, want 1/1", span.PID, span.TID)
+	}
+	if doc.TraceEvents[2].Phase != "i" {
+		t.Errorf("instant ph = %q, want i", doc.TraceEvents[2].Phase)
+	}
+}
+
+func TestTraceRecorderBounded(t *testing.T) {
+	rec := NewTraceRecorder(10)
+	for i := 0; i < 25; i++ {
+		rec.Instant("ev", "test", nil)
+	}
+	if got := rec.Len(); got != 10 {
+		t.Fatalf("Len = %d, want 10 (capped)", got)
+	}
+	var b strings.Builder
+	if err := rec.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// Cap + the drop-count metadata instant.
+	if len(doc.TraceEvents) != 11 {
+		t.Fatalf("got %d events, want 11", len(doc.TraceEvents))
+	}
+	if got := doc.TraceEvents[10].Args["dropped"]; got != float64(15) {
+		t.Errorf("dropped = %v, want 15", got)
+	}
+}
+
+func TestNilTraceRecorderNoops(t *testing.T) {
+	var rec *TraceRecorder
+	rec.Span("x", "y", time.Now(), time.Now(), nil) // must not panic
+	rec.Instant("x", "y", nil)
+}

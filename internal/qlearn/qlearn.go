@@ -411,6 +411,19 @@ func (l *Learner) V(id int) float64 {
 // paper's O(kX) running time (Lemma 3).
 func (l *Learner) Updates() uint64 { return l.updates }
 
+// MeanV returns the mean V*(b_i) across all nodes — a one-number
+// summary of Q-table state for telemetry (obs round gauges).
+func (l *Learner) MeanV() float64 {
+	if len(l.v) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range l.v {
+		sum += v
+	}
+	return sum / float64(len(l.v))
+}
+
 // Converged reports whether the largest V change over the last window of
 // updates has fallen below eps. It is false until the window fills.
 func (l *Learner) Converged(eps float64) bool {

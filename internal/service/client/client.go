@@ -14,11 +14,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
 	"qlec/internal/metrics"
+	"qlec/internal/obs"
 	"qlec/internal/service"
 )
 
@@ -28,6 +30,7 @@ type Client struct {
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+	log     *slog.Logger
 }
 
 // Option customizes a Client.
@@ -44,6 +47,10 @@ func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 // (default 100ms).
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
 
+// WithLogger receives structured logs (retries, reconnects) tagged with
+// the request IDs the daemon sees; default discards.
+func WithLogger(l *slog.Logger) Option { return func(c *Client) { c.log = l } }
+
 // New builds a client for a base URL like "http://localhost:8080".
 func New(base string, opts ...Option) *Client {
 	c := &Client{
@@ -51,6 +58,7 @@ func New(base string, opts ...Option) *Client {
 		hc:      &http.Client{Timeout: 30 * time.Second},
 		retries: 3,
 		backoff: 100 * time.Millisecond,
+		log:     obs.NopLogger(),
 	}
 	for _, o := range opts {
 		o(c)
@@ -80,7 +88,9 @@ func retryable(err error) bool {
 }
 
 // do runs one JSON request with retry/backoff; out, when non-nil,
-// receives the decoded 2xx body.
+// receives the decoded 2xx body. One request ID covers every attempt of
+// the logical call, so the daemon's logs show the retries as one
+// operation.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body []byte
 	if in != nil {
@@ -89,10 +99,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return fmt.Errorf("client: encode request: %w", err)
 		}
 	}
+	rid := requestID(ctx)
 	backoff := c.backoff
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
+			c.log.Debug("retrying request",
+				"method", method, "path", path, "attempt", attempt, "requestId", rid, "err", lastErr)
 			select {
 			case <-time.After(backoff):
 			case <-ctx.Done():
@@ -100,7 +113,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			}
 			backoff *= 2
 		}
-		lastErr = c.once(ctx, method, path, body, out)
+		lastErr = c.once(ctx, method, path, rid, body, out)
 		if lastErr == nil || !retryable(lastErr) {
 			return lastErr
 		}
@@ -108,7 +121,16 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return lastErr
 }
 
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+// requestID prefers an ID already on the context (a caller correlating
+// several calls) over a fresh one.
+func requestID(ctx context.Context) string {
+	if id := obs.RequestIDFromContext(ctx); id != "" {
+		return id
+	}
+	return obs.NewRequestID()
+}
+
+func (c *Client) once(ctx context.Context, method, path, rid string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -117,6 +139,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if err != nil {
 		return err
 	}
+	req.Header.Set(obs.RequestIDHeader, rid)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
@@ -191,10 +214,11 @@ func (c *Client) Result(ctx context.Context, hash string) (*service.ResultEnvelo
 	return &env, nil
 }
 
-// Metrics fetches the daemon's operational counters.
+// Metrics fetches the daemon's operational counters (the JSON snapshot;
+// /metrics itself is the Prometheus exposition).
 func (c *Client) Metrics(ctx context.Context) (*service.Metrics, error) {
 	var m service.Metrics
-	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/metrics.json", nil, &m); err != nil {
 		return nil, err
 	}
 	return &m, nil
@@ -210,10 +234,11 @@ func (c *Client) Health(ctx context.Context) error {
 // Dropped connections reconnect with Last-Event-ID, so no terminal
 // event is lost, up to the client's retry budget per gap.
 func (c *Client) Events(ctx context.Context, id string, fn func(service.Event) bool) error {
+	rid := requestID(ctx)
 	lastSeq := 0
 	attempts := 0
 	for {
-		terminal, err := c.streamOnce(ctx, id, &lastSeq, fn)
+		terminal, err := c.streamOnce(ctx, id, rid, &lastSeq, fn)
 		if terminal || err == nil {
 			return err
 		}
@@ -221,6 +246,8 @@ func (c *Client) Events(ctx context.Context, id string, fn func(service.Event) b
 			return err
 		}
 		attempts++
+		c.log.Debug("reconnecting event stream",
+			"job", id, "attempt", attempts, "lastSeq", lastSeq, "requestId", rid, "err", err)
 		select {
 		case <-time.After(c.backoff * time.Duration(1<<attempts)):
 		case <-ctx.Done():
@@ -231,13 +258,15 @@ func (c *Client) Events(ctx context.Context, id string, fn func(service.Event) b
 
 // streamOnce consumes one SSE connection. terminal reports a clean end:
 // fn stopped the stream, or the job announced a terminal state and the
-// server closed it.
-func (c *Client) streamOnce(ctx context.Context, id string, lastSeq *int, fn func(service.Event) bool) (terminal bool, err error) {
+// server closed it. rid is shared across a stream's reconnects so the
+// daemon's access logs show them as one logical subscription.
+func (c *Client) streamOnce(ctx context.Context, id, rid string, lastSeq *int, fn func(service.Event) bool) (terminal bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set(obs.RequestIDHeader, rid)
 	if *lastSeq > 0 {
 		req.Header.Set("Last-Event-ID", fmt.Sprint(*lastSeq))
 	}

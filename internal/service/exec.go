@@ -2,7 +2,11 @@ package service
 
 import (
 	"context"
+	"fmt"
+	"time"
 
+	"qlec/internal/energy"
+	"qlec/internal/obs"
 	"qlec/internal/sim"
 )
 
@@ -16,12 +20,21 @@ type RunFunc func(ctx context.Context, req Request, publish func(Event)) (*Resul
 // experiment harness entry point its kind names, wiring per-round
 // progress (KindOne, via the sim.Observer hook) or per-cell sweep
 // progress (the runner.Progress hook) into the event stream.
+//
+// When the context carries an obs registry/trace recorder (the qlecd
+// worker installs both), KindOne rounds additionally feed live
+// simulation gauges and per-round trace spans, and sweeps emit per-cell
+// progress gauges and instants. Sweep cells run with observers stripped
+// (the harness's sweepOptions), so round-level gauges are a KindOne
+// feature by design — sweeps report at cell granularity.
 func Execute(ctx context.Context, req Request, publish func(Event)) (*ResultEnvelope, error) {
+	reg := obs.MetricsFromContext(ctx)
+	rec := obs.TraceFromContext(ctx)
 	cfg := req.Config
 	env := &ResultEnvelope{Kind: req.Kind}
 	switch req.Kind {
 	case KindOne:
-		cfg.Observer = func(snap sim.RoundSnapshot) {
+		observer := func(snap sim.RoundSnapshot) {
 			publish(Event{Type: EventRound, Round: &RoundProgress{
 				Round:     snap.Round,
 				Alive:     snap.Alive,
@@ -31,27 +44,42 @@ func Execute(ctx context.Context, req Request, publish func(Event)) (*ResultEnve
 				Done:      snap.Done,
 			}})
 		}
+		if reg != nil {
+			collector := obs.NewSimCollector(reg, string(req.Protocols[0]),
+				cfg.InitialEnergy*energy.Joules(cfg.N), cfg.K)
+			base := observer
+			prev := time.Now()
+			observer = func(snap sim.RoundSnapshot) {
+				now := time.Now()
+				collector.Observe(snap)
+				rec.Span(fmt.Sprintf("round %d", snap.Round), "sim", prev, now,
+					map[string]any{"alive": snap.Alive, "delivered": snap.Stats.Delivered})
+				prev = now
+				base(snap)
+			}
+		}
+		cfg.Observer = observer
 		res, err := cfg.RunOne(ctx, req.Protocols[0], req.Lambda, req.Seed, req.Lifespan)
 		if err != nil {
 			return nil, err
 		}
 		env.One = res
 	case KindFig3:
-		cfg.Progress = sweepProgress(publish)
+		cfg.Progress = sweepProgress(publish, reg, rec)
 		out, err := cfg.RunFig3(ctx, req.Protocols)
 		if err != nil {
 			return nil, err
 		}
 		env.Fig3 = out
 	case KindKSweep:
-		cfg.Progress = sweepProgress(publish)
+		cfg.Progress = sweepProgress(publish, reg, rec)
 		out, err := cfg.RunKSweep(ctx, req.Protocols[0], req.Ks, req.Lambda)
 		if err != nil {
 			return nil, err
 		}
 		env.KSweep = out
 	case KindNSweep:
-		cfg.Progress = sweepProgress(publish)
+		cfg.Progress = sweepProgress(publish, reg, rec)
 		out, err := cfg.RunNSweep(ctx, req.Protocols[0], req.Ns, req.Lambda)
 		if err != nil {
 			return nil, err
@@ -63,9 +91,22 @@ func Execute(ctx context.Context, req Request, publish func(Event)) (*ResultEnve
 	return env, nil
 }
 
-func sweepProgress(publish func(Event)) func(done, total int) {
+func sweepProgress(publish func(Event), reg *obs.Registry, rec *obs.TraceRecorder) func(done, total int) {
+	var doneG, totalG *obs.Gauge
+	if reg != nil {
+		doneG = reg.Gauge("qlec_sweep_cells_done",
+			"Sweep cells completed in the currently executing sweep job.")
+		totalG = reg.Gauge("qlec_sweep_cells_total",
+			"Sweep cells in the currently executing sweep job.")
+	}
 	return func(done, total int) {
 		publish(Event{Type: EventSweep, Sweep: &SweepProgress{Done: done, Total: total}})
+		if reg != nil {
+			doneG.Set(float64(done))
+			totalG.Set(float64(total))
+		}
+		rec.Instant(fmt.Sprintf("cell %d/%d", done, total), "sweep",
+			map[string]any{"done": done, "total": total})
 	}
 }
 

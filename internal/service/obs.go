@@ -1,0 +1,112 @@
+package service
+
+import (
+	"sync"
+
+	"qlec/internal/obs"
+)
+
+// serverMetrics holds qlecd's operational instruments. Scrape-time
+// state (queue depth, job-table counts, cache counters) is exported via
+// callback collectors reading the server's existing atomics, so the
+// Prometheus view and the legacy /metrics.json snapshot can never
+// disagree.
+type serverMetrics struct {
+	queueWait   *obs.Histogram    // seconds from submit to first execution start
+	jobDuration *obs.HistogramVec // {kind, state} execution wall time
+	jobsTotal   *obs.CounterVec   // {state} terminal transitions
+	busyWorkers *obs.Gauge
+	sseSubs     *obs.Gauge
+}
+
+// queueWaitBuckets span instant dequeues to long backlogs; job-duration
+// buckets reach the multi-minute sweeps qlecd exists to run.
+var (
+	queueWaitBuckets   = []float64{0.001, 0.01, 0.1, 1, 10, 60, 600}
+	jobDurationBuckets = []float64{0.01, 0.1, 1, 10, 60, 600, 3600}
+)
+
+func newServerMetrics(r *obs.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{
+		queueWait: r.Histogram("qlecd_job_queue_wait_seconds",
+			"Seconds a job waited in the queue before its first execution attempt.",
+			queueWaitBuckets),
+		jobDuration: r.HistogramVec("qlecd_job_duration_seconds",
+			"Job execution wall time in seconds, by kind and terminal state.",
+			jobDurationBuckets, "kind", "state"),
+		jobsTotal: r.CounterVec("qlecd_jobs_total",
+			"Jobs reaching a terminal state.", "state"),
+		busyWorkers: r.Gauge("qlecd_workers_busy",
+			"Workers currently executing a job."),
+		sseSubs: r.Gauge("qlecd_sse_subscribers",
+			"Open SSE event streams."),
+	}
+	r.GaugeFunc("qlecd_queue_depth", "Jobs waiting in the dispatch queue.",
+		func() float64 { return float64(s.queue.depth()) })
+	r.GaugeFunc("qlecd_workers", "Configured worker pool size.",
+		func() float64 { return float64(s.opt.Workers) })
+	r.GaugeFunc("qlecd_draining", "1 while a graceful drain is in progress.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	r.CounterFunc("qlecd_cache_hits_total", "Result-cache hits (including in-flight coalescing).",
+		func() float64 { h, _ := s.cache.stats(); return float64(h) })
+	r.CounterFunc("qlecd_cache_misses_total", "Result-cache misses.",
+		func() float64 { _, m := s.cache.stats(); return float64(m) })
+	r.CounterFunc("qlecd_simulations_total", "Simulations actually executed (cache hits excluded).",
+		func() float64 { return float64(s.simsRun.Load()) })
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		st := st
+		r.GaugeFunc("qlecd_jobs", "Jobs in the table, by lifecycle state.",
+			func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				n := 0
+				for _, j := range s.jobs {
+					if j.State == st {
+						n++
+					}
+				}
+				return float64(n)
+			}, "state", string(st))
+	}
+	return m
+}
+
+// maxTraces bounds how many per-job trace recorders the server keeps;
+// older traces age out FIFO once their job is terminal.
+const maxTraces = 64
+
+// traceTable is the bounded per-job trace store behind
+// GET /v1/jobs/{id}/trace.
+type traceTable struct {
+	mu    sync.Mutex
+	byJob map[string]*obs.TraceRecorder
+	order []string
+}
+
+func newTraceTable() *traceTable {
+	return &traceTable{byJob: make(map[string]*obs.TraceRecorder)}
+}
+
+func (t *traceTable) put(id string, rec *obs.TraceRecorder) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.byJob[id]; !ok {
+		t.order = append(t.order, id)
+	}
+	t.byJob[id] = rec
+	for len(t.order) > maxTraces {
+		delete(t.byJob, t.order[0])
+		t.order = t.order[1:]
+	}
+}
+
+func (t *traceTable) get(id string) *obs.TraceRecorder {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byJob[id]
+}

@@ -1,0 +1,284 @@
+package service_test
+
+// Observability end-to-end tests: Prometheus scrapes against a live
+// server (including mid-job, asserting round-level sim gauges appear),
+// exposition linting, Chrome-trace download, request-ID correlation,
+// and the /version and /metrics.json endpoints.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qlec/internal/metrics"
+	"qlec/internal/obs"
+	"qlec/internal/service"
+	"qlec/internal/service/client"
+	"qlec/internal/sim"
+)
+
+// newObsTestServer is newTestServer plus the raw base URL, which the
+// scrape tests need for non-API endpoints.
+func newObsTestServer(t *testing.T, opt service.Options) (*service.Server, *client.Client, string) {
+	t.Helper()
+	srv, err := service.New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ts.Close()
+	})
+	cl := client.New(ts.URL, client.WithRetries(0), client.WithBackoff(time.Millisecond))
+	return srv, cl, ts.URL
+}
+
+func scrape(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsScrapeDuringRunningJob is the acceptance-criteria scrape:
+// while a job is mid-flight, /metrics must expose both the operational
+// series and live per-round simulation gauges, and the whole exposition
+// must lint clean. The stub RunFunc publishes sim telemetry through the
+// same context plumbing Execute uses, then parks until released, so the
+// scrape observes a guaranteed-running job without sleeps.
+func TestMetricsScrapeDuringRunningJob(t *testing.T) {
+	running := make(chan struct{})
+	release := make(chan struct{})
+	run := func(ctx context.Context, req service.Request, publish func(service.Event)) (*service.ResultEnvelope, error) {
+		reg := obs.MetricsFromContext(ctx)
+		if reg == nil {
+			t.Error("worker context carries no metrics registry")
+			return &service.ResultEnvelope{Kind: req.Kind}, nil
+		}
+		collector := obs.NewSimCollector(reg, "QLEC", 80, 2)
+		snap := sim.RoundSnapshot{
+			Round: 7, Alive: 15, EnergySoFar: 12,
+			Stats: metrics.RoundStats{Heads: 2, Generated: 40, Delivered: 38},
+			MeanQ: 0.3, Epsilon: 0.1, HasQ: true,
+		}
+		collector.Observe(snap)
+		obs.TraceFromContext(ctx).Instant("stub round", "sim", nil)
+		close(running)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return &service.ResultEnvelope{Kind: req.Kind}, nil
+	}
+	_, cl, base := newObsTestServer(t, service.Options{Workers: 1, Run: run})
+
+	j, err := cl.Submit(context.Background(), oneRequest(tinyCfg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+
+	out := scrape(t, base)
+	for _, want := range []string{
+		"qlecd_workers_busy 1",
+		`qlecd_jobs{state="running"} 1`,
+		"qlecd_queue_depth 0",
+		"qlecd_cache_misses_total 1",
+		"# TYPE qlecd_job_queue_wait_seconds histogram",
+		"# TYPE qlecd_http_requests_total counter",
+		`qlec_sim_round{protocol="QLEC"} 7`,
+		`qlec_sim_alive_nodes{protocol="QLEC"} 15`,
+		`qlec_sim_residual_energy_joules{protocol="QLEC"} 68`,
+		`qlec_sim_mean_q_value{protocol="QLEC"} 0.3`,
+		`qlec_sim_epsilon{protocol="QLEC"} 0.1`,
+		`qlec_sim_packets_delivered_total{protocol="QLEC"} 38`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mid-job scrape missing %q", want)
+		}
+	}
+	if err := obs.LintExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("mid-job exposition fails lint: %v", err)
+	}
+
+	close(release)
+	if _, err := cl.Wait(context.Background(), j.ID, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	out = scrape(t, base)
+	for _, want := range []string{
+		"qlecd_workers_busy 0",
+		`qlecd_jobs_total{state="done"} 1`,
+		"qlecd_simulations_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("post-job scrape missing %q", want)
+		}
+	}
+}
+
+// TestTraceEndpointRealJob runs a real simulation through Execute and
+// downloads its Chrome trace: the job span and per-round spans must be
+// present and the envelope must be the trace_event schema viewers load.
+func TestTraceEndpointRealJob(t *testing.T) {
+	_, cl, base := newObsTestServer(t, service.Options{Workers: 1})
+	ctx := context.Background()
+	j, err := cl.Submit(ctx, oneRequest(tinyCfg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := cl.Wait(ctx, j.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != service.StateDone {
+		t.Fatalf("job %s, want done", done.State)
+	}
+
+	resp, err := http.Get(base + "/v1/jobs/" + j.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace = %d, want 200", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var sawJob, sawRound bool
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "X" && strings.HasPrefix(e.Name, "job ") {
+			sawJob = true
+		}
+		if e.Phase == "X" && strings.HasPrefix(e.Name, "round ") {
+			sawRound = true
+		}
+	}
+	if !sawJob || !sawRound {
+		t.Errorf("trace has job span=%v round spans=%v, want both (%d events)",
+			sawJob, sawRound, len(doc.TraceEvents))
+	}
+
+	// The same scrape must now carry the real run's sim gauges.
+	out := scrape(t, base)
+	if !strings.Contains(out, `qlec_sim_round{protocol="QLEC"} 1`) {
+		t.Errorf("post-run scrape missing final round gauge:\n%s", out)
+	}
+	if err := obs.LintExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("exposition fails lint: %v", err)
+	}
+
+	// Unknown job and traceless (unexecuted) jobs 404.
+	if resp, err := http.Get(base + "/v1/jobs/nope/trace"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("trace for unknown job = %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestRequestIDCorrelation: a caller-chosen X-Request-ID must be echoed
+// on the response and recorded on the job; a client-generated one must
+// exist otherwise.
+func TestRequestIDCorrelation(t *testing.T) {
+	stub := func(ctx context.Context, req service.Request, publish func(service.Event)) (*service.ResultEnvelope, error) {
+		return &service.ResultEnvelope{Kind: req.Kind}, nil
+	}
+	_, cl, base := newObsTestServer(t, service.Options{Workers: 1, Run: stub})
+
+	body, err := json.Marshal(oneRequest(tinyCfg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpReq.Header.Set(obs.RequestIDHeader, "corr-42")
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "corr-42" {
+		t.Errorf("response %s = %q, want corr-42", obs.RequestIDHeader, got)
+	}
+	var j service.Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	if j.RequestID != "corr-42" {
+		t.Errorf("job.RequestID = %q, want corr-42", j.RequestID)
+	}
+
+	// The typed client generates an ID when the caller supplies none; a
+	// distinct config avoids coalescing onto the job above.
+	cfg := tinyCfg()
+	cfg.Rounds = 3
+	j2, err := cl.Submit(context.Background(), oneRequest(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.RequestID == "" {
+		t.Error("client submission recorded no request ID")
+	}
+}
+
+func TestVersionAndMetricsJSON(t *testing.T) {
+	_, cl, base := newObsTestServer(t, service.Options{Workers: 1})
+
+	resp, err := http.Get(base + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var bi obs.BuildInfo
+	if err := json.NewDecoder(resp.Body).Decode(&bi); err != nil {
+		t.Fatal(err)
+	}
+	if bi.GoVersion == "" {
+		t.Error("/version goVersion empty")
+	}
+
+	// The legacy JSON snapshot lives on at /metrics.json, and the typed
+	// client follows it.
+	m, err := cl.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Workers != 1 {
+		t.Errorf("metrics.json workers = %d, want 1", m.Workers)
+	}
+}

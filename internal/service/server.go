@@ -4,12 +4,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"qlec/internal/obs"
 )
 
 // Options configures a Server. The zero value works: in-memory store,
@@ -33,8 +37,13 @@ type Options struct {
 	SimWorkers int
 	// Run executes jobs; default Execute. Tests substitute stubs.
 	Run RunFunc
-	// Logf receives operational log lines; default drops them.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational logs; default discards.
+	Logger *slog.Logger
+	// Metrics is the registry the server instruments and serves at
+	// /metrics; nil creates a private one.
+	Metrics *obs.Registry
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
+	Pprof bool
 }
 
 // Server is the qlecd core: job table, queue, worker pool, cache,
@@ -56,6 +65,12 @@ type Server struct {
 	start    time.Time
 	simsRun  atomic.Int64
 	draining atomic.Bool
+
+	log    *slog.Logger
+	reg    *obs.Registry
+	om     *serverMetrics
+	httpm  *obs.HTTPMetrics
+	traces *traceTable
 
 	hardCtx    context.Context
 	hardCancel context.CancelFunc
@@ -80,8 +95,11 @@ func New(opt Options) (*Server, error) {
 	if opt.Run == nil {
 		opt.Run = Execute
 	}
-	if opt.Logf == nil {
-		opt.Logf = func(string, ...any) {}
+	if opt.Logger == nil {
+		opt.Logger = obs.NopLogger()
+	}
+	if opt.Metrics == nil {
+		opt.Metrics = obs.NewRegistry()
 	}
 	s := &Server{
 		opt:      opt,
@@ -92,6 +110,9 @@ func New(opt Options) (*Server, error) {
 		inflight: make(map[string]string),
 		nextID:   1,
 		start:    time.Now(),
+		log:      opt.Logger,
+		reg:      opt.Metrics,
+		traces:   newTraceTable(),
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	if opt.DataDir != "" {
@@ -106,6 +127,8 @@ func New(opt Options) (*Server, error) {
 		return nil, err
 	}
 	s.cache = cache
+	s.om = newServerMetrics(s.reg, s)
+	s.httpm = obs.NewHTTPMetrics(s.reg)
 	if err := s.reload(); err != nil {
 		return nil, err
 	}
@@ -130,7 +153,7 @@ func (s *Server) reload() error {
 	}
 	jobs, warns := s.store.LoadJobs()
 	for _, w := range warns {
-		s.opt.Logf("reload: %v", w)
+		s.log.Warn("reload", "err", w)
 	}
 	if warns != nil && jobs == nil {
 		return fmt.Errorf("service: reload failed: %w", warns[0])
@@ -140,11 +163,11 @@ func (s *Server) reload() error {
 			s.nextID = n + 1
 		}
 		if j.State == StateRunning {
-			s.opt.Logf("reload: job %s was running at shutdown; requeueing", j.ID)
+			s.log.Info("reload: requeueing job interrupted at shutdown", "job", j.ID)
 			j.State = StateQueued
 			j.CancelRequested = false
 			if err := s.store.SaveJob(j); err != nil {
-				s.opt.Logf("reload: %v", err)
+				s.log.Error("reload: persist job", "job", j.ID, "err", err)
 			}
 		}
 		s.jobs[j.ID] = j
@@ -155,7 +178,7 @@ func (s *Server) reload() error {
 				// duplicate check and persistence): keep the older one
 				// queued, the younger will coalesce via the cache when
 				// the older finishes.
-				s.opt.Logf("reload: jobs %s and %s share hash %s", prev, j.ID, j.Hash)
+				s.log.Warn("reload: queued jobs share a hash", "older", prev, "younger", j.ID, "hash", j.Hash)
 			} else {
 				s.inflight[j.Hash] = j.ID
 			}
@@ -165,7 +188,8 @@ func (s *Server) reload() error {
 	return nil
 }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API, wrapped in the obs middleware
+// (request IDs, request logs, HTTP metrics).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -173,10 +197,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	mux.Handle("GET /metrics", s.reg)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /version", s.handleVersion)
+	if s.opt.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return obs.Middleware(s.log, s.httpm, mux)
 }
 
 // httpError is the JSON error payload.
@@ -220,6 +254,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	rid := obs.RequestIDFromContext(r.Context())
+
 	if _, ok := s.cache.peek(hash); ok {
 		// Identical experiment already simulated: answer without
 		// queueing. The job record exists so the client workflow
@@ -227,6 +263,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.cache.hits.Add(1)
 		s.mu.Lock()
 		j := s.newJobLocked(req, hash)
+		j.RequestID = rid
 		j.State = StateDone
 		j.CacheHit = true
 		j.StartedAt = j.CreatedAt
@@ -256,6 +293,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := s.newJobLocked(req, hash)
+	j.RequestID = rid
 	j.State = StateQueued
 	s.hubs[j.ID] = newEventHub()
 	s.inflight[hash] = j.ID
@@ -263,7 +301,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	view := j.clone()
 	s.mu.Unlock()
 	s.queue.push(j.ID)
-	s.opt.Logf("job %s queued (kind=%s hash=%.12s)", j.ID, req.Kind, hash)
+	s.log.Info("job queued", "job", j.ID, "kind", string(req.Kind), "hash", hash, "requestId", rid)
 	writeJSON(w, http.StatusCreated, view)
 }
 
@@ -288,7 +326,7 @@ func (s *Server) persistLocked(j *Job) {
 		return
 	}
 	if err := s.store.SaveJob(j); err != nil {
-		s.opt.Logf("%v", err)
+		s.log.Error("persist job", "job", j.ID, "err", err)
 	}
 }
 
@@ -344,14 +382,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 			hub.publish(Event{Type: EventState, State: StateCancelled, Error: j.Error})
 			hub.close()
 		}
-		s.opt.Logf("job %s cancelled (queued)", id)
+		s.log.Info("job cancelled while queued", "job", id, "requestId", j.RequestID)
 	case StateRunning:
 		j.CancelRequested = true
 		if cancel := s.cancels[id]; cancel != nil {
 			cancel()
 		}
 		s.persistLocked(j)
-		s.opt.Logf("job %s cancel requested (running)", id)
+		s.log.Info("job cancel requested while running", "job", id, "requestId", j.RequestID)
 	}
 	view := j.clone()
 	s.mu.Unlock()
@@ -377,6 +415,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	s.om.sseSubs.Inc()
+	defer s.om.sseSubs.Dec()
 	afterSeq := 0
 	if v := r.Header.Get("Last-Event-ID"); v != "" {
 		if n, err := strconv.Atoi(v); err == nil {
@@ -460,7 +500,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, body)
 }
 
-// Metrics snapshots the operational counters (also served at /metrics).
+// handleTrace implements GET /v1/jobs/{id}/trace: the job's span
+// recording as Chrome trace_event JSON (load in chrome://tracing or
+// Perfetto). Traces exist for executed jobs only (not cache hits) and
+// age out FIFO after maxTraces jobs.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, known := s.jobs[id]
+	s.mu.Unlock()
+	if !known {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	rec := s.traces.get(id)
+	if rec == nil {
+		writeErr(w, http.StatusNotFound, "no trace for job %q (not executed yet, or aged out)", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = rec.WriteJSON(w)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.Version())
+}
+
+// Metrics snapshots the operational counters (served at /metrics.json;
+// /metrics is the Prometheus exposition).
 func (s *Server) Metrics() Metrics {
 	hits, misses := s.cache.stats()
 	m := Metrics{
@@ -484,7 +551,7 @@ func (s *Server) Metrics() Metrics {
 	return m
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
 }
 

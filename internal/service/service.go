@@ -239,6 +239,10 @@ type Job struct {
 	// CacheHit marks a job satisfied from the result cache without
 	// simulating.
 	CacheHit bool `json:"cacheHit,omitempty"`
+	// RequestID is the X-Request-ID of the submission that created this
+	// record, correlating server logs with the client's. It is not part
+	// of the job's identity (the content hash ignores it).
+	RequestID string `json:"requestId,omitempty"`
 	// CancelRequested is set once DELETE has been observed; the job
 	// reaches StateCancelled at the next round boundary.
 	CancelRequested bool      `json:"cancelRequested,omitempty"`

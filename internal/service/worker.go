@@ -3,6 +3,8 @@ package service
 import (
 	"context"
 	"time"
+
+	"qlec/internal/obs"
 )
 
 // workerLoop is one pool worker: pop job IDs until the queue closes.
@@ -48,6 +50,11 @@ func (s *Server) runJob(id string) {
 		hub.close()
 		return
 	}
+	if j.Attempts == 0 {
+		// First execution attempt: the submit→dequeue gap is the queue
+		// wait (retries would double-count their failed run time).
+		s.om.queueWait.Observe(time.Since(j.CreatedAt).Seconds())
+	}
 	j.State = StateRunning
 	j.Attempts++
 	j.StartedAt = time.Now().UTC()
@@ -62,11 +69,25 @@ func (s *Server) runJob(id string) {
 	if s.opt.SimWorkers > 0 {
 		req.Config.Workers = s.opt.SimWorkers
 	}
+	rid := j.RequestID
+	attempt := j.Attempts
 	s.persistLocked(j)
 	s.mu.Unlock()
 
+	log := s.log.With("job", id, "kind", string(req.Kind), "requestId", rid)
+	rec := obs.NewTraceRecorder(0)
+	s.traces.put(id, rec)
+	ctx = obs.ContextWithRequestID(ctx, rid)
+	ctx = obs.ContextWithMetrics(ctx, s.reg)
+	ctx = obs.ContextWithTrace(ctx, rec)
+
+	log.Info("job started", "attempt", attempt)
+	s.om.busyWorkers.Inc()
 	hub.publish(Event{Type: EventState, State: StateRunning})
+	runStart := time.Now()
 	env, err := s.opt.Run(ctx, req, hub.publish)
+	elapsed := time.Since(runStart)
+	s.om.busyWorkers.Dec()
 	interrupted := ctx.Err() != nil
 	cancel()
 
@@ -82,7 +103,7 @@ func (s *Server) runJob(id string) {
 		env.Hash = j.Hash
 		s.simsRun.Add(1)
 		if perr := s.cache.put(j.Hash, env, true); perr != nil {
-			s.opt.Logf("%v", perr)
+			log.Error("cache result", "err", perr)
 		}
 		j.State = StateDone
 		j.Error = ""
@@ -102,24 +123,31 @@ func (s *Server) runJob(id string) {
 		// count against the retry budget.
 		j.State = StateQueued
 		j.Attempts--
-		s.opt.Logf("job %s interrupted by shutdown; persisted as queued", id)
+		log.Info("job interrupted by shutdown; persisted as queued")
 	case IsTransient(err) && j.Attempts <= s.opt.MaxRetries:
 		j.State = StateQueued
 		j.Error = err.Error()
 		requeue = true
-		s.opt.Logf("job %s transient failure (attempt %d/%d): %v",
-			id, j.Attempts, s.opt.MaxRetries+1, err)
+		log.Warn("job transient failure",
+			"attempt", j.Attempts, "maxAttempts", s.opt.MaxRetries+1, "err", err)
 	default:
 		j.State = StateFailed
 		j.Error = err.Error()
 		j.FinishedAt = now
 		delete(s.inflight, j.Hash)
 		closeHub = true
-		s.opt.Logf("job %s failed: %v", id, err)
+		log.Error("job failed", "err", err)
 	}
 	s.persistLocked(j)
 	state, errMsg := j.State, j.Error
 	s.mu.Unlock()
+
+	rec.Span("job "+id, "job", runStart, runStart.Add(elapsed),
+		map[string]any{"kind": string(req.Kind), "state": string(state), "requestId": rid})
+	if state.Terminal() {
+		s.om.jobsTotal.With(string(state)).Inc()
+		s.om.jobDuration.With(string(req.Kind), string(state)).Observe(elapsed.Seconds())
+	}
 
 	if requeue {
 		hub.publish(Event{Type: EventState, State: StateQueued, Error: errMsg})
@@ -130,7 +158,7 @@ func (s *Server) runJob(id string) {
 		hub.publish(Event{Type: EventState, State: state, Error: errMsg})
 		hub.close()
 		if state == StateDone {
-			s.opt.Logf("job %s done", id)
+			log.Info("job done", "durationMs", float64(elapsed.Microseconds())/1000)
 		}
 	}
 }
