@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-service serve bench bench-json figs examples obs-demo ci clean
+.PHONY: all build test race race-service serve bench bench-json figs examples obs-demo audit-demo ci clean
 
 all: build test
 
@@ -91,6 +91,20 @@ obs-demo:
 	curl -s http://$(OBS_ADDR)/v1/jobs/$$FIG3/trace >figs/obs-demo-trace-fig3.json; \
 	curl -s http://$(OBS_ADDR)/metrics >figs/obs-demo-metrics.txt; \
 	echo "wrote figs/obs-demo-trace-{run,fig3}.json and figs/obs-demo-metrics.txt"
+
+# Flight-recorder demo: record two identically-seeded runs with the
+# audit recorder on, prove their ledger/decision streams are
+# bit-identical with `qlecaudit diff`, and leave the conservation
+# report under figs/. The report exits non-zero if double-entry energy
+# conservation is violated, so this target is also the CI guard for
+# the recorder's invariants. See README "Auditing a run".
+audit-demo:
+	mkdir -p figs
+	$(GO) run ./cmd/qlecsim -n 50 -rounds 20 -seed 7 -quiet -audit figs/audit-a.json
+	$(GO) run ./cmd/qlecsim -n 50 -rounds 20 -seed 7 -quiet -audit figs/audit-b.json
+	$(GO) run ./cmd/qlecaudit diff figs/audit-a.json figs/audit-b.json
+	$(GO) run ./cmd/qlecaudit report figs/audit-a.json | tee figs/audit-report.txt
+	@echo "wrote figs/audit-{a,b}.json and figs/audit-report.txt"
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,257 @@
+// Command qlecaudit inspects flight-recorder artifacts produced by
+// qlecsim -audit or fetched from qlecd's /v1/jobs/{id}/audit endpoint.
+//
+// Usage:
+//
+//	qlecaudit report [-top 10] <audit.json | ->
+//	qlecaudit explain -node N [-round R] <audit.json | ->
+//	qlecaudit diff <a.json> <b.json>
+//
+// report prints the run's energy accounting (per cause and per node),
+// conservation-violation status and anomaly summary. explain replays
+// one node's routing decisions — candidate heads, their Q-values, the
+// ε roll and the realized reward — optionally restricted to one round.
+// diff locates the first point where two artifacts' ledgers or decision
+// streams diverge; identically-seeded runs must diff clean, so any
+// divergence is a reproducibility bug. diff exits 1 on divergence,
+// report exits 1 when the artifact records conservation violations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"qlec/internal/audit"
+	"qlec/internal/plot"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "report":
+		cmdReport(os.Args[2:])
+	case "explain":
+		cmdExplain(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  qlecaudit report [-top 10] <audit.json | ->
+  qlecaudit explain -node N [-round R] <audit.json | ->
+  qlecaudit diff <a.json> <b.json>`)
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "qlecaudit:", err)
+	os.Exit(1)
+}
+
+func load(path string) *audit.Artifact {
+	var src io.Reader
+	if path == "-" {
+		src = os.Stdin
+	} else {
+		fh, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		defer fh.Close()
+		src = fh
+	}
+	a, err := audit.ReadArtifact(src)
+	if err != nil {
+		fail(err)
+	}
+	return a
+}
+
+func cmdReport(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	top := fs.Int("top", 10, "show the N highest-consumption nodes (0 = all)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	a := load(fs.Arg(0))
+	rep := a.Report
+
+	if a.Build.Revision != "" {
+		dirty := ""
+		if a.Build.Modified {
+			dirty = " (dirty)"
+		}
+		fmt.Printf("build %.12s%s\n\n", a.Build.Revision, dirty)
+	}
+	fmt.Println(plot.Table(
+		[]string{"quantity", "value"},
+		[][]string{
+			{"rounds", fmt.Sprintf("%d", rep.Rounds)},
+			{"ledger entries", keptString(rep.Entries, rep.EntriesKept)},
+			{"decision records", keptString(rep.Decisions, rep.DecisionsKept)},
+			{"total energy (J)", fmt.Sprintf("%.4f", float64(rep.TotalJ))},
+			{"  tx / rx (J)", fmt.Sprintf("%.4f / %.4f", float64(rep.TxJ), float64(rep.RxJ))},
+			{"  fusion / control (J)", fmt.Sprintf("%.4f / %.4f", float64(rep.FusionJ), float64(rep.ControlJ))},
+			{"conservation violations", fmt.Sprintf("%d", rep.ViolationCount)},
+			{"anomalies", fmt.Sprintf("%d", anomalyTotal(rep))},
+		},
+	))
+
+	if len(rep.AnomalyCounts) > 0 {
+		fmt.Println()
+		var rows [][]string
+		for _, kind := range []string{audit.AnomalyRoutingLoop, audit.AnomalyCHStarvation, audit.AnomalyQDivergence, audit.AnomalyDeadNodeTx} {
+			if c, ok := rep.AnomalyCounts[kind]; ok {
+				rows = append(rows, []string{kind, fmt.Sprintf("%d", c)})
+			}
+		}
+		fmt.Println(plot.Table([]string{"anomaly", "count"}, rows))
+		for _, an := range rep.Anomalies {
+			fmt.Printf("  round %d  %s: %s\n", an.Round, an.Type, an.Detail)
+		}
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("  VIOLATION %s\n", v.String())
+	}
+
+	if len(rep.Nodes) > 0 {
+		fmt.Println()
+		var rows [][]string
+		for _, n := range rep.TopSpenders(*top) {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", n.Node),
+				fmt.Sprintf("%.4f", float64(n.Total)),
+				fmt.Sprintf("%.4f", float64(n.Tx)),
+				fmt.Sprintf("%.4f", float64(n.Rx)),
+				fmt.Sprintf("%.4f", float64(n.Fusion)),
+				fmt.Sprintf("%.4f", float64(n.Control)),
+				fmt.Sprintf("%.4f", float64(n.Residual)),
+			})
+		}
+		fmt.Println(plot.Table(
+			[]string{"top spenders", "total (J)", "tx", "rx", "fusion", "control", "residual"}, rows))
+	}
+
+	if rep.ViolationCount > 0 {
+		os.Exit(1)
+	}
+}
+
+func keptString(total, kept int) string {
+	if kept == total {
+		return fmt.Sprintf("%d", total)
+	}
+	return fmt.Sprintf("%d (%d kept)", total, kept)
+}
+
+func anomalyTotal(rep audit.Report) uint64 {
+	var n uint64
+	for _, c := range rep.AnomalyCounts {
+		n += c
+	}
+	return n
+}
+
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	node := fs.Int("node", -1, "node whose decisions to replay (required)")
+	round := fs.Int("round", -1, "restrict to one round (-1 = all)")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *node < 0 {
+		usage()
+	}
+	a := load(fs.Arg(0))
+	ds := a.ExplainNode(*node, *round)
+	if len(ds) == 0 {
+		fmt.Printf("no decisions recorded for node %d", *node)
+		if *round >= 0 {
+			fmt.Printf(" in round %d", *round)
+		}
+		fmt.Println(" (records age out oldest-first; see decisionsKept in the report)")
+		return
+	}
+	var rows [][]string
+	for _, d := range ds {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", d.Round),
+			candidateString(d.Candidates, d.QValues),
+			headName(d.Greedy),
+			chosenString(d),
+			rollString(d.EpsRoll),
+			rewardString(d),
+		})
+	}
+	fmt.Println(plot.Table(
+		[]string{"round", "candidates (Q)", "greedy", "chosen", "eps roll", "reward"}, rows))
+}
+
+func candidateString(cands []int, qs []float64) string {
+	parts := make([]string, 0, len(cands))
+	for i, c := range cands {
+		q := ""
+		if i < len(qs) {
+			q = fmt.Sprintf(" %.3f", qs[i])
+		}
+		parts = append(parts, headName(c)+q)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// headName renders a candidate id; negative ids are the base station.
+func headName(id int) string {
+	if id < 0 {
+		return "BS"
+	}
+	return fmt.Sprintf("%d", id)
+}
+
+func chosenString(d audit.DecisionRecord) string {
+	s := headName(d.Chosen)
+	if d.Explored {
+		s += " (explored)"
+	}
+	return s
+}
+
+func rollString(roll *float64) string {
+	if roll == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", *roll)
+}
+
+func rewardString(d audit.DecisionRecord) string {
+	if !d.HasReward {
+		return "-"
+	}
+	out := fmt.Sprintf("%.3f", d.Reward)
+	if d.Success {
+		return out + " (ack)"
+	}
+	return out + " (drop)"
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+	}
+	a, b := load(fs.Arg(0)), load(fs.Arg(1))
+	if d := audit.Compare(a, b); d != nil {
+		fmt.Printf("DIVERGED: %s\n", d.String())
+		os.Exit(1)
+	}
+	fmt.Printf("audit streams identical: %d ledger entries, %d decisions\n",
+		len(a.Ledger), len(a.Decisions))
+}

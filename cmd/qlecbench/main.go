@@ -26,6 +26,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"qlec/internal/obs"
 )
 
 // benchResult is one parsed benchmark line.
@@ -37,7 +39,14 @@ type benchResult struct {
 
 // benchDoc is the emitted JSON document.
 type benchDoc struct {
-	Tool       string            `json:"tool"`
+	Tool string `json:"tool"`
+	// Build stamps the VCS revision (and dirty flag) of the qlecbench
+	// binary, so a committed BENCH file records what produced it. The
+	// stamp describes this converter, not the benchmarked binary — but
+	// `make bench-json` builds both from the same checkout, so for the
+	// committed trajectory files they coincide. Fields are empty for
+	// non-VCS builds (plain `go run`, test binaries).
+	Build      obs.BuildInfo     `json:"build"`
 	Env        map[string]string `json:"env,omitempty"`
 	Benchmarks []benchResult     `json:"benchmarks"`
 }
@@ -109,7 +118,7 @@ func inputName(input string) string {
 // writer wins when piping several packages together — the values are
 // identical on one machine anyway).
 func parse(r io.Reader) (*benchDoc, error) {
-	doc := &benchDoc{Tool: "qlecbench", Env: map[string]string{}}
+	doc := &benchDoc{Tool: "qlecbench", Build: obs.Version(), Env: map[string]string{}}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {

@@ -31,6 +31,11 @@ func TestParse(t *testing.T) {
 	if doc.Env["goos"] != "linux" || doc.Env["cpu"] == "" {
 		t.Fatalf("env not captured: %v", doc.Env)
 	}
+	// The build stamp is present; a test binary has no VCS metadata, so
+	// only the always-available field is asserted.
+	if doc.Build.GoVersion == "" {
+		t.Fatalf("build stamp not captured: %+v", doc.Build)
+	}
 
 	first := doc.Benchmarks[0]
 	if first.Name != "BenchmarkFig3aPacketDeliveryRate/QLEC/lambda=8" {

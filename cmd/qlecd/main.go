@@ -19,6 +19,8 @@
 //	DELETE /v1/jobs/{id}        cancel (idempotent; next round boundary)
 //	GET    /v1/jobs/{id}/events SSE progress stream
 //	GET    /v1/jobs/{id}/trace  Chrome trace_event JSON for the job
+//	GET    /v1/jobs/{id}/audit  flight-recorder artifact (single runs;
+//	                            inspect with cmd/qlecaudit)
 //	GET    /v1/results/{hash}   content-addressed result download
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /metrics             Prometheus text exposition

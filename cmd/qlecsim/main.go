@@ -7,7 +7,8 @@
 //	        [-lambda 4] [-rounds 20] [-n 100] [-side 200] [-k 5]
 //	        [-seed 1] [-lifespan] [-deathline 2.5] [-perround]
 //	        [-timeout 30s] [-quiet] [-remote http://host:8080]
-//	        [-chrometrace trace.json] [-log-level info] [-log-format text]
+//	        [-audit audit.json] [-chrometrace trace.json]
+//	        [-log-level info] [-log-format text]
 //
 // With -lifespan the run uses the death-line / stop-on-first-death
 // methodology of Figure 3(c); otherwise it runs exactly -rounds rounds.
@@ -20,6 +21,11 @@
 // streams per-round progress over SSE into the same stderr meter, and
 // prints the same result table. Identical submissions are answered from
 // the daemon's content-addressed cache without re-simulating.
+//
+// With -audit the run carries a flight recorder: a per-node energy
+// ledger with double-entry conservation checks, per-decision Q-routing
+// records, and anomaly detection. The artifact is written as JSON for
+// cmd/qlecaudit (report / explain / diff).
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	"qlec"
+	"qlec/internal/audit"
 	"qlec/internal/cli"
 	"qlec/internal/dataset"
 	"qlec/internal/energy"
@@ -62,6 +69,7 @@ func main() {
 		topoPath   = flag.String("topology", "", "load node positions/energies from an x,y,z,energy_j CSV instead of a uniform cube")
 		contend    = flag.Float64("contention", 0, "interference factor gamma (0 = off)")
 		tracePath  = flag.String("trace", "", "write a JSONL packet-event trace to this path")
+		auditPath  = flag.String("audit", "", "record a flight-recorder artifact (energy ledger, Q decisions, conservation report) to this path; inspect with qlecaudit")
 		chromePath = flag.String("chrometrace", "", "write per-round spans as Chrome trace_event JSON to this path (open in chrome://tracing or Perfetto)")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); partial results are printed")
 		quiet      = flag.Bool("quiet", false, "suppress the live per-round progress meter on stderr")
@@ -128,6 +136,16 @@ func main() {
 		tracer, flush := sim.JSONLTracer(fh)
 		s.Config.Tracer = tracer
 		flushTrace = flush
+	}
+
+	var auditRec *audit.Recorder
+	if *auditPath != "" {
+		if *remote != "" {
+			fmt.Fprintln(os.Stderr, "qlecsim: -audit records locally; fetch /v1/jobs/{id}/audit from the daemon instead, or run without -remote")
+			os.Exit(1)
+		}
+		auditRec = audit.New(audit.Options{})
+		s.Config.Audit = auditRec
 	}
 
 	meter := cli.NewMeter(os.Stderr)
@@ -198,6 +216,26 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *tracePath)
+	}
+	if auditRec != nil {
+		if aerr := auditRec.Err(); aerr != nil {
+			fmt.Fprintln(os.Stderr, "qlecsim: audit:", aerr)
+		}
+		fh, err := os.Create(*auditPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qlecsim:", err)
+			os.Exit(1)
+		}
+		art := auditRec.Artifact()
+		if err := audit.WriteArtifact(fh, art); err == nil {
+			err = fh.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qlecsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d ledger entries, %d decisions)\n",
+			*auditPath, art.Report.Entries, art.Report.Decisions)
 	}
 
 	fmt.Println(plot.Table(

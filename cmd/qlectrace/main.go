@@ -7,6 +7,14 @@
 //
 //	qlecsim -rounds 5 -trace run.jsonl
 //	qlectrace run.jsonl            # or: qlectrace - < run.jsonl
+//	qlectrace -node 17 run.jsonl   # only events touching node 17
+//	qlectrace -round 3 run.jsonl   # only round 3
+//
+// -node keeps events where the node is the actor or the target (so both
+// halves of every send/accept pair survive); -round keeps one round.
+// The filters compose, and all tallies are computed over the filtered
+// stream — useful for drilling into a single node's traffic that
+// qlecaudit flagged.
 //
 // Ctrl-C (or an elapsed -timeout) aborts a stalled read — useful when
 // analyzing a pipe that stops producing.
@@ -27,12 +35,14 @@ import (
 
 func main() {
 	timeout := flag.Duration("timeout", 0, "abort reading after this long (0 = no limit)")
+	nodeF := flag.Int("node", -1, "only events where this node is the actor or target (-1 = all)")
+	roundF := flag.Int("round", -1, "only events from this round (-1 = all)")
 	prof := cli.ProfileFlags(flag.CommandLine)
 	logCfg := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
 	logCfg.MustSetup(os.Stderr)
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: qlectrace [-timeout 30s] <trace.jsonl | ->")
+		fmt.Fprintln(os.Stderr, "usage: qlectrace [-timeout 30s] [-node N] [-round R] <trace.jsonl | ->")
 		os.Exit(2)
 	}
 	if err := prof.Start(); err != nil {
@@ -56,6 +66,11 @@ func main() {
 	events, err := traceio.ParseJSONL(cli.Reader(ctx, src))
 	if err != nil {
 		fail(err)
+	}
+	if *nodeF >= 0 || *roundF >= 0 {
+		total := len(events)
+		events = traceio.Filter(events, *nodeF, *roundF)
+		fmt.Fprintf(os.Stderr, "qlectrace: %d of %d events match the filter\n", len(events), total)
 	}
 	s, err := traceio.Analyze(events)
 	if err != nil {

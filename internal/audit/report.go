@@ -1,0 +1,107 @@
+package audit
+
+import (
+	"slices"
+
+	"qlec/internal/energy"
+	"qlec/internal/sim"
+)
+
+// NodeEnergy is one node's row in the per-node/per-cause energy table.
+type NodeEnergy struct {
+	Node     int           `json:"node"`
+	Tx       energy.Joules `json:"txJ"`
+	Rx       energy.Joules `json:"rxJ"`
+	Fusion   energy.Joules `json:"fusionJ"`
+	Control  energy.Joules `json:"controlJ"`
+	Total    energy.Joules `json:"totalJ"`
+	Initial  energy.Joules `json:"initialJ"`
+	Residual energy.Joules `json:"residualJ"`
+}
+
+// Report is the artifact's summary: where the joules went, whether the
+// books balanced, and what the detectors saw.
+type Report struct {
+	Rounds int `json:"rounds"`
+	// Entries/Decisions count everything observed; the Kept variants
+	// are what survived the rings into the artifact.
+	Entries       int `json:"entries"`
+	EntriesKept   int `json:"entriesKept"`
+	Decisions     int `json:"decisions"`
+	DecisionsKept int `json:"decisionsKept"`
+
+	TotalJ   energy.Joules `json:"totalJ"`
+	TxJ      energy.Joules `json:"txJ"`
+	RxJ      energy.Joules `json:"rxJ"`
+	FusionJ  energy.Joules `json:"fusionJ"`
+	ControlJ energy.Joules `json:"controlJ"`
+
+	Nodes []NodeEnergy `json:"nodes,omitempty"`
+
+	ViolationCount uint64            `json:"violationCount"`
+	Violations     []Violation       `json:"violations,omitempty"`
+	AnomalyCounts  map[string]uint64 `json:"anomalyCounts,omitempty"`
+	Anomalies      []Anomaly         `json:"anomalies,omitempty"`
+}
+
+// Report summarizes the recorder's accumulated state. Call after the
+// run; the per-node table reads current battery residuals.
+func (r *Recorder) Report() Report {
+	rep := Report{
+		Rounds:         r.rounds,
+		Entries:        r.entries.total,
+		EntriesKept:    len(r.entries.buf),
+		Decisions:      r.decisions.total,
+		DecisionsKept:  len(r.decisions.buf),
+		TxJ:            r.byCause[sim.CauseTx],
+		RxJ:            r.byCause[sim.CauseRx],
+		FusionJ:        r.byCause[sim.CauseFusion],
+		ControlJ:       r.byCause[sim.CauseControl],
+		ViolationCount: r.violationCount,
+		Violations:     slices.Clone(r.violations),
+		Anomalies:      slices.Clone(r.anomalies),
+	}
+	for _, j := range r.byCause {
+		rep.TotalJ += j
+	}
+	if len(r.anomalyCounts) > 0 {
+		rep.AnomalyCounts = make(map[string]uint64, len(r.anomalyCounts))
+		for k, v := range r.anomalyCounts {
+			rep.AnomalyCounts[k] = v
+		}
+	}
+	if r.net != nil {
+		rep.Nodes = make([]NodeEnergy, r.net.N())
+		for i, n := range r.net.Nodes {
+			c := r.nodeCause[i]
+			rep.Nodes[i] = NodeEnergy{
+				Node: i,
+				Tx:   c[sim.CauseTx], Rx: c[sim.CauseRx],
+				Fusion: c[sim.CauseFusion], Control: c[sim.CauseControl],
+				Total:   r.spent[i],
+				Initial: n.Battery.Initial(), Residual: n.Battery.Residual(),
+			}
+		}
+	}
+	return rep
+}
+
+// TopSpenders returns the n highest-consumption nodes, ties broken by
+// lower node id. n ≤ 0 or beyond the table returns every node.
+func (rep Report) TopSpenders(n int) []NodeEnergy {
+	out := slices.Clone(rep.Nodes)
+	slices.SortStableFunc(out, func(a, b NodeEnergy) int {
+		switch {
+		case a.Total > b.Total:
+			return -1
+		case a.Total < b.Total:
+			return 1
+		default:
+			return a.Node - b.Node
+		}
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

@@ -58,3 +58,26 @@ func (b *Battery) Draw(amount Joules) Joules {
 func (b *Battery) Depleted(deathLine Joules) bool {
 	return b.residual <= deathLine
 }
+
+// ApproxEqual reports whether two energy quantities agree to within
+// floating-point accumulation error: |a−b| ≤ 1e-9·max(|a|,|b|) + 1e-12.
+// Summing the same draws in a different association order (battery
+// residual vs. an external ledger) legitimately differs by a few ULPs;
+// this is the shared tolerance for conservation checks, the same form
+// metrics.Result.Validate uses for per-round energy sums.
+func ApproxEqual(a, b Joules) bool {
+	diff := float64(a - b)
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := float64(a)
+	if scale < 0 {
+		scale = -scale
+	}
+	if s := float64(b); s > scale {
+		scale = s
+	} else if -s > scale {
+		scale = -s
+	}
+	return diff <= 1e-9*scale+1e-12
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"qlec/internal/audit"
 	"qlec/internal/baseline"
 	"qlec/internal/cluster"
 	"qlec/internal/core"
@@ -26,6 +27,7 @@ import (
 	"qlec/internal/energy"
 	"qlec/internal/metrics"
 	"qlec/internal/network"
+	"qlec/internal/qlearn"
 	"qlec/internal/rng"
 	"qlec/internal/runner"
 	"qlec/internal/sim"
@@ -116,6 +118,13 @@ type Config struct {
 	// Like Tracer it is dropped in sweeps, where rounds from unrelated
 	// cells would interleave, and excluded from JSON.
 	Observer sim.Observer `json:"-"`
+	// Audit, when non-nil, is the flight recorder for single runs: the
+	// run binds it to the network, installs it on the engine, and — for
+	// Q-learning protocols — attaches it to the learner's decision
+	// stream. Recorders are single-use, so like Tracer/Observer the
+	// hook is dropped in sweeps and excluded from JSON (and from the
+	// canonical cache key; see canonical.go).
+	Audit *audit.Recorder `json:"-"`
 	// Workers bounds sweep parallelism: 0 fans out across the CPUs,
 	// 1 forces the serial reference schedule (results are identical
 	// either way; see runner.Map).
@@ -278,6 +287,19 @@ func (c Config) runOneValidated(ctx context.Context, id ProtocolID, lambda float
 	if c.Observer != nil {
 		engine.SetObserver(c.Observer)
 	}
+	if c.Audit != nil {
+		k := c.K
+		if k > w.N() {
+			k = w.N()
+		}
+		if err := c.Audit.Bind(w, deathLine, k); err != nil {
+			return nil, err
+		}
+		engine.SetAuditor(c.Audit)
+		if ql, ok := proto.(interface{ Learner() *qlearn.Learner }); ok {
+			c.Audit.ObserveLearner(ql.Learner())
+		}
+	}
 	return engine.Run(ctx, rounds)
 }
 
@@ -308,6 +330,7 @@ type cellResult struct {
 func (c *Config) sweepOptions() runner.Options {
 	c.Tracer = nil
 	c.Observer = nil
+	c.Audit = nil
 	return runner.Options{Workers: c.Workers, Progress: c.Progress}
 }
 

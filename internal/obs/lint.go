@@ -24,6 +24,16 @@ import (
 // It returns nil when the input is clean, or an error naming the first
 // offending line.
 func LintExposition(r io.Reader) error {
+	return LintExpositions(r)
+}
+
+// LintExpositions lints several expositions as one logical scrape
+// surface: each reader is checked like LintExposition, and family and
+// series uniqueness is enforced across all of them. A process exposing
+// two registries (say, a daemon's operational registry and a library's
+// private one) must not let them both claim a metric name — Prometheus
+// would see a duplicate family and reject the merged scrape.
+func LintExpositions(rs ...io.Reader) error {
 	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (.+)$`)
 	labelRe := regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
 
@@ -38,119 +48,127 @@ func LintExposition(r io.Reader) error {
 	}
 	hists := make(map[string]*histState) // family + base labels (le stripped)
 
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "# HELP ") {
-			parts := strings.SplitN(line[len("# HELP "):], " ", 2)
-			if len(parts) == 0 || !metricNameRe.MatchString(parts[0]) {
-				return fmt.Errorf("line %d: malformed HELP: %s", lineNo, line)
+	for ri, r := range rs {
+		loc := func(lineNo int) string {
+			if len(rs) == 1 {
+				return fmt.Sprintf("line %d", lineNo)
 			}
-			continue
+			return fmt.Sprintf("input %d line %d", ri+1, lineNo)
 		}
-		if strings.HasPrefix(line, "# TYPE ") {
-			parts := strings.Fields(line[len("# TYPE "):])
-			if len(parts) != 2 || !metricNameRe.MatchString(parts[0]) {
-				return fmt.Errorf("line %d: malformed TYPE: %s", lineNo, line)
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := sc.Text()
+			if line == "" {
+				continue
 			}
-			switch parts[1] {
-			case "counter", "gauge", "histogram":
-			default:
-				return fmt.Errorf("line %d: unknown TYPE %q", lineNo, parts[1])
-			}
-			if _, dup := types[parts[0]]; dup {
-				return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, parts[0])
-			}
-			types[parts[0]] = parts[1]
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			continue // other comments are legal
-		}
-
-		m := sampleRe.FindStringSubmatch(line)
-		if m == nil {
-			return fmt.Errorf("line %d: unparseable sample: %s", lineNo, line)
-		}
-		name, labels, valStr := m[1], m[2], m[3]
-		val, err := parseSampleValue(valStr)
-		if err != nil {
-			return fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
-		}
-
-		family := name
-		suffix := ""
-		for _, s := range []string{"_bucket", "_sum", "_count"} {
-			base := strings.TrimSuffix(name, s)
-			if base != name && types[base] == "histogram" {
-				family, suffix = base, s
-				break
-			}
-		}
-		if _, ok := types[family]; !ok {
-			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
-		}
-
-		var le string
-		baseLabels := labels
-		if labels != "" {
-			inner := labels[1 : len(labels)-1]
-			var kept []string
-			for _, pair := range splitLabelPairs(inner) {
-				lm := labelRe.FindStringSubmatch(pair)
-				if lm == nil {
-					return fmt.Errorf("line %d: malformed label %q", lineNo, pair)
+			if strings.HasPrefix(line, "# HELP ") {
+				parts := strings.SplitN(line[len("# HELP "):], " ", 2)
+				if len(parts) == 0 || !metricNameRe.MatchString(parts[0]) {
+					return fmt.Errorf("%s: malformed HELP: %s", loc(lineNo), line)
 				}
-				if lm[1] == "le" && suffix == "_bucket" {
-					le = lm[2]
-					continue
+				continue
+			}
+			if strings.HasPrefix(line, "# TYPE ") {
+				parts := strings.Fields(line[len("# TYPE "):])
+				if len(parts) != 2 || !metricNameRe.MatchString(parts[0]) {
+					return fmt.Errorf("%s: malformed TYPE: %s", loc(lineNo), line)
 				}
-				kept = append(kept, pair)
+				switch parts[1] {
+				case "counter", "gauge", "histogram":
+				default:
+					return fmt.Errorf("%s: unknown TYPE %q", loc(lineNo), parts[1])
+				}
+				if _, dup := types[parts[0]]; dup {
+					return fmt.Errorf("%s: duplicate TYPE for %q", loc(lineNo), parts[0])
+				}
+				types[parts[0]] = parts[1]
+				continue
 			}
-			baseLabels = ""
-			if len(kept) > 0 {
-				baseLabels = "{" + strings.Join(kept, ",") + "}"
+			if strings.HasPrefix(line, "#") {
+				continue // other comments are legal
 			}
-		}
-		if suffix == "_bucket" && le == "" {
-			return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
-		}
 
-		key := name + labels
-		if seen[key] {
-			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
-		}
-		seen[key] = true
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				return fmt.Errorf("%s: unparseable sample: %s", loc(lineNo), line)
+			}
+			name, labels, valStr := m[1], m[2], m[3]
+			val, err := parseSampleValue(valStr)
+			if err != nil {
+				return fmt.Errorf("%s: bad value %q: %v", loc(lineNo), valStr, err)
+			}
 
-		if types[family] == "histogram" && suffix != "" {
-			hk := family + baseLabels
-			h := hists[hk]
-			if h == nil {
-				h = &histState{}
-				hists[hk] = h
+			family := name
+			suffix := ""
+			for _, s := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, s)
+				if base != name && types[base] == "histogram" {
+					family, suffix = base, s
+					break
+				}
 			}
-			switch suffix {
-			case "_bucket":
-				if val < h.lastCum {
-					return fmt.Errorf("line %d: non-cumulative bucket in %s", lineNo, hk)
+			if _, ok := types[family]; !ok {
+				return fmt.Errorf("%s: sample %q has no preceding # TYPE", loc(lineNo), name)
+			}
+
+			var le string
+			baseLabels := labels
+			if labels != "" {
+				inner := labels[1 : len(labels)-1]
+				var kept []string
+				for _, pair := range splitLabelPairs(inner) {
+					lm := labelRe.FindStringSubmatch(pair)
+					if lm == nil {
+						return fmt.Errorf("%s: malformed label %q", loc(lineNo), pair)
+					}
+					if lm[1] == "le" && suffix == "_bucket" {
+						le = lm[2]
+						continue
+					}
+					kept = append(kept, pair)
 				}
-				h.lastCum = val
-				if le == "+Inf" {
-					h.infCum, h.hasInf = val, true
+				baseLabels = ""
+				if len(kept) > 0 {
+					baseLabels = "{" + strings.Join(kept, ",") + "}"
 				}
-			case "_count":
-				h.count, h.hasCount = val, true
+			}
+			if suffix == "_bucket" && le == "" {
+				return fmt.Errorf("%s: histogram bucket without le label", loc(lineNo))
+			}
+
+			key := name + labels
+			if seen[key] {
+				return fmt.Errorf("%s: duplicate series %s", loc(lineNo), key)
+			}
+			seen[key] = true
+
+			if types[family] == "histogram" && suffix != "" {
+				hk := family + baseLabels
+				h := hists[hk]
+				if h == nil {
+					h = &histState{}
+					hists[hk] = h
+				}
+				switch suffix {
+				case "_bucket":
+					if val < h.lastCum {
+						return fmt.Errorf("%s: non-cumulative bucket in %s", loc(lineNo), hk)
+					}
+					h.lastCum = val
+					if le == "+Inf" {
+						h.infCum, h.hasInf = val, true
+					}
+				case "_count":
+					h.count, h.hasCount = val, true
+				}
 			}
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return err
+		if err := sc.Err(); err != nil {
+			return err
+		}
 	}
 	for hk, h := range hists {
 		if !h.hasInf {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -44,5 +45,44 @@ func TestLintAcceptsValid(t *testing.T) {
 		"# TYPE special gauge\nspecial NaN\n"
 	if err := LintExposition(strings.NewReader(input)); err != nil {
 		t.Fatalf("lint rejected valid input: %v", err)
+	}
+}
+
+// TestLintExpositionsCrossRegistry: two registries exposed by one
+// process form one scrape surface, so a family or series name owned by
+// both is an error even though each exposition lints clean alone.
+func TestLintExpositionsCrossRegistry(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("shared_total", "Owned by registry A.").Inc()
+	b := NewRegistry()
+	b.Counter("shared_total", "Owned by registry B too.").Inc()
+
+	var ea, eb bytes.Buffer
+	if err := a.WritePrometheus(&ea); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WritePrometheus(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintExposition(bytes.NewReader(ea.Bytes())); err != nil {
+		t.Fatalf("registry A alone fails lint: %v", err)
+	}
+	err := LintExpositions(bytes.NewReader(ea.Bytes()), bytes.NewReader(eb.Bytes()))
+	if err == nil {
+		t.Fatal("duplicate family across registries lints clean")
+	}
+	if !strings.Contains(err.Error(), "input 2") || !strings.Contains(err.Error(), "shared_total") {
+		t.Fatalf("error %q does not locate the duplicate in input 2", err)
+	}
+
+	// Disjoint names across registries lint clean together.
+	c := NewRegistry()
+	c.Gauge("other_gauge", "Unrelated.").Set(1)
+	var ec bytes.Buffer
+	if err := c.WritePrometheus(&ec); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintExpositions(bytes.NewReader(ea.Bytes()), bytes.NewReader(ec.Bytes())); err != nil {
+		t.Fatalf("disjoint registries fail joint lint: %v", err)
 	}
 }

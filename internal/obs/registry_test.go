@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"sync"
@@ -235,5 +236,66 @@ func TestVersion(t *testing.T) {
 	}
 	if bi.String() == "" {
 		t.Error("String() empty")
+	}
+}
+
+// TestHistogramZeroObservations: a registered-but-never-observed
+// histogram must still render a complete, lintable family — +Inf
+// bucket, _sum and _count all present and zero. Prometheus treats a
+// family with buckets missing as corrupt, so "no data yet" must not
+// mean "no exposition".
+func TestHistogramZeroObservations(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("idle_seconds", "Never observed.", []float64{1, 10})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`idle_seconds_bucket{le="1"} 0`,
+		`idle_seconds_bucket{le="10"} 0`,
+		`idle_seconds_bucket{le="+Inf"} 0`,
+		"idle_seconds_sum 0",
+		"idle_seconds_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("zero-observation exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := LintExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("zero-observation histogram fails lint: %v", err)
+	}
+}
+
+// TestHistogramInfObservation: +Inf observations land in the implicit
+// +Inf bucket only, count toward _count, and the exposition still
+// satisfies the +Inf-equals-count invariant the linter enforces.
+func TestHistogramInfObservation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("spike_seconds", "Observed once at +Inf.", []float64{1})
+	h.Observe(math.Inf(1))
+	h.Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`spike_seconds_bucket{le="1"} 1`,
+		`spike_seconds_bucket{le="+Inf"} 2`,
+		"spike_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("+Inf exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The rendered _sum is +Inf; both the writer and the linter must
+	// agree on its spelling.
+	if !strings.Contains(out, "spike_seconds_sum +Inf") && !strings.Contains(out, "spike_seconds_sum Inf") {
+		t.Errorf("+Inf sum not rendered:\n%s", out)
+	}
+	if err := LintExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("+Inf histogram fails lint: %v", err)
 	}
 }

@@ -161,6 +161,11 @@ type Learner struct {
 
 	// explore drives ε-greedy action selection when params.Epsilon > 0.
 	explore *rng.Stream
+
+	// decObs/outObs, when installed, observe Decide calls and ACK
+	// outcomes for the audit flight recorder (see observe.go).
+	decObs DecisionObserver
+	outObs OutcomeObserver
 }
 
 // NewLearner builds a Learner for the network. bits is the packet size L
@@ -306,43 +311,74 @@ func (l *Learner) SetExploration(s *rng.Stream) { l.explore = s }
 func (l *Learner) Decide(from int, heads []int) int {
 	// Invariants of the from side — its normalized residual energy and
 	// current V — are identical for every probed action; hoist them out
-	// of the per-head loop.
+	// of the per-head loop. The decision-observer captures below consume
+	// no randomness and change no arithmetic, so observed and unobserved
+	// runs stay byte-identical.
 	xFrom := l.x(from)
 	vFrom := l.v[from]
+	var rec *Decision
+	if l.decObs != nil {
+		rec = &Decision{Node: from, VBefore: vFrom, EpsRoll: math.NaN()}
+	}
 	best := network.BSID
 	bestQ := l.qHoisted(from, network.BSID, xFrom, vFrom)
+	if rec != nil {
+		rec.Candidates = append(rec.Candidates, network.BSID)
+		rec.QValues = append(rec.QValues, bestQ)
+	}
 	for _, h := range heads {
 		if h == from {
 			continue
 		}
-		if q := l.qHoisted(from, h, xFrom, vFrom); q > bestQ || (q == bestQ && better(h, best)) {
+		q := l.qHoisted(from, h, xFrom, vFrom)
+		if rec != nil {
+			rec.Candidates = append(rec.Candidates, h)
+			rec.QValues = append(rec.QValues, q)
+		}
+		if q > bestQ || (q == bestQ && better(h, best)) {
 			bestQ = q
 			best = h
 		}
 	}
 	l.setV(from, bestQ)
-	if l.params.Epsilon > 0 && l.explore != nil && len(heads) > 0 &&
-		l.explore.Float64() < l.params.Epsilon {
-		candidates := len(heads)
-		for _, h := range heads {
-			if h == from {
-				candidates--
-			}
+	chosen := best
+	explored := false
+	if l.params.Epsilon > 0 && l.explore != nil && len(heads) > 0 {
+		roll := l.explore.Float64()
+		if rec != nil {
+			rec.EpsRoll = roll
 		}
-		if candidates > 0 {
-			j := l.explore.Intn(candidates)
+		if roll < l.params.Epsilon {
+			candidates := len(heads)
 			for _, h := range heads {
 				if h == from {
-					continue
+					candidates--
 				}
-				if j == 0 {
-					return h
+			}
+			if candidates > 0 {
+				j := l.explore.Intn(candidates)
+				for _, h := range heads {
+					if h == from {
+						continue
+					}
+					if j == 0 {
+						chosen = h
+						explored = true
+						break
+					}
+					j--
 				}
-				j--
 			}
 		}
 	}
-	return best
+	if rec != nil {
+		rec.Greedy = best
+		rec.Chosen = chosen
+		rec.Explored = explored
+		rec.VAfter = bestQ
+		l.decObs(*rec)
+	}
+	return chosen
 }
 
 // better orders candidate targets for tie-breaking: any head beats the
@@ -369,6 +405,13 @@ func (l *Learner) Observe(from, to int, success bool) {
 		x = 1
 	}
 	l.links[i] = p + l.params.LinkAlpha*(x-p)
+	if l.outObs != nil {
+		r := l.rewardFailure(from, to)
+		if success {
+			r = l.rewardSuccess(from, to)
+		}
+		l.outObs(Outcome{From: from, To: to, Success: success, LinkP: l.links[i], Reward: r})
+	}
 }
 
 // UpdateHeadValue implements Algorithm 1 line 15: after the end-of-round

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"qlec/internal/audit"
 	"qlec/internal/energy"
 	"qlec/internal/obs"
 	"qlec/internal/sim"
@@ -15,6 +16,21 @@ import (
 // the hub, not the producer). Implementations must honour ctx — the
 // server cancels it on DELETE and on hard shutdown.
 type RunFunc func(ctx context.Context, req Request, publish func(Event)) (*ResultEnvelope, error)
+
+// auditCtxKey carries the per-job flight recorder from the worker to
+// Execute. A context key (rather than a Request field) keeps the
+// recorder out of the job's serialized, content-addressed form, the
+// same way the obs registry and trace recorder travel.
+type auditCtxKey struct{}
+
+func contextWithAudit(ctx context.Context, rec *audit.Recorder) context.Context {
+	return context.WithValue(ctx, auditCtxKey{}, rec)
+}
+
+func auditFromContext(ctx context.Context) *audit.Recorder {
+	rec, _ := ctx.Value(auditCtxKey{}).(*audit.Recorder)
+	return rec
+}
 
 // Execute is the production RunFunc: it dispatches a request to the
 // experiment harness entry point its kind names, wiring per-round
@@ -59,6 +75,7 @@ func Execute(ctx context.Context, req Request, publish func(Event)) (*ResultEnve
 			}
 		}
 		cfg.Observer = observer
+		cfg.Audit = auditFromContext(ctx)
 		res, err := cfg.RunOne(ctx, req.Protocols[0], req.Lambda, req.Seed, req.Lifespan)
 		if err != nil {
 			return nil, err

@@ -3,6 +3,7 @@ package service
 import (
 	"sync"
 
+	"qlec/internal/audit"
 	"qlec/internal/obs"
 )
 
@@ -106,6 +107,50 @@ func (t *traceTable) put(id string, rec *obs.TraceRecorder) {
 }
 
 func (t *traceTable) get(id string) *obs.TraceRecorder {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byJob[id]
+}
+
+// maxAudits bounds how many per-job flight-recorder artifacts the
+// server keeps; like traces, older artifacts age out FIFO.
+const maxAudits = 64
+
+// serviceAuditEntries/serviceAuditDecisions size the per-job recorder
+// rings below the package defaults: up to maxAudits artifacts can be
+// resident at once, so each is kept to a few megabytes. The summary
+// report still reflects every entry — only the raw streams truncate.
+const (
+	serviceAuditEntries   = 1 << 14
+	serviceAuditDecisions = 1 << 12
+)
+
+// auditTable is the bounded per-job artifact store behind
+// GET /v1/jobs/{id}/audit.
+type auditTable struct {
+	mu    sync.Mutex
+	byJob map[string]*audit.Artifact
+	order []string
+}
+
+func newAuditTable() *auditTable {
+	return &auditTable{byJob: make(map[string]*audit.Artifact)}
+}
+
+func (t *auditTable) put(id string, a *audit.Artifact) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.byJob[id]; !ok {
+		t.order = append(t.order, id)
+	}
+	t.byJob[id] = a
+	for len(t.order) > maxAudits {
+		delete(t.byJob, t.order[0])
+		t.order = t.order[1:]
+	}
+}
+
+func (t *auditTable) get(id string) *audit.Artifact {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.byJob[id]

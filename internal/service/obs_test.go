@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"qlec/internal/audit"
 	"qlec/internal/metrics"
 	"qlec/internal/obs"
 	"qlec/internal/service"
@@ -204,6 +205,101 @@ func TestTraceEndpointRealJob(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusNotFound {
 			t.Errorf("trace for unknown job = %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestAuditEndpointRealJob runs a real simulation through Execute and
+// fetches its flight-recorder artifact: the ledger and decision streams
+// must be populated, conservation must hold, the SSE stream must have
+// advertised the artifact before the terminal state event, and jobs
+// without an executed single run must 404.
+func TestAuditEndpointRealJob(t *testing.T) {
+	_, cl, base := newObsTestServer(t, service.Options{Workers: 1})
+	ctx := context.Background()
+	j, err := cl.Submit(ctx, oneRequest(tinyCfg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Collect the whole stream; it ends at the terminal state event.
+	var events []service.Event
+	if err := cl.Events(ctx, j.ID, func(e service.Event) bool {
+		events = append(events, e)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	auditIdx, stateIdx := -1, -1
+	for i, e := range events {
+		switch {
+		case e.Type == service.EventAudit:
+			auditIdx = i
+		case e.Type == service.EventState && e.State.Terminal():
+			stateIdx = i
+		}
+	}
+	if auditIdx < 0 {
+		t.Fatalf("stream advertised no audit event: %+v", events)
+	}
+	if stateIdx < auditIdx {
+		t.Errorf("audit event at %d arrived after terminal state at %d", auditIdx, stateIdx)
+	}
+	sum := events[auditIdx].Audit
+	if sum == nil || sum.Entries == 0 || sum.Decisions == 0 || sum.Violations != 0 {
+		t.Fatalf("audit summary %+v, want populated streams and zero violations", sum)
+	}
+
+	resp, err := http.Get(base + "/v1/jobs/" + j.ID + "/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET audit = %d, want 200", resp.StatusCode)
+	}
+	art, err := audit.ReadArtifact(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := art.Report
+	if rep.Rounds == 0 || len(art.Ledger) == 0 || len(art.Decisions) == 0 {
+		t.Fatalf("artifact rounds=%d ledger=%d decisions=%d, want all populated",
+			rep.Rounds, len(art.Ledger), len(art.Decisions))
+	}
+	if rep.ViolationCount != 0 {
+		t.Fatalf("conservation violations on a clean run: %+v", rep.Violations)
+	}
+	if rep.Entries != sum.Entries || rep.Decisions != sum.Decisions {
+		t.Errorf("artifact entries/decisions %d/%d disagree with SSE summary %d/%d",
+			rep.Entries, rep.Decisions, sum.Entries, sum.Decisions)
+	}
+
+	// The audit counters joined the operational exposition.
+	out := scrape(t, base)
+	if !strings.Contains(out, "qlec_audit_violations_total 0") {
+		t.Errorf("scrape missing qlec_audit_violations_total:\n%s", out)
+	}
+
+	// A duplicate submission is a cache hit: job exists, never executed,
+	// so it has no artifact.
+	dup, err := cl.Submit(ctx, oneRequest(tinyCfg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.CacheHit {
+		t.Fatalf("duplicate submission was not a cache hit: %+v", dup)
+	}
+	if resp, err := http.Get(base + "/v1/jobs/" + dup.ID + "/audit"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("audit for cache-hit job = %d, want 404", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(base + "/v1/jobs/nope/audit"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("audit for unknown job = %d, want 404", resp.StatusCode)
 		}
 	}
 }

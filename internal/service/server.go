@@ -71,6 +71,7 @@ type Server struct {
 	om     *serverMetrics
 	httpm  *obs.HTTPMetrics
 	traces *traceTable
+	audits *auditTable
 
 	hardCtx    context.Context
 	hardCancel context.CancelFunc
@@ -113,6 +114,7 @@ func New(opt Options) (*Server, error) {
 		log:      opt.Logger,
 		reg:      opt.Metrics,
 		traces:   newTraceTable(),
+		audits:   newAuditTable(),
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	if opt.DataDir != "" {
@@ -198,6 +200,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/audit", s.handleAudit)
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.reg)
@@ -520,6 +523,28 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = rec.WriteJSON(w)
+}
+
+// handleAudit implements GET /v1/jobs/{id}/audit: the flight-recorder
+// artifact of an executed KindOne job (energy ledger, decision records,
+// conservation report — cmd/qlecaudit consumes it). Like traces,
+// artifacts exist for executed jobs only (not cache hits or sweeps) and
+// age out FIFO after maxAudits jobs.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, known := s.jobs[id]
+	s.mu.Unlock()
+	if !known {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	art := s.audits.get(id)
+	if art == nil {
+		writeErr(w, http.StatusNotFound, "no audit for job %q (not an executed single run, or aged out)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, art)
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {

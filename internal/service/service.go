@@ -132,10 +132,14 @@ func (r Request) Normalize() Request {
 		n.Config.FCMLevels = def.FCMLevels
 	}
 	// Hooks never cross the wire (json:"-") but guard against in-process
-	// submitters leaking them into workers.
+	// submitters leaking them into workers. The audit recorder is also a
+	// hook: the worker installs its own per-job recorder (see runJob), and
+	// a submitter's recorder must not leak across jobs — Bind is
+	// single-use.
 	n.Config.Tracer = nil
 	n.Config.Observer = nil
 	n.Config.Progress = nil
+	n.Config.Audit = nil
 	return n
 }
 
@@ -284,6 +288,10 @@ const (
 	// EventState announces a lifecycle transition; the terminal one is
 	// the stream's last event.
 	EventState EventType = "state"
+	// EventAudit announces that a flight-recorder artifact is ready at
+	// GET /v1/jobs/{id}/audit, with its headline figures inline. Emitted
+	// once per executed KindOne job, just before the terminal state event.
+	EventAudit EventType = "audit"
 )
 
 // RoundProgress is the payload of an EventRound.
@@ -302,6 +310,16 @@ type SweepProgress struct {
 	Total int `json:"total"`
 }
 
+// AuditSummary is the payload of an EventAudit: the artifact's headline
+// figures, so a streaming client knows whether fetching the full audit
+// is worth it (violations or anomalies > 0) without a second request.
+type AuditSummary struct {
+	Entries    int    `json:"entries"`
+	Decisions  int    `json:"decisions"`
+	Violations uint64 `json:"violations"`
+	Anomalies  uint64 `json:"anomalies"`
+}
+
 // Event is one entry of a job's progress stream.
 type Event struct {
 	// Seq numbers events from 1 within a job; SSE ids carry it so
@@ -310,6 +328,7 @@ type Event struct {
 	Type  EventType      `json:"type"`
 	Round *RoundProgress `json:"round,omitempty"`
 	Sweep *SweepProgress `json:"sweep,omitempty"`
+	Audit *AuditSummary  `json:"audit,omitempty"`
 	State JobState       `json:"state,omitempty"`
 	Error string         `json:"error,omitempty"`
 }

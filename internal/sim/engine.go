@@ -71,9 +71,12 @@ type Engine struct {
 
 	// tracer, when installed, observes every packet transition;
 	// curRound stamps trace events. observer, when installed, receives
-	// one RoundSnapshot per completed round (see step.go).
+	// one RoundSnapshot per completed round (see step.go). auditor,
+	// when installed, receives every classified battery draw plus round
+	// boundaries (see audit.go).
 	tracer   Tracer
 	observer Observer
+	auditor  Auditor
 	curRound int
 
 	// Stepper state (see step.go): the planned round budget, the next
@@ -188,21 +191,41 @@ func (e *Engine) shadowFactor(from, target int) float64 {
 }
 
 // Classified battery draws: every energy expenditure goes through one
-// of these so Result.Energy's categories always sum to TotalEnergy.
-func (e *Engine) drawTx(id int, amount energy.Joules) {
-	e.breakdown.Tx += e.net.Nodes[id].Battery.Draw(amount)
+// of these so Result.Energy's categories always sum to TotalEnergy and
+// the audit ledger sees every joule. The ledger records the amount the
+// battery actually drew (clamped at empty), not the amount requested.
+// pkt/hasPkt attribute the draw to a packet where one exists; aggregate
+// draws (control broadcasts, burst transmissions) pass hasPkt=false.
+func (e *Engine) drawTx(id int, amount energy.Joules, pkt packet.ID, hasPkt bool) {
+	d := e.net.Nodes[id].Battery.Draw(amount)
+	e.breakdown.Tx += d
+	if e.auditor != nil {
+		e.auditEnergy(CauseTx, id, d, pkt, hasPkt)
+	}
 }
 
-func (e *Engine) drawRx(id int, amount energy.Joules) {
-	e.breakdown.Rx += e.net.Nodes[id].Battery.Draw(amount)
+func (e *Engine) drawRx(id int, amount energy.Joules, pkt packet.ID, hasPkt bool) {
+	d := e.net.Nodes[id].Battery.Draw(amount)
+	e.breakdown.Rx += d
+	if e.auditor != nil {
+		e.auditEnergy(CauseRx, id, d, pkt, hasPkt)
+	}
 }
 
-func (e *Engine) drawFusion(id int, amount energy.Joules) {
-	e.breakdown.Fusion += e.net.Nodes[id].Battery.Draw(amount)
+func (e *Engine) drawFusion(id int, amount energy.Joules, pkt packet.ID, hasPkt bool) {
+	d := e.net.Nodes[id].Battery.Draw(amount)
+	e.breakdown.Fusion += d
+	if e.auditor != nil {
+		e.auditEnergy(CauseFusion, id, d, pkt, hasPkt)
+	}
 }
 
 func (e *Engine) drawControl(id int, amount energy.Joules) {
-	e.breakdown.Control += e.net.Nodes[id].Battery.Draw(amount)
+	d := e.net.Nodes[id].Battery.Draw(amount)
+	e.breakdown.Control += d
+	if e.auditor != nil {
+		e.auditEnergy(CauseControl, id, d, 0, false)
+	}
 }
 
 func (e *Engine) alive(id int) bool {
@@ -274,6 +297,9 @@ func (e *Engine) runRound(r int) []int {
 
 	heads := e.proto.StartRound(r)
 	e.round.Heads = len(heads)
+	if e.auditor != nil {
+		e.auditor.AuditBeginRound(r, heads)
+	}
 	e.setupHeads(heads)
 	if !e.cfg.DisableControlTraffic {
 		e.chargeControl(heads)
@@ -330,6 +356,9 @@ func (e *Engine) runRound(r int) []int {
 		e.res.Dropped[i] += d
 	}
 	e.res.TotalEnergy += e.round.Energy
+	if e.auditor != nil {
+		e.auditor.AuditEndRound(r, e.round.Energy, e.res.TotalEnergy)
+	}
 	return heads
 }
 
@@ -420,7 +449,7 @@ func (e *Engine) handleGenerate(ev event, roundEnd float64) {
 func (e *Engine) transmit(pkt packet.Packet, from, attempt int) {
 	target := e.proto.NextHop(from)
 	d := e.dist(from, target)
-	e.drawTx(from, e.model.Tx(pkt.Bits, d))
+	e.drawTx(from, e.model.Tx(pkt.Bits, d), pkt.ID, true)
 	e.inFlight++
 	e.trace(TraceEvent{Kind: TraceSend, Packet: pkt.ID, Node: from, Target: target, Attempt: attempt})
 	e.push(event{
@@ -457,7 +486,7 @@ func (e *Engine) handleArrive(ev event) {
 			}
 		case e.alive(target) && e.queues[target] != nil:
 			// Receiving costs energy whether or not the queue has room.
-			e.drawRx(target, e.model.Rx(ev.pkt.Bits))
+			e.drawRx(target, e.model.Rx(ev.pkt.Bits), ev.pkt.ID, true)
 			pkt := ev.pkt
 			pkt.Hops++
 			if e.queues[target].Push(pkt) {
@@ -550,7 +579,7 @@ func (e *Engine) handleService(ev event) {
 	pkt, ok := q.Pop()
 	if ok {
 		if e.alive(head) {
-			e.drawFusion(head, e.model.Aggregate(pkt.Bits))
+			e.drawFusion(head, e.model.Aggregate(pkt.Bits), pkt.ID, true)
 			e.trace(TraceEvent{Kind: TraceService, Packet: pkt.ID, Node: head})
 			e.afterService(head, pkt)
 		} else {
@@ -638,7 +667,7 @@ func (e *Engine) endOfRound(heads []int) {
 				e.drop(metrics.DropDead, pkt, h)
 				continue
 			}
-			e.drawFusion(h, e.model.Aggregate(pkt.Bits))
+			e.drawFusion(h, e.model.Aggregate(pkt.Bits), pkt.ID, true)
 			if hold {
 				e.fused[h].bits += pkt.Bits
 				e.fused[h].pkts = append(e.fused[h].pkts, pkt)
@@ -666,7 +695,7 @@ func (e *Engine) burst(head int) {
 		if !e.alive(head) {
 			break
 		}
-		e.drawTx(head, e.model.Tx(aggBits, d))
+		e.drawTx(head, e.model.Tx(aggBits, d), 0, false)
 		ok := e.link.Float64() < e.linkP(head, network.BSID, d)
 		e.proto.OnOutcome(head, network.BSID, ok)
 		if ok {
@@ -709,7 +738,7 @@ func (e *Engine) forwardChainInstant(head int, pkt packet.Packet) {
 		d := e.dist(holder, target)
 		ok := false
 		for attempt := 0; attempt <= e.cfg.MaxRetries && !ok; attempt++ {
-			e.drawTx(holder, e.model.Tx(bits, d))
+			e.drawTx(holder, e.model.Tx(bits, d), pkt.ID, true)
 			ok = e.link.Float64() < e.linkP(holder, target, d)
 			e.proto.OnOutcome(holder, target, ok)
 		}
@@ -722,7 +751,7 @@ func (e *Engine) forwardChainInstant(head int, pkt packet.Packet) {
 			e.deliver(pkt)
 			return
 		}
-		e.drawRx(target, e.model.Rx(bits))
+		e.drawRx(target, e.model.Rx(bits), pkt.ID, true)
 		holder = target
 	}
 	// Routing loop guard: a protocol that cycles loses the packet.

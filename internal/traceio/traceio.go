@@ -6,6 +6,7 @@ package traceio
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -177,4 +178,75 @@ func (s *Stats) TopLoads(n int) [][2]int {
 		out[i] = [2]int{all[i].node, all[i].count}
 	}
 	return out
+}
+
+// Filter returns the events matching a node and/or round restriction.
+// node ≥ 0 keeps events where that node is the actor or the target (so
+// both halves of a send/accept pair survive); round ≥ 0 keeps one
+// round. Negative values disable the corresponding restriction.
+func Filter(events []sim.TraceEvent, node, round int) []sim.TraceEvent {
+	if node < 0 && round < 0 {
+		return events
+	}
+	var out []sim.TraceEvent
+	for _, ev := range events {
+		if node >= 0 && ev.Node != node && ev.Target != node {
+			continue
+		}
+		if round >= 0 && ev.Round != round {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// WriteLedgerJSONL writes audit energy-ledger entries one JSON object
+// per line — the same stream format audit.Options.Spill receives, so a
+// spill file and a written ledger are interchangeable inputs to
+// ParseLedgerJSONL.
+func WriteLedgerJSONL(w io.Writer, entries []sim.EnergyEntry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("traceio: ledger entry %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("traceio: flushing ledger: %w", err)
+	}
+	return nil
+}
+
+// ParseLedgerJSONL reads one energy-ledger entry per line (the format
+// of WriteLedgerJSONL and of audit spill files). Blank lines are
+// skipped; malformed lines are errors with their line number — the
+// stream is machine-written, so corruption means truncation or a mixed
+// stream, not user input. Unknown fields are rejected so a packet-trace
+// line interleaved into a ledger stream fails loudly instead of parsing
+// as a zero-valued entry.
+func ParseLedgerJSONL(r io.Reader) ([]sim.EnergyEntry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []sim.EnergyEntry
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e sim.EnergyEntry
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("traceio: ledger line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traceio: reading ledger: %w", err)
+	}
+	return out, nil
 }

@@ -2,6 +2,7 @@ package traceio
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -135,5 +136,159 @@ func TestAnalyzeDropReasons(t *testing.T) {
 	}
 	if s.DropReasons["queue"] == 0 {
 		t.Fatalf("no queue drops recorded: %v", s.DropReasons)
+	}
+}
+
+// ledgerFixture is a small hand-built ledger covering every cause, the
+// packet/no-packet split and the BS target convention.
+func ledgerFixture() []sim.EnergyEntry {
+	return []sim.EnergyEntry{
+		{Time: 0.1, Round: 0, Node: 3, Cause: sim.CauseControl, Joules: 5e-5},
+		{Time: 0.2, Round: 0, Node: 3, Cause: sim.CauseTx, Joules: 1.2e-4, Packet: 7, HasPacket: true},
+		{Time: 0.3, Round: 0, Node: 9, Cause: sim.CauseRx, Joules: 8e-5, Packet: 7, HasPacket: true},
+		{Time: 1.1, Round: 1, Node: 9, Cause: sim.CauseFusion, Joules: 2e-5},
+	}
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	entries := ledgerFixture()
+	var buf strings.Builder
+	if err := WriteLedgerJSONL(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	// The cause serializes as its name, not a bare integer — ledger files
+	// must stay self-describing.
+	for _, name := range []string{`"tx"`, `"rx"`, `"fusion"`, `"control"`} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("ledger stream missing cause name %s:\n%s", name, buf.String())
+		}
+	}
+	got, err := ParseLedgerJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, entries) {
+		t.Fatalf("round-trip mismatch:\ngot  %+v\nwant %+v", got, entries)
+	}
+}
+
+func TestParseLedgerJSONLSkipsBlankLines(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteLedgerJSONL(&buf, ledgerFixture()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	padded := "\n" + strings.Join(lines, "\n\n") + "\n\n"
+	got, err := ParseLedgerJSONL(strings.NewReader(padded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(lines) {
+		t.Fatalf("parsed %d entries from padded stream, want %d", len(got), len(lines))
+	}
+}
+
+func TestParseLedgerJSONLErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteLedgerJSONL(&buf, ledgerFixture()); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.String()
+	lines := strings.SplitAfter(clean, "\n")
+
+	// A corrupt interior line is reported with its line number.
+	corrupt := lines[0] + "{not json}\n" + strings.Join(lines[1:], "")
+	if _, err := ParseLedgerJSONL(strings.NewReader(corrupt)); err == nil {
+		t.Fatal("corrupt line accepted")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("corrupt-line error %q does not name line 2", err)
+	}
+
+	// A truncated final line (partial JSON object, e.g. a crash mid-write
+	// of a spill file) is an error, not a silent short read.
+	truncated := clean[:len(clean)-10]
+	if _, err := ParseLedgerJSONL(strings.NewReader(truncated)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+
+	// A packet-trace event interleaved into the ledger stream fails
+	// loudly: its fields ("kind", …) are unknown to EnergyEntry, and a
+	// silent zero-valued parse would corrupt conservation sums.
+	mixed := lines[0] + `{"kind":"send","t":0.2,"round":0,"node":3,"pkt":7,"target":9}` + "\n" + strings.Join(lines[1:], "")
+	if _, err := ParseLedgerJSONL(strings.NewReader(mixed)); err == nil {
+		t.Fatal("mixed trace/ledger stream accepted")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("mixed-stream error %q does not name line 2", err)
+	}
+
+	// An unknown cause name is rejected by the EnergyCause decoder.
+	badCause := strings.Replace(clean, `"control"`, `"sleep"`, 1)
+	if _, err := ParseLedgerJSONL(strings.NewReader(badCause)); err == nil {
+		t.Fatal("unknown cause name accepted")
+	}
+}
+
+// TestLedgerAlongsidePacketTrace is the integration shape the flight
+// recorder produces: a run emits BOTH a packet trace and an energy
+// ledger. Each stream must parse with its own parser and reject the
+// other's lines when the files are mixed up.
+func TestLedgerAlongsidePacketTrace(t *testing.T) {
+	raw, _, _, _ := traceOf(t)
+	events, err := ParseJSONL(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty packet trace")
+	}
+	var ledger strings.Builder
+	if err := WriteLedgerJSONL(&ledger, ledgerFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseLedgerJSONL(strings.NewReader(ledger.String())); err != nil {
+		t.Fatal(err)
+	}
+	// Handing the packet trace to the ledger parser fails on line 1.
+	if _, err := ParseLedgerJSONL(strings.NewReader(raw)); err == nil {
+		t.Fatal("ledger parser accepted a packet trace")
+	} else if !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("wrong-stream error %q does not name line 1", err)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	events := []sim.TraceEvent{
+		{Kind: sim.TraceGenerate, Round: 0, Node: 1},
+		{Kind: sim.TraceSend, Round: 0, Node: 1, Target: 2},
+		{Kind: sim.TraceAccept, Round: 0, Node: 2, Target: 2},
+		{Kind: sim.TraceSend, Round: 1, Node: 3, Target: 2},
+		{Kind: sim.TraceGenerate, Round: 1, Node: 4},
+	}
+
+	// Both restrictions disabled: the identical slice comes back.
+	if got := Filter(events, -1, -1); len(got) != len(events) {
+		t.Fatalf("unfiltered length %d, want %d", len(got), len(events))
+	}
+
+	// Node filter keeps actor AND target matches, so both halves of a
+	// send/accept exchange survive.
+	if got := Filter(events, 2, -1); len(got) != 3 {
+		t.Fatalf("node filter kept %d events, want 3: %+v", len(got), got)
+	}
+
+	// Round filter alone.
+	if got := Filter(events, -1, 1); len(got) != 2 {
+		t.Fatalf("round filter kept %d events, want 2: %+v", len(got), got)
+	}
+
+	// Conjunction: node 2 in round 1 is only the relayed send.
+	got := Filter(events, 2, 1)
+	if len(got) != 1 || got[0].Node != 3 || got[0].Target != 2 {
+		t.Fatalf("conjunction kept %+v", got)
+	}
+
+	// No matches yields an empty (nil) slice, not an error.
+	if got := Filter(events, 99, -1); len(got) != 0 {
+		t.Fatalf("impossible filter kept %+v", got)
 	}
 }
