@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-service serve bench bench-json figs examples obs-demo audit-demo ci clean
+.PHONY: all build test race race-service serve bench bench-json figs examples obs-demo audit-demo tournament-demo ci clean
 
 all: build test
 
@@ -20,9 +20,10 @@ race:
 # in the repo (worker pool, SSE fan-out, queue close/drain, metric
 # registry atomics); run them under -race twice so rare interleavings
 # get a second chance to fire. This also covers the /metrics scrape +
-# exposition-lint e2e tests in internal/service/obs_test.go.
+# exposition-lint e2e tests in internal/service/obs_test.go, and the
+# protocol registry (init-time registration + RWMutex lookups).
 race-service:
-	$(GO) test -race -count=2 ./internal/service/... ./internal/runner ./internal/obs
+	$(GO) test -race -count=2 ./internal/service/... ./internal/runner ./internal/obs ./internal/protocol/...
 
 # Run the simulation daemon locally (Ctrl-C drains; second Ctrl-C
 # force-quits). See README "Running as a service" for the API.
@@ -105,6 +106,21 @@ audit-demo:
 	$(GO) run ./cmd/qlecaudit diff figs/audit-a.json figs/audit-b.json
 	$(GO) run ./cmd/qlecaudit report figs/audit-a.json | tee figs/audit-report.txt
 	@echo "wrote figs/audit-{a,b}.json and figs/audit-report.txt"
+
+# Tournament smoke: a tiny scenario matrix over three registered
+# protocols must produce a ranked report with one row per entrant.
+# Guards the registry → tournament pipeline end to end (factory lookup,
+# alias canonicalization, endurance leg, ranking). See README
+# "Protocol tournament".
+tournament-demo:
+	@set -e; \
+	OUT=$$($(GO) run ./cmd/qlecsim -tournament -n 24 -k 3 -rounds 3 -maxrounds 120 \
+		-protocols "QLEC,kmeans,tdeec" -quiet); \
+	echo "$$OUT"; \
+	for P in QLEC k-means T-DEEC; do \
+		echo "$$OUT" | grep -q "$$P" || { echo "tournament-demo: missing row for $$P" >&2; exit 1; }; \
+	done; \
+	echo "$$OUT" | grep -q "^1 " || { echo "tournament-demo: no rank-1 row" >&2; exit 1; }
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -21,6 +21,8 @@
 //	GET    /v1/jobs/{id}/trace  Chrome trace_event JSON for the job
 //	GET    /v1/jobs/{id}/audit  flight-recorder artifact (single runs;
 //	                            inspect with cmd/qlecaudit)
+//	GET    /v1/protocols        registered protocol roster (ids, aliases,
+//	                            paper refs, default params)
 //	GET    /v1/results/{hash}   content-addressed result download
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /metrics             Prometheus text exposition

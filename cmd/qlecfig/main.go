@@ -44,6 +44,7 @@ func main() {
 		data    = flag.String("data", "", "figure 4 only: run over an x,y,z,energy_j CSV instead of the synthetic dataset")
 		timeout = flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 		reps    = flag.Int("reps", 1, "figure 4 only: replicate seeds to run and summarize")
+		listP   = flag.Bool("list-protocols", false, "print the protocol registry roster and exit")
 	)
 	flag.IntVar(&workers, "workers", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
 	prof := cli.ProfileFlags(flag.CommandLine)
@@ -57,6 +58,11 @@ func main() {
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+
+	if *listP {
+		fmt.Print(cli.FormatProtocols())
+		return
+	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

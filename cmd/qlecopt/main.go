@@ -4,10 +4,16 @@
 // Usage:
 //
 //	qlecopt [-n 100] [-side 200] [-dtobs 0] [-bits 4000] [-sweep]
+//	        [-tournament]
 //
 // With -dtobs 0 the mean node→BS distance is taken for a center-mounted
 // base station (the paper's Fig. 1 geometry). -sweep prints E_r(k) around
 // the optimum so the argmin is visible.
+//
+// -tournament cross-checks the theory empirically: every registered
+// non-ablation protocol runs the tournament matrix at Theorem 1's
+// k_opt, and the ranked report (PDR, J/node, first/half-node-death
+// rounds) prints after the closed-form table.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"qlec/internal/cli"
 	"qlec/internal/energy"
+	"qlec/internal/experiment"
 	"qlec/internal/geom"
 	"qlec/internal/plot"
 )
@@ -29,7 +36,8 @@ func main() {
 		dtobs   = flag.Float64("dtobs", 0, "mean node→BS distance; 0 = cube-center BS closed form")
 		bits    = flag.Int("bits", 4000, "packet size (bits)")
 		sweep   = flag.Bool("sweep", false, "print the E_r(k) sweep around k_opt")
-		timeout = flag.Duration("timeout", 0, "abort the brute-force cross-check after this long (0 = no limit)")
+		tourn   = flag.Bool("tournament", false, "run the protocol tournament at k_opt and print the ranked report")
+		timeout = flag.Duration("timeout", 0, "abort the brute-force cross-check or tournament after this long (0 = no limit)")
 	)
 	prof := cli.ProfileFlags(flag.CommandLine)
 	logCfg := cli.LogFlags(flag.CommandLine)
@@ -103,6 +111,33 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Println(plot.Table([]string{"k", "E_r (J/round)", ""}, rows))
+	}
+
+	if *tourn {
+		cfg := experiment.PaperConfig()
+		cfg.N = *n
+		cfg.Side = *side
+		cfg.K = maxInt(1, int(math.Round(kopt)))
+		cfg.Sim.Bits = *bits
+		// Keep the empirical cross-check CLI-sized: one seed, short
+		// fixed-round leg, bounded endurance leg.
+		cfg.Rounds = 10
+		cfg.Seeds = []uint64{1}
+		cfg.LifespanMaxRounds = 600
+		fmt.Fprintf(os.Stderr, "qlecopt: tournament at k=%d (Theorem 1 optimum), N=%d...\n", cfg.K, cfg.N)
+		m := cli.NewMeter(os.Stderr)
+		cfg.Progress = m.SweepProgress("tournament cells")
+		res, err := experiment.RunTournament(ctx, experiment.TournamentConfig{
+			Base:    cfg,
+			Lambdas: []float64{4},
+		})
+		m.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qlecopt:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Println(experiment.FormatTournament(res))
 	}
 }
 

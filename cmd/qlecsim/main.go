@@ -3,12 +3,24 @@
 //
 // Usage:
 //
-//	qlecsim [-protocol QLEC|FCM|k-means|LEACH|DEEC-nearest]
+//	qlecsim [-protocol QLEC] [-list-protocols]
 //	        [-lambda 4] [-rounds 20] [-n 100] [-side 200] [-k 5]
 //	        [-seed 1] [-lifespan] [-deathline 2.5] [-perround]
 //	        [-timeout 30s] [-quiet] [-remote http://host:8080]
 //	        [-audit audit.json] [-chrometrace trace.json]
 //	        [-log-level info] [-log-format text]
+//	qlecsim -tournament [-protocols QLEC,FCM,...] [-lambdas 8,4,2]
+//	        [-ns 50,100] [-tournament-json out.json]
+//
+// -protocol accepts any registered protocol id or alias;
+// -list-protocols prints the registry roster (id, aliases, paper
+// reference, default parameters) and exits.
+//
+// With -tournament every selected protocol (default: every registered
+// non-ablation protocol) runs a scenario matrix — traffic λ × network
+// size N × heterogeneity tiers — and a ranked report (PDR, energy per
+// node, first/half-node-death rounds, audited energy budget) prints
+// instead of the single-run table.
 //
 // With -lifespan the run uses the death-line / stop-on-first-death
 // methodology of Figure 3(c); otherwise it runs exactly -rounds rounds.
@@ -30,11 +42,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"qlec"
@@ -52,7 +67,7 @@ import (
 
 func main() {
 	var (
-		protocol   = flag.String("protocol", "QLEC", "protocol: QLEC, FCM, k-means, LEACH, DEEC-nearest, QLEC-nofloor, QLEC-norr")
+		protocol   = flag.String("protocol", "QLEC", "protocol id or alias (see -list-protocols)")
 		lambda     = flag.Float64("lambda", 4, "mean packet inter-arrival time per node (seconds); smaller = more congested")
 		rounds     = flag.Int("rounds", 20, "rounds to simulate (fixed-round mode)")
 		n          = flag.Int("n", 100, "node count")
@@ -74,6 +89,12 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); partial results are printed")
 		quiet      = flag.Bool("quiet", false, "suppress the live per-round progress meter on stderr")
 		remote     = flag.String("remote", "", "submit the run to a qlecd daemon at this base URL instead of simulating in-process")
+		listProtos = flag.Bool("list-protocols", false, "print the protocol registry roster and exit")
+		tournament = flag.Bool("tournament", false, "run the protocol tournament (scenario matrix + ranked report) instead of a single simulation")
+		tournField = flag.String("protocols", "", "tournament: comma-separated protocol ids/aliases (empty = every registered non-ablation protocol)")
+		tournLams  = flag.String("lambdas", "", "tournament: comma-separated traffic λ axis (empty = -lambda)")
+		tournNs    = flag.String("ns", "", "tournament: comma-separated network-size axis (empty = -n)")
+		tournJSON  = flag.String("tournament-json", "", "tournament: also write the full result as JSON to this path")
 	)
 	prof := cli.ProfileFlags(flag.CommandLine)
 	logCfg := cli.LogFlags(flag.CommandLine)
@@ -88,8 +109,20 @@ func main() {
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 
+	if *listProtos {
+		fmt.Print(cli.FormatProtocols())
+		return
+	}
+
 	s := qlec.DefaultScenario()
-	s.Protocol = experiment.ProtocolID(*protocol)
+	if !*tournament {
+		id, err := cli.ResolveProtocol(*protocol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qlecsim:", err)
+			os.Exit(1)
+		}
+		s.Protocol = experiment.ProtocolID(id)
+	}
 	s.Lambda = *lambda
 	s.Seed = *seed
 	s.MeasureLifespan = *lifespan
@@ -119,6 +152,18 @@ func main() {
 	if *speed > 0 {
 		s.Config.Sim.MobilitySpeedMin = *speed / 2
 		s.Config.Sim.MobilitySpeedMax = *speed
+	}
+
+	if *tournament {
+		if *remote != "" {
+			fmt.Fprintln(os.Stderr, "qlecsim: -tournament runs in-process; drop -remote")
+			os.Exit(1)
+		}
+		if err := runTournament(ctx, s.Config, *tournField, *tournLams, *tournNs, *tournJSON, *lambda, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "qlecsim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var flushTrace func() error
@@ -302,6 +347,76 @@ func lifespanString(l int) string {
 		return "survived"
 	}
 	return fmt.Sprintf("%d", l)
+}
+
+// runTournament drives experiment.RunTournament from the flag surface:
+// the single-run configuration becomes the tournament base, the
+// comma-separated axis flags widen the matrix, and the ranked report
+// prints where the single-run table would.
+func runTournament(ctx context.Context, cfg experiment.Config, field, lams, ns, jsonPath string, lambda float64, quiet bool) error {
+	tc := experiment.TournamentConfig{Base: cfg, Lambdas: []float64{lambda}}
+	for _, name := range splitList(field) {
+		id, err := cli.ResolveProtocol(name)
+		if err != nil {
+			return err
+		}
+		tc.Protocols = append(tc.Protocols, experiment.ProtocolID(id))
+	}
+	if vs := splitList(lams); len(vs) > 0 {
+		tc.Lambdas = nil
+		for _, s := range vs {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return fmt.Errorf("bad -lambdas entry %q: %v", s, err)
+			}
+			tc.Lambdas = append(tc.Lambdas, v)
+		}
+	}
+	for _, s := range splitList(ns) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("bad -ns entry %q: %v", s, err)
+		}
+		tc.Ns = append(tc.Ns, v)
+	}
+	meter := cli.NewMeter(os.Stderr)
+	if !quiet {
+		tc.Base.Progress = meter.SweepProgress("tournament cells")
+	}
+	res, err := experiment.RunTournament(ctx, tc)
+	meter.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiment.FormatTournament(res))
+	if jsonPath != "" {
+		fh, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(fh)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fh.Close()
+			return err
+		}
+		if err := fh.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // runRemote submits the scenario to a qlecd daemon as a KindOne job,

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"qlec/internal/cluster"
+	"qlec/internal/protocol"
+)
+
+// The registry descriptors for QLEC and its ablation ladder. All five
+// share one factory shape: a core.Config with the matching ablation
+// switches, identical to what experiment.BuildProtocol hard-wired before
+// the registry existed — the construction must stay byte-for-byte
+// compatible (golden tests pin exact results).
+func init() {
+	variant := func(mutate func(*Config)) protocol.Factory {
+		return func(b protocol.BuildContext) (cluster.Protocol, error) {
+			qc := DefaultConfig(b.TotalRounds)
+			qc.K = b.K
+			qc.Bits = b.Bits
+			qc.DeathLine = b.DeathLine
+			qc.Seed = b.Seed
+			if mutate != nil {
+				mutate(&qc)
+			}
+			return New(b.Net, b.Model, qc)
+		}
+	}
+	protocol.Register(protocol.Descriptor{
+		ID:          "QLEC",
+		Paper:       "Li, Huang, Gao, Wu, Chen — ICPP 2019",
+		Summary:     "improved-DEEC head selection + Q-learning packet routing (the paper's protocol)",
+		Order:       10,
+		Figure3Rank: 1,
+		Factory:     variant(nil),
+	})
+	protocol.Register(protocol.Descriptor{
+		ID:       "DEEC-nearest",
+		Aliases:  []string{"qlec-noq"},
+		Paper:    "Li et al. ICPP 2019 (ablation)",
+		Summary:  "QLEC minus Q-learning: improved DEEC with nearest-head routing",
+		Order:    50,
+		Ablation: true,
+		Factory:  variant(func(qc *Config) { qc.DisableQLearning = true }),
+	})
+	protocol.Register(protocol.Descriptor{
+		ID:       "QLEC-nofloor",
+		Paper:    "Li et al. ICPP 2019 (ablation)",
+		Summary:  "QLEC minus the Eq. (4) energy floor",
+		Order:    60,
+		Ablation: true,
+		Factory:  variant(func(qc *Config) { qc.DisableEnergyFloor = true }),
+	})
+	protocol.Register(protocol.Descriptor{
+		ID:       "QLEC-norr",
+		Paper:    "Li et al. ICPP 2019 (ablation)",
+		Summary:  "QLEC minus the Algorithm 3 redundancy reduction",
+		Order:    70,
+		Ablation: true,
+		Factory:  variant(func(qc *Config) { qc.DisableRedundancyReduction = true }),
+	})
+	protocol.Register(protocol.Descriptor{
+		ID:      "DEEC-plain",
+		Aliases: []string{"deec"},
+		Paper:   "Qing, Zhu, Wang — Computer Communications 2006",
+		Summary: "classic DEEC: lottery-only head selection, nearest-head routing",
+		Order:   80,
+		Factory: variant(func(qc *Config) { qc.PlainDEEC = true }),
+	})
+}

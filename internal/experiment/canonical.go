@@ -140,6 +140,13 @@ type canonicalConfig struct {
 	Topology          *canonicalTopology `json:"topology"`
 	AdvancedFraction  float64            `json:"advancedFraction"`
 	AdvancedFactor    float64            `json:"advancedFactor"`
+	// Appended with omitempty so configurations predating the three-tier
+	// deployment and protocol tunables keep their existing hashes (the
+	// golden-hash test pins PaperConfig's digest). encoding/json emits
+	// map keys sorted, so ProtocolParams serializes deterministically.
+	SuperFraction  float64            `json:"superFraction,omitempty"`
+	SuperFactor    float64            `json:"superFactor,omitempty"`
+	ProtocolParams map[string]float64 `json:"protocolParams,omitempty"`
 }
 
 // CanonicalJSON serializes the result-determining fields of the
@@ -168,6 +175,14 @@ func (c Config) CanonicalJSON() ([]byte, error) {
 		Topology:         canonicalizeTopology(c.Topology),
 		AdvancedFraction: c.AdvancedFraction,
 		AdvancedFactor:   c.AdvancedFactor,
+		SuperFraction:    c.SuperFraction,
+		SuperFactor:      c.SuperFactor,
+		ProtocolParams:   c.ProtocolParams,
+	}
+	if len(cc.ProtocolParams) == 0 {
+		// Treat an allocated-but-empty map like nil so both spell the
+		// same configuration.
+		cc.ProtocolParams = nil
 	}
 	if cc.Lambdas == nil {
 		cc.Lambdas = []float64{}

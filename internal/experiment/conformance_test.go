@@ -1,8 +1,10 @@
 package experiment
 
-// Cross-protocol conformance: every protocol the harness can build must
-// honour the cluster.Protocol contract over many rounds, on both fresh
-// and partially-drained networks.
+// Cross-protocol conformance: every protocol registered in the plugin
+// registry must honour the cluster.Protocol contract over many rounds,
+// on both fresh and partially-drained networks. The table derives from
+// protocol.All(), so a new registration cannot ship without passing the
+// engine-contract checks.
 
 import (
 	"testing"
@@ -13,8 +15,9 @@ import (
 )
 
 func TestAllProtocolsConform(t *testing.T) {
-	all := []ProtocolID{
-		QLEC, FCM, KMeans, LEACH, DEECNearest, QLECNoFloor, QLECNoRR, DEECPlain, Direct,
+	all := AllProtocols()
+	if len(all) < 9 {
+		t.Fatalf("registry lists only %d protocols: %v", len(all), all)
 	}
 	c := PaperConfig()
 	for _, id := range all {
@@ -32,6 +35,35 @@ func TestAllProtocolsConform(t *testing.T) {
 				w.Nodes[i].Battery.Draw(5)
 			}
 			proto, err := c.BuildProtocol(id, w, 30, 0, 77)
+			if err != nil {
+				t.Fatal(err)
+			}
+			report := cluster.CheckConformance(w, proto, 30, 0)
+			if !report.Ok() {
+				for _, v := range report.Violations {
+					t.Error(v)
+				}
+			}
+		})
+	}
+}
+
+// Heterogeneous conformance: the same contract holds on a three-tier
+// deployment (T-DEEC's home turf, but every protocol must survive it).
+func TestAllProtocolsConformHeterogeneous(t *testing.T) {
+	c := PaperConfig()
+	for _, id := range AllProtocols() {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			w, err := network.Deploy(network.Deployment{
+				N: 60, Side: 200, InitialEnergy: 5,
+				AdvancedFraction: 0.2, AdvancedFactor: 1,
+				SuperFraction: 0.1, SuperFactor: 2,
+			}, rng.New(78))
+			if err != nil {
+				t.Fatal(err)
+			}
+			proto, err := c.BuildProtocol(id, w, 30, 0, 78)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -20,25 +20,33 @@ import (
 	"math"
 
 	"qlec/internal/audit"
-	"qlec/internal/baseline"
 	"qlec/internal/cluster"
 	"qlec/internal/core"
 	"qlec/internal/dataset"
 	"qlec/internal/energy"
 	"qlec/internal/metrics"
 	"qlec/internal/network"
+	"qlec/internal/protocol"
 	"qlec/internal/qlearn"
 	"qlec/internal/rng"
 	"qlec/internal/runner"
 	"qlec/internal/sim"
 	"qlec/internal/stats"
+
+	// Link every in-tree protocol into the registry the harness
+	// resolves against.
+	_ "qlec/internal/protocol/all"
 )
 
-// ProtocolID names a protocol the harness can build.
+// ProtocolID names a protocol the harness can build. The id space is
+// owned by the protocol registry (internal/protocol): any registered
+// canonical id or alias resolves, and the constants below are
+// conveniences for the in-tree protocols, not an exhaustive list.
 type ProtocolID string
 
-// The comparable protocols. QLEC plus the paper's two baselines are the
-// headline set; LEACH and the QLEC ablations support the extra benches.
+// The in-tree protocols. QLEC plus the paper's two baselines are the
+// headline set; LEACH and the QLEC ablations support the extra benches;
+// T-DEEC and Q-LEACH are the related-work competitors (ROADMAP item 4).
 const (
 	QLEC        ProtocolID = "QLEC"
 	FCM         ProtocolID = "FCM"
@@ -49,25 +57,53 @@ const (
 	QLECNoRR    ProtocolID = "QLEC-norr"    // QLEC minus Algorithm 3
 	DEECPlain   ProtocolID = "DEEC-plain"   // classic DEEC (Qing et al. 2006)
 	Direct      ProtocolID = "direct-to-BS" // no clustering at all
+	TDEEC       ProtocolID = "T-DEEC"       // heterogeneous-tier DEEC (arXiv 1408.4112)
+	QLEACH      ProtocolID = "Q-LEACH"      // sectored LEACH (arXiv 1303.5240)
 )
 
-// PaperProtocols returns the three protocols of Figure 3.
-func PaperProtocols() []ProtocolID { return []ProtocolID{QLEC, FCM, KMeans} }
-
-// AllProtocols returns every implemented protocol id, ablations
-// included — the authority the job service validates requests against.
-func AllProtocols() []ProtocolID {
-	return []ProtocolID{QLEC, FCM, KMeans, LEACH, DEECNearest, QLECNoFloor, QLECNoRR, DEECPlain, Direct}
+// PaperProtocols returns the protocols of Figure 3, in the paper's
+// order, from the registry's Figure3Rank marks.
+func PaperProtocols() []ProtocolID {
+	return toIDs(protocol.Figure3())
 }
 
-// KnownProtocol reports whether id names an implemented protocol.
-func KnownProtocol(id ProtocolID) bool {
-	for _, p := range AllProtocols() {
-		if p == id {
-			return true
+// AllProtocols returns every registered protocol id, ablations
+// included — the authority the job service validates requests against.
+// Ordering is the registry's deterministic (Order, ID) rank.
+func AllProtocols() []ProtocolID {
+	return toIDs(protocol.All())
+}
+
+// CompetitorProtocols returns the registered non-ablation protocols —
+// the tournament's default field.
+func CompetitorProtocols() []ProtocolID {
+	var out []ProtocolID
+	for _, d := range protocol.All() {
+		if !d.Ablation {
+			out = append(out, ProtocolID(d.ID))
 		}
 	}
-	return false
+	return out
+}
+
+func toIDs(ds []protocol.Descriptor) []ProtocolID {
+	out := make([]ProtocolID, len(ds))
+	for i, d := range ds {
+		out[i] = ProtocolID(d.ID)
+	}
+	return out
+}
+
+// KnownProtocol reports whether id resolves to a registered protocol
+// (canonical id or alias, case-insensitive). O(1) registry lookup.
+func KnownProtocol(id ProtocolID) bool {
+	return protocol.Known(string(id))
+}
+
+// CanonicalProtocol maps any accepted spelling of a protocol name to
+// its canonical registry id; unknown ids pass through unchanged.
+func CanonicalProtocol(id ProtocolID) ProtocolID {
+	return ProtocolID(protocol.Canonical(string(id)))
 }
 
 // Config assembles one experiment family.
@@ -109,6 +145,15 @@ type Config struct {
 	// (1+factor)·InitialEnergy. Ignored with a custom Topology.
 	AdvancedFraction float64
 	AdvancedFactor   float64
+	// SuperFraction/SuperFactor provision a third tier of "super" nodes
+	// with (1+SuperFactor)·InitialEnergy — T-DEEC's three-tier setting
+	// (arXiv 1408.4112). Ignored with a custom Topology.
+	SuperFraction float64
+	SuperFactor   float64
+	// ProtocolParams overrides registered protocols' tunables by name
+	// (e.g. "thresholdFrac" for T-DEEC, "sectors" for Q-LEACH); unset
+	// keys fall back to each descriptor's DefaultParams.
+	ProtocolParams map[string]float64
 	// Tracer, when non-nil, observes every packet transition of every
 	// run (see sim.Tracer). Mostly useful with single runs. Excluded
 	// from JSON (func fields cannot round-trip).
@@ -133,6 +178,13 @@ type Config struct {
 	// done out of total). Called from worker goroutines, serialized.
 	// Excluded from JSON.
 	Progress runner.Progress `json:"-"`
+
+	// enduranceNoStop switches lifespan runs to keep going past the
+	// first death (StopOnDeath off) so the full alive-count trajectory
+	// is recorded — the tournament's FND/HND methodology. Unexported:
+	// only the tournament harness sets it, and being invisible to JSON
+	// and the canonical mirrors it cannot perturb cache keys.
+	enduranceNoStop bool
 }
 
 // PaperConfig returns the paper's §5.1/Table 2 experiment setup.
@@ -191,40 +243,30 @@ func (c Config) Validate() error {
 	return c.Sim.Validate()
 }
 
-// BuildProtocol constructs a protocol instance bound to the network.
-// totalRounds is the planned R the protocol should assume (lifespan runs
-// pass their round cap).
+// BuildProtocol constructs a protocol instance bound to the network by
+// resolving id through the protocol registry. totalRounds is the
+// planned R the protocol should assume (lifespan runs pass their round
+// cap).
 func (c Config) BuildProtocol(id ProtocolID, w *network.Network, totalRounds int, deathLine energy.Joules, seed uint64) (cluster.Protocol, error) {
+	d, ok := protocol.Lookup(string(id))
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown protocol %q", id)
+	}
 	k := c.K
 	if k > w.N() {
 		k = w.N()
 	}
-	switch id {
-	case QLEC, DEECNearest, QLECNoFloor, QLECNoRR, DEECPlain:
-		qc := core.DefaultConfig(totalRounds)
-		qc.K = k
-		qc.Bits = c.Sim.Bits
-		qc.DeathLine = deathLine
-		qc.Seed = seed
-		qc.DisableQLearning = id == DEECNearest
-		qc.DisableEnergyFloor = id == QLECNoFloor
-		qc.DisableRedundancyReduction = id == QLECNoRR
-		qc.PlainDEEC = id == DEECPlain
-		return core.New(w, c.Model, qc)
-	case FCM:
-		return baseline.NewFCM(w, k, c.FCMLevels, deathLine, seed)
-	case KMeans:
-		return baseline.NewKMeans(w, k, deathLine, seed)
-	case Direct:
-		return baseline.NewDirect(), nil
-	case LEACH:
-		if k >= w.N() {
-			k = w.N() - 1
-		}
-		return baseline.NewLEACH(w, k, deathLine, seed)
-	default:
-		return nil, fmt.Errorf("experiment: unknown protocol %q", id)
-	}
+	return d.Factory(protocol.BuildContext{
+		Net:         w,
+		Model:       c.Model,
+		K:           k,
+		TotalRounds: totalRounds,
+		DeathLine:   deathLine,
+		Seed:        seed,
+		Bits:        c.Sim.Bits,
+		FCMLevels:   c.FCMLevels,
+		Params:      protocol.MergeParams(d.DefaultParams, c.ProtocolParams),
+	})
 }
 
 // RunOne executes a single simulation: protocol id, traffic λ, seed.
@@ -257,6 +299,7 @@ func (c Config) runOneValidated(ctx context.Context, id ProtocolID, lambda float
 		w, err = network.Deploy(network.Deployment{
 			N: c.N, Side: c.Side, InitialEnergy: c.InitialEnergy,
 			AdvancedFraction: c.AdvancedFraction, AdvancedFactor: c.AdvancedFactor,
+			SuperFraction: c.SuperFraction, SuperFactor: c.SuperFactor,
 		}, rng.NewNamed(seed, "experiment/deploy"))
 	}
 	if err != nil {
@@ -271,7 +314,7 @@ func (c Config) runOneValidated(ctx context.Context, id ProtocolID, lambda float
 		rounds = c.LifespanMaxRounds
 		deathLine = c.LifespanDeathLine
 		scfg.DeathLine = deathLine
-		scfg.StopOnDeath = true
+		scfg.StopOnDeath = !c.enduranceNoStop
 	}
 	proto, err := c.BuildProtocol(id, w, rounds, deathLine, seed)
 	if err != nil {

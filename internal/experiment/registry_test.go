@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// The registry is the single source of truth for protocol ids; these
+// tests pin the derived views the rest of the repo builds on.
+
+func TestAllProtocolsDeterministicOrder(t *testing.T) {
+	// The exact roster in registry (Order, ID) rank: the legacy nine in
+	// their historical order, then the two related-work competitors.
+	want := []ProtocolID{
+		QLEC, FCM, KMeans, LEACH, DEECNearest, QLECNoFloor, QLECNoRR,
+		DEECPlain, Direct, TDEEC, QLEACH,
+	}
+	first := AllProtocols()
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("AllProtocols() = %v, want %v", first, want)
+	}
+	// Deterministic across calls (ordering feeds report layouts and
+	// canonical request hashing).
+	for i := 0; i < 10; i++ {
+		if got := AllProtocols(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("AllProtocols() call %d = %v, differs from first %v", i, got, first)
+		}
+	}
+}
+
+func TestPaperProtocolsDeriveFromFigure3Ranks(t *testing.T) {
+	want := []ProtocolID{QLEC, FCM, KMeans}
+	if got := PaperProtocols(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("PaperProtocols() = %v, want %v", got, want)
+	}
+}
+
+func TestCompetitorProtocolsExcludeAblations(t *testing.T) {
+	got := CompetitorProtocols()
+	for _, id := range []ProtocolID{DEECNearest, QLECNoFloor, QLECNoRR} {
+		for _, g := range got {
+			if g == id {
+				t.Errorf("ablation %s listed as competitor", id)
+			}
+		}
+	}
+	want := []ProtocolID{QLEC, FCM, KMeans, LEACH, DEECPlain, Direct, TDEEC, QLEACH}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CompetitorProtocols() = %v, want %v", got, want)
+	}
+}
+
+func TestKnownProtocolResolvesAliases(t *testing.T) {
+	cases := map[ProtocolID]bool{
+		QLEC:     true,
+		"qlec":   true, // case-insensitive
+		"kmeans": true, // alias
+		"tdeec":  true,
+		"nope":   false,
+		"":       false,
+	}
+	for id, want := range cases {
+		if got := KnownProtocol(id); got != want {
+			t.Errorf("KnownProtocol(%q) = %v, want %v", id, got, want)
+		}
+	}
+	if got := CanonicalProtocol("kmeans"); got != KMeans {
+		t.Fatalf("CanonicalProtocol(kmeans) = %q, want %q", got, KMeans)
+	}
+	if got := CanonicalProtocol("nope"); got != "nope" {
+		t.Fatalf("CanonicalProtocol passes unknown through, got %q", got)
+	}
+}
+
+func TestBuildProtocolUnknownID(t *testing.T) {
+	c := PaperConfig()
+	if _, err := c.RunOne(context.Background(), "no-such-protocol", 4, 1, false); err == nil {
+		t.Fatal("RunOne with unknown protocol succeeded")
+	}
+}

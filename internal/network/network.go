@@ -65,6 +65,16 @@ type Deployment struct {
 	// start with (1+a)·InitialEnergy. Ignored when AdvancedFraction is
 	// zero.
 	AdvancedFactor float64
+	// SuperFraction is the share of nodes provisioned as "super" nodes —
+	// the third tier of T-DEEC's heterogeneous setting (arXiv 1408.4112:
+	// m₀·N super nodes with (1+b)·E0 on top of the advanced tier). The
+	// advanced and super tiers are disjoint; their fractions must sum to
+	// at most 1.
+	SuperFraction float64
+	// SuperFactor is the super tier's extra-energy multiplier b: super
+	// nodes start with (1+b)·InitialEnergy. Ignored when SuperFraction
+	// is zero.
+	SuperFactor float64
 }
 
 // Validate checks the deployment parameters.
@@ -84,6 +94,16 @@ func (d Deployment) Validate() error {
 	if d.AdvancedFraction > 0 && d.AdvancedFactor <= 0 {
 		return fmt.Errorf("network: advanced factor must be positive with advanced nodes, got %v", d.AdvancedFactor)
 	}
+	if d.SuperFraction < 0 || d.SuperFraction > 1 {
+		return fmt.Errorf("network: super fraction %v outside [0,1]", d.SuperFraction)
+	}
+	if d.SuperFraction > 0 && d.SuperFactor <= 0 {
+		return fmt.Errorf("network: super factor must be positive with super nodes, got %v", d.SuperFactor)
+	}
+	if d.AdvancedFraction+d.SuperFraction > 1 {
+		return fmt.Errorf("network: advanced+super fractions %v exceed 1",
+			d.AdvancedFraction+d.SuperFraction)
+	}
 	return nil
 }
 
@@ -95,16 +115,32 @@ func Deploy(d Deployment, r *rng.Stream) (*Network, error) {
 	}
 	box := geom.Cube(d.Side)
 	advanced := make([]bool, d.N)
-	if d.AdvancedFraction > 0 {
-		count := int(math.Round(d.AdvancedFraction * float64(d.N)))
-		for _, idx := range r.Perm(d.N)[:count] {
+	super := make([]bool, d.N)
+	if d.AdvancedFraction > 0 || d.SuperFraction > 0 {
+		// One permutation assigns both tiers: the advanced tier takes the
+		// prefix (exactly as the two-tier code always did, so existing
+		// seeds reproduce byte-identically) and the super tier the next
+		// segment, keeping the tiers disjoint.
+		countAdv := int(math.Round(d.AdvancedFraction * float64(d.N)))
+		countSuper := int(math.Round(d.SuperFraction * float64(d.N)))
+		if countAdv+countSuper > d.N {
+			countSuper = d.N - countAdv
+		}
+		perm := r.Perm(d.N)
+		for _, idx := range perm[:countAdv] {
 			advanced[idx] = true
+		}
+		for _, idx := range perm[countAdv : countAdv+countSuper] {
+			super[idx] = true
 		}
 	}
 	nodes := make([]*Node, d.N)
 	for i := range nodes {
 		e := d.InitialEnergy
-		if advanced[i] {
+		switch {
+		case super[i]:
+			e = energy.Joules(float64(e) * (1 + d.SuperFactor))
+		case advanced[i]:
 			e = energy.Joules(float64(e) * (1 + d.AdvancedFactor))
 		}
 		nodes[i] = &Node{

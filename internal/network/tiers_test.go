@@ -1,0 +1,90 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"qlec/internal/energy"
+	"qlec/internal/rng"
+)
+
+// Three-tier provisioning: the deployed initial-energy totals must match
+// the configured tier fractions exactly (T-DEEC's accounting identity:
+// E_total = N·E0·(1 + m·a + m0·b) with disjoint tiers).
+func TestDeployThreeTierEnergyAccounting(t *testing.T) {
+	const (
+		n     = 100
+		e0    = 5.0
+		mAdv  = 0.2 // advanced fraction, factor a = 1 → 10 J each
+		aAdv  = 1.0
+		mSup  = 0.1 // super fraction, factor b = 2 → 15 J each
+		bSup  = 2.0
+		wantJ = n * e0 * (1 + mAdv*aAdv + mSup*bSup)
+	)
+	w, err := Deploy(Deployment{
+		N: n, Side: 200, InitialEnergy: e0,
+		AdvancedFraction: mAdv, AdvancedFactor: aAdv,
+		SuperFraction: mSup, SuperFactor: bSup,
+	}, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(w.InitialTotalEnergy()); math.Abs(got-wantJ) > 1e-9 {
+		t.Fatalf("total initial energy %v J, want %v J", got, wantJ)
+	}
+	counts := map[energy.Joules]int{}
+	for _, node := range w.Nodes {
+		counts[node.Battery.Initial()]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("expected 3 energy tiers, got %d: %v", len(counts), counts)
+	}
+	if counts[e0] != 70 || counts[e0*(1+aAdv)] != 20 || counts[e0*(1+bSup)] != 10 {
+		t.Fatalf("tier counts normal/advanced/super = %d/%d/%d, want 70/20/10",
+			counts[e0], counts[e0*(1+aAdv)], counts[e0*(1+bSup)])
+	}
+}
+
+// Adding a zero super tier must not move the RNG: deployments that
+// predate the third tier reproduce byte-identically.
+func TestDeploySuperTierZeroPreservesStreams(t *testing.T) {
+	base := Deployment{
+		N: 50, Side: 100, InitialEnergy: 5,
+		AdvancedFraction: 0.2, AdvancedFactor: 1,
+	}
+	w1, err := Deploy(base, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withZeroSuper := base
+	withZeroSuper.SuperFraction = 0
+	withZeroSuper.SuperFactor = 0
+	w2, err := Deploy(withZeroSuper, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w1.Nodes {
+		if w1.Nodes[i].Pos != w2.Nodes[i].Pos {
+			t.Fatalf("node %d position moved: %v vs %v", i, w1.Nodes[i].Pos, w2.Nodes[i].Pos)
+		}
+		if w1.Nodes[i].Battery.Initial() != w2.Nodes[i].Battery.Initial() {
+			t.Fatalf("node %d energy moved", i)
+		}
+	}
+}
+
+func TestDeployTierValidation(t *testing.T) {
+	bad := []Deployment{
+		{N: 10, Side: 100, InitialEnergy: 5, SuperFraction: -0.1},
+		{N: 10, Side: 100, InitialEnergy: 5, SuperFraction: 1.5, SuperFactor: 1},
+		{N: 10, Side: 100, InitialEnergy: 5, SuperFraction: 0.2}, // factor missing
+		{N: 10, Side: 100, InitialEnergy: 5,
+			AdvancedFraction: 0.7, AdvancedFactor: 1,
+			SuperFraction: 0.7, SuperFactor: 1}, // fractions sum > 1
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, d)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package all links every in-tree protocol implementation into the
+// binary so their init-time registrations land in protocol.Default.
+// Import it blank from any package that needs the full registry:
+//
+//	import _ "qlec/internal/protocol/all"
+//
+// A new protocol package joins the roster by adding its blank import
+// here — the only central edit adding a protocol requires.
+package all
+
+import (
+	_ "qlec/internal/baseline" // FCM, k-means, LEACH, direct-to-BS
+	_ "qlec/internal/core"     // QLEC and its ablation ladder
+	_ "qlec/internal/qleach"   // sectored LEACH (arXiv 1303.5240)
+	_ "qlec/internal/tdeec"    // heterogeneous-tier DEEC (arXiv 1408.4112)
+)

@@ -1,0 +1,27 @@
+package qleach
+
+import (
+	"qlec/internal/cluster"
+	"qlec/internal/protocol"
+)
+
+func init() {
+	protocol.Register(protocol.Descriptor{
+		ID:      "Q-LEACH",
+		Aliases: []string{"qleach", "sectored-leach"},
+		Paper:   "Manzoor et al. — arXiv 1303.5240",
+		Summary: "sectored LEACH: per-sector rotation lotteries guarantee spread-out heads",
+		Order:   110,
+		DefaultParams: map[string]float64{
+			"sectors": DefaultSectors,
+		},
+		Factory: func(b protocol.BuildContext) (cluster.Protocol, error) {
+			return New(b.Net, Config{
+				K:         b.K,
+				Sectors:   int(b.Param("sectors", DefaultSectors)),
+				DeathLine: b.DeathLine,
+				Seed:      b.Seed,
+			})
+		},
+	})
+}

@@ -21,6 +21,7 @@ import (
 
 	"qlec/internal/metrics"
 	"qlec/internal/obs"
+	"qlec/internal/protocol"
 	"qlec/internal/service"
 )
 
@@ -212,6 +213,16 @@ func (c *Client) Result(ctx context.Context, hash string) (*service.ResultEnvelo
 		return nil, err
 	}
 	return &env, nil
+}
+
+// Protocols lists the daemon's registered protocol roster: canonical
+// ids, aliases, paper references and default parameters.
+func (c *Client) Protocols(ctx context.Context) ([]protocol.Info, error) {
+	var infos []protocol.Info
+	if err := c.do(ctx, http.MethodGet, "/v1/protocols", nil, &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
 }
 
 // Metrics fetches the daemon's operational counters (the JSON snapshot;

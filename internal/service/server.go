@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"qlec/internal/obs"
+	"qlec/internal/protocol"
 )
 
 // Options configures a Server. The zero value works: in-memory store,
@@ -201,6 +202,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/audit", s.handleAudit)
+	mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.reg)
@@ -491,6 +493,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, env)
+}
+
+// handleProtocols implements GET /v1/protocols: the registered protocol
+// roster — canonical ids, aliases, paper references and default
+// parameters — so clients enumerate and validate against the daemon's
+// actual registry instead of a hardcoded list.
+func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, protocol.Infos())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

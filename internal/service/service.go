@@ -27,6 +27,7 @@ import (
 	"qlec/internal/energy"
 	"qlec/internal/experiment"
 	"qlec/internal/metrics"
+	"qlec/internal/protocol"
 	"qlec/internal/sim"
 )
 
@@ -110,6 +111,16 @@ func (r Request) Normalize() Request {
 		n.Seed, n.Lifespan = 0, false
 		n.Ks = nil
 	}
+	// Protocol aliases ("kmeans", "deec", "qleach") canonicalize to
+	// their registry id, so an alias submission shares its cache entry
+	// with the canonical spelling. Exact ids pass through unchanged,
+	// which keeps pre-registry request hashes stable.
+	if len(r.Protocols) > 0 {
+		n.Protocols = make([]experiment.ProtocolID, len(r.Protocols))
+		for i, p := range r.Protocols {
+			n.Protocols[i] = experiment.CanonicalProtocol(p)
+		}
+	}
 	// Auxiliary knobs left at their zero value fall back to the paper
 	// baseline — zero is invalid (or physically meaningless, for the
 	// energy model) for all of them — so a minimal HTTP submission works,
@@ -163,6 +174,9 @@ func (r Request) Validate() error {
 	}
 	for _, p := range r.Protocols {
 		if !experiment.KnownProtocol(p) {
+			if near := protocol.Nearest(string(p)); near != "" {
+				return fmt.Errorf("service: unknown protocol %q (did you mean %q? GET /v1/protocols lists the registry)", p, near)
+			}
 			return fmt.Errorf("service: unknown protocol %q", p)
 		}
 	}

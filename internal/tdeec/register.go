@@ -1,0 +1,28 @@
+package tdeec
+
+import (
+	"qlec/internal/cluster"
+	"qlec/internal/protocol"
+)
+
+func init() {
+	protocol.Register(protocol.Descriptor{
+		ID:      "T-DEEC",
+		Aliases: []string{"tdeec"},
+		Paper:   "Saini & Sharma 2010; heterogeneous-DEEC survey arXiv 1408.4112",
+		Summary: "threshold-gated DEEC with normal/advanced/super initial-energy tier weighting",
+		Order:   100,
+		DefaultParams: map[string]float64{
+			"thresholdFrac": DefaultThreshold,
+		},
+		Factory: func(b protocol.BuildContext) (cluster.Protocol, error) {
+			return New(b.Net, Config{
+				K:             b.K,
+				TotalRounds:   b.TotalRounds,
+				DeathLine:     b.DeathLine,
+				ThresholdFrac: b.Param("thresholdFrac", DefaultThreshold),
+				Seed:          b.Seed,
+			})
+		},
+	})
+}

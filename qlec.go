@@ -58,8 +58,11 @@ import (
 // Protocol identifies one of the implemented protocols.
 type Protocol = experiment.ProtocolID
 
-// The available protocols: QLEC and the paper's baselines, plus the
-// ablation variants used by the benchmark suite.
+// The available protocols: QLEC and the paper's baselines, the
+// ablation variants used by the benchmark suite, and the
+// heterogeneity-aware entrants of the tournament harness. The full
+// roster — including aliases and default parameters — lives in the
+// protocol registry; AllProtocols enumerates it.
 const (
 	QLEC        = experiment.QLEC
 	FCM         = experiment.FCM
@@ -70,6 +73,8 @@ const (
 	QLECNoRR    = experiment.QLECNoRR
 	DEECPlain   = experiment.DEECPlain
 	Direct      = experiment.Direct
+	TDEEC       = experiment.TDEEC
+	QLEACH      = experiment.QLEACH
 )
 
 // Protocols returns the three protocols of the paper's Figure 3.
