@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-service serve bench bench-json figs examples obs-demo audit-demo tournament-demo ci clean
+.PHONY: all build test race race-service serve bench bench-json bench-check figs examples obs-demo audit-demo tournament-demo ci clean
 
 all: build test
 
@@ -23,7 +23,7 @@ race:
 # exposition-lint e2e tests in internal/service/obs_test.go, and the
 # protocol registry (init-time registration + RWMutex lookups).
 race-service:
-	$(GO) test -race -count=2 ./internal/service/... ./internal/runner ./internal/obs ./internal/protocol/...
+	$(GO) test -race -count=2 ./internal/service/... ./internal/runner ./internal/obs ./internal/protocol/... ./internal/sim
 
 # Run the simulation daemon locally (Ctrl-C drains; second Ctrl-C
 # force-quits). See README "Running as a service" for the API.
@@ -56,6 +56,24 @@ bench-json:
 		. ./internal/qlearn ./internal/deec \
 		| $(GO) run ./cmd/qlecbench -out $(BENCH_OUT)
 	@echo wrote $(BENCH_OUT)
+
+# Regression gate: rebuild the hot-path trajectory into BENCH_PR7.json
+# and fail when the Fig3a QLEC benchmarks regress past the committed
+# PR2 baseline on ns/op or allocs/op (qlecbench -against). allocs/op is
+# stable at any benchtime; ns/op sits roughly 2x under the PR2 numbers
+# after the batched-kernel work, so the 1x CI mode has margin. The 1.10
+# default absorbs the handful of fixed-count round-setup allocations the
+# per-round geometry caches added (~3% on allocs/op, bought a ~2x ns/op
+# win); a per-packet allocation regression scales far past 10% and
+# still trips the gate.
+BENCH_TOLERANCE ?= 1.10
+
+bench-check:
+	$(GO) test -run '^$$' -bench '$(HOT_BENCH)' -benchmem -benchtime $(BENCHTIME) \
+		. ./internal/qlearn ./internal/deec \
+		| $(GO) run ./cmd/qlecbench -out BENCH_PR7.json -against BENCH_PR2.json \
+			-match 'Fig3aPacketDeliveryRate/QLEC' -tolerance $(BENCH_TOLERANCE)
+	@echo wrote BENCH_PR7.json
 
 # Regenerate every figure at full scale into ./figs (a few minutes).
 figs:

@@ -15,6 +15,14 @@
 // noise) are ignored. Every metric column is captured — the standard
 // ns/op, B/op and allocs/op plus any b.ReportMetric custom units such as
 // the pdr/joules/rounds columns the repro benchmarks report.
+//
+// With -against BASELINE.json the converter doubles as a regression
+// gate: after writing the document it compares every benchmark whose
+// name matches -match against the committed baseline and exits non-zero
+// when ns/op or allocs/op exceed baseline·tolerance. CI runs it as
+//
+//	make bench-json ... | qlecbench -out BENCH_PR7.json \
+//	    -against BENCH_PR2.json -match 'Fig3aPacketDeliveryRate/QLEC'
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 
@@ -53,6 +62,9 @@ type benchDoc struct {
 
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
+	against := flag.String("against", "", "baseline JSON to compare against; exit non-zero on regression")
+	match := flag.String("match", "Fig3aPacketDeliveryRate/QLEC", "regexp selecting which benchmarks the -against gate compares")
+	tolerance := flag.Float64("tolerance", 1.0, "fail when current metric exceeds baseline times this factor")
 	flag.Parse()
 	if flag.NArg() > 1 {
 		fmt.Fprintln(os.Stderr, "qlecbench: at most one input (file path or -) expected")
@@ -62,45 +74,116 @@ func main() {
 	if flag.NArg() == 1 {
 		input = flag.Arg(0)
 	}
-	if err := run(input, *out, os.Stdin, os.Stdout); err != nil {
+	doc, err := run(input, *out, os.Stdin, os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "qlecbench:", err)
 		os.Exit(1)
+	}
+	if *against != "" {
+		if err := compare(doc, *against, *match, *tolerance, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "qlecbench:", err)
+			os.Exit(1)
+		}
 	}
 }
 
 // run converts the named input ("-" = stdin) to JSON on the named
-// output ("" = stdout). Factored out of main so tests can drive the
-// full path with plain readers and temp files.
-func run(input, out string, stdin io.Reader, stdout io.Writer) error {
+// output ("" = stdout), returning the parsed document so the caller can
+// gate on it. Factored out of main so tests can drive the full path
+// with plain readers and temp files.
+func run(input, out string, stdin io.Reader, stdout io.Writer) (*benchDoc, error) {
 	r := stdin
 	if input != "-" {
 		f, err := os.Open(input)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		r = f
 	}
 	doc, err := parse(r)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if len(doc.Benchmarks) == 0 {
-		return fmt.Errorf("no benchmark lines in %s", inputName(input))
+		return nil, fmt.Errorf("no benchmark lines in %s", inputName(input))
 	}
 
 	w := stdout
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		w = f
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return doc, enc.Encode(doc)
+}
+
+// gatedMetrics are the columns the -against comparison checks: the two
+// that capture "did the hot path get slower or chattier".
+var gatedMetrics = []string{"ns/op", "allocs/op"}
+
+// compare gates doc against a committed baseline document: every
+// benchmark whose name matches the pattern and appears in both files
+// must keep ns/op and allocs/op at or below baseline·tolerance.
+// Benchmarks present on one side only are reported but do not fail the
+// gate (the baseline predates newly added benchmarks).
+func compare(doc *benchDoc, baselinePath, match string, tolerance float64, w io.Writer) error {
+	re, err := regexp.Compile(match)
+	if err != nil {
+		return fmt.Errorf("bad -match pattern: %w", err)
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base benchDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	baseline := make(map[string]map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b.Metrics
+	}
+	compared, regressions := 0, 0
+	for _, b := range doc.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		ref, ok := baseline[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "qlecbench: %s not in baseline %s, skipping\n", b.Name, baselinePath)
+			continue
+		}
+		compared++
+		for _, m := range gatedMetrics {
+			cur, haveCur := b.Metrics[m]
+			old, haveOld := ref[m]
+			if !haveCur || !haveOld {
+				continue
+			}
+			limit := old * tolerance
+			if cur > limit {
+				regressions++
+				fmt.Fprintf(w, "qlecbench: REGRESSION %s %s: %.0f > %.0f (baseline %.0f x tolerance %.2f)\n",
+					b.Name, m, cur, limit, old, tolerance)
+			} else {
+				fmt.Fprintf(w, "qlecbench: ok %s %s: %.0f <= %.0f (baseline %.0f)\n",
+					b.Name, m, cur, limit, old)
+			}
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmark matched %q in both current output and %s", match, baselinePath)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d metric(s) regressed against %s", regressions, baselinePath)
+	}
+	return nil
 }
 
 func inputName(input string) string {

@@ -66,7 +66,7 @@ func TestParse(t *testing.T) {
 // path argument. The two must produce identical documents.
 func TestRunInputs(t *testing.T) {
 	var fromStdin bytes.Buffer
-	if err := run("-", "", strings.NewReader(sample), &fromStdin); err != nil {
+	if _, err := run("-", "", strings.NewReader(sample), &fromStdin); err != nil {
 		t.Fatal(err)
 	}
 
@@ -75,7 +75,7 @@ func TestRunInputs(t *testing.T) {
 		t.Fatal(err)
 	}
 	outPath := filepath.Join(t.TempDir(), "bench.json")
-	if err := run(path, outPath, nil, nil); err != nil {
+	if _, err := run(path, outPath, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	fromFile, err := os.ReadFile(outPath)
@@ -94,10 +94,10 @@ func TestRunInputs(t *testing.T) {
 		t.Fatalf("round-tripped %d benchmarks, want 3", len(doc.Benchmarks))
 	}
 
-	if err := run(filepath.Join(t.TempDir(), "missing.txt"), "", nil, nil); err == nil {
+	if _, err := run(filepath.Join(t.TempDir(), "missing.txt"), "", nil, nil); err == nil {
 		t.Fatal("missing input file accepted")
 	}
-	if err := run("-", "", strings.NewReader("no benchmarks here\n"), &fromStdin); err == nil {
+	if _, err := run("-", "", strings.NewReader("no benchmarks here\n"), &fromStdin); err == nil {
 		t.Fatal("benchmark-free input accepted")
 	}
 }
@@ -112,5 +112,45 @@ func TestParseLineRejectsMalformed(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Fatalf("malformed line accepted: %q", line)
 		}
+	}
+}
+
+// TestCompareGate exercises the -against regression gate: pass at or
+// under baseline·tolerance, fail above it, error when nothing matches.
+func TestCompareGate(t *testing.T) {
+	mk := func(ns, allocs float64) *benchDoc {
+		return &benchDoc{Benchmarks: []benchResult{{
+			Name:    "BenchmarkFig3aPacketDeliveryRate/QLEC/lambda=8",
+			Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs},
+		}}}
+	}
+	base := filepath.Join(t.TempDir(), "base.json")
+	raw, err := json.Marshal(mk(1000, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	if err := compare(mk(900, 100), base, "QLEC", 1.0, &log); err != nil {
+		t.Fatalf("faster run failed the gate: %v\n%s", err, log.String())
+	}
+	if err := compare(mk(1100, 100), base, "QLEC", 1.0, &log); err == nil {
+		t.Fatal("slower ns/op passed the gate")
+	}
+	if err := compare(mk(900, 150), base, "QLEC", 1.0, &log); err == nil {
+		t.Fatal("alloc regression passed the gate")
+	}
+	// Tolerance gives headroom: 10% slower passes at 1.10.
+	if err := compare(mk(1100, 100), base, "QLEC", 1.10, &log); err != nil {
+		t.Fatalf("within-tolerance run failed the gate: %v", err)
+	}
+	if err := compare(mk(900, 100), base, "NoSuchBenchmark", 1.0, &log); err == nil {
+		t.Fatal("empty comparison set passed the gate")
+	}
+	if err := compare(mk(900, 100), filepath.Join(t.TempDir(), "missing.json"), "QLEC", 1.0, &log); err == nil {
+		t.Fatal("missing baseline accepted")
 	}
 }

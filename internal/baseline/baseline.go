@@ -30,6 +30,30 @@ type KMeans struct {
 
 	isHead []bool
 	hop    []int // per-node forwarding target for the round
+
+	// Per-round scratch, reused so steady-state selection performs no
+	// allocation beyond the sorted head copy.
+	scratch kmeans.Scratch
+	alive   []int
+	pts     []geom.Vec3
+	headOf  []int
+	bestD   []float64
+	heads   []int
+}
+
+// growInts returns dst resized to n, reallocating only on growth.
+func growInts(dst []int, n int) []int {
+	if cap(dst) < n {
+		return make([]int, n)
+	}
+	return dst[:n]
+}
+
+func growFloats(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
 }
 
 // NewKMeans builds the baseline.
@@ -54,7 +78,8 @@ func (p *KMeans) Name() string { return "k-means" }
 // StartRound implements cluster.Protocol: recluster the alive nodes and
 // pick the node nearest each centroid as head.
 func (p *KMeans) StartRound(round int) []int {
-	aliveIDs := p.net.AliveIDs(p.deathLine)
+	aliveIDs := p.net.AliveIDsInto(p.deathLine, p.alive)
+	p.alive = aliveIDs
 	for i := range p.isHead {
 		p.isHead[i] = false
 		p.hop[i] = network.BSID
@@ -66,18 +91,20 @@ func (p *KMeans) StartRound(round int) []int {
 	if k > len(aliveIDs) {
 		k = len(aliveIDs)
 	}
-	pts := make([]geom.Vec3, len(aliveIDs))
-	for i, id := range aliveIDs {
-		pts[i] = p.net.Nodes[id].Pos
+	pts := p.pts[:0]
+	for _, id := range aliveIDs {
+		pts = append(pts, p.net.Nodes[id].Pos)
 	}
-	res, err := kmeans.Cluster(pts, kmeans.Config{K: k}, p.rnd)
+	p.pts = pts
+	res, err := kmeans.ClusterScratch(pts, kmeans.Config{K: k}, p.rnd, &p.scratch)
 	if err != nil {
 		// Unreachable given the k clamp above; fail safe to direct-BS.
 		return nil
 	}
 	// Head of cluster c: the member nearest the centroid.
-	headOf := make([]int, k)
-	bestD := make([]float64, k)
+	headOf := growInts(p.headOf, k)
+	bestD := growFloats(p.bestD, k)
+	p.headOf, p.bestD = headOf, bestD
 	for c := range headOf {
 		headOf[c] = -1
 		bestD[c] = math.Inf(1)
@@ -89,12 +116,13 @@ func (p *KMeans) StartRound(round int) []int {
 			headOf[c] = id
 		}
 	}
-	var heads []int
+	heads := p.heads[:0]
 	for _, h := range headOf {
 		if h >= 0 {
 			heads = append(heads, h)
 		}
 	}
+	p.heads = heads
 	for i, id := range aliveIDs {
 		h := headOf[res.Assign[i]]
 		if h >= 0 {
@@ -111,6 +139,11 @@ func (p *KMeans) StartRound(round int) []int {
 // NextHop implements cluster.Protocol: the fixed cluster assignment; no
 // rerouting ever.
 func (p *KMeans) NextHop(node int) int { return p.hop[node] }
+
+// StaticHops implements cluster.StaticRouter: the assignment is fixed
+// for the round and k-means never learns, so independent clusters may
+// run on parallel simulation lanes.
+func (p *KMeans) StaticHops() []int { return p.hop }
 
 // OnOutcome implements cluster.Protocol: k-means does not learn.
 func (p *KMeans) OnOutcome(node, target int, success bool) {}
@@ -134,6 +167,17 @@ type FCM struct {
 
 	isHead []bool
 	hop    []int
+
+	// Per-round scratch, reused across StartRound calls.
+	scratch   fcm.Scratch
+	alive     []int
+	pts       []geom.Vec3
+	headOf    []int
+	bestScore []float64
+	heads     []int
+	assign    []int
+	dists     []float64
+	tiers     []int
 }
 
 // NewFCM builds the baseline. levels is the hierarchy depth (the WCNC'18
@@ -161,7 +205,8 @@ func (p *FCM) Name() string { return "FCM" }
 
 // StartRound implements cluster.Protocol.
 func (p *FCM) StartRound(round int) []int {
-	aliveIDs := p.net.AliveIDs(p.deathLine)
+	aliveIDs := p.net.AliveIDsInto(p.deathLine, p.alive)
+	p.alive = aliveIDs
 	for i := range p.isHead {
 		p.isHead[i] = false
 		p.hop[i] = network.BSID
@@ -173,18 +218,20 @@ func (p *FCM) StartRound(round int) []int {
 	if k > len(aliveIDs) {
 		k = len(aliveIDs)
 	}
-	pts := make([]geom.Vec3, len(aliveIDs))
-	for i, id := range aliveIDs {
-		pts[i] = p.net.Nodes[id].Pos
+	pts := p.pts[:0]
+	for _, id := range aliveIDs {
+		pts = append(pts, p.net.Nodes[id].Pos)
 	}
-	res, err := fcm.Cluster(pts, fcm.Config{K: k}, p.rnd)
+	p.pts = pts
+	res, err := fcm.ClusterScratch(pts, fcm.Config{K: k}, p.rnd, &p.scratch)
 	if err != nil {
 		return nil
 	}
 	// Head of cluster c: maximize membership-weighted residual energy
 	// (the WCNC'18 "maximizing residual energy" head choice).
-	headOf := make([]int, k)
-	bestScore := make([]float64, k)
+	headOf := growInts(p.headOf, k)
+	bestScore := growFloats(p.bestScore, k)
+	p.headOf, p.bestScore = headOf, bestScore
 	for c := range headOf {
 		headOf[c] = -1
 		bestScore[c] = -1
@@ -200,17 +247,28 @@ func (p *FCM) StartRound(round int) []int {
 		}
 	}
 	// Deduplicate: one node may top several clusters; merge those
-	// clusters onto the single head.
-	var heads []int
-	seen := map[int]bool{}
+	// clusters onto the single head. k is a handful, so a linear scan
+	// beats a per-round map.
+	heads := p.heads[:0]
 	for _, h := range headOf {
-		if h >= 0 && !seen[h] {
-			seen[h] = true
+		if h < 0 {
+			continue
+		}
+		dup := false
+		for _, x := range heads {
+			if x == h {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			heads = append(heads, h)
 		}
 	}
+	p.heads = heads
 	// Members follow their hard assignment's head.
-	assign := res.HardAssign()
+	assign := res.HardAssignInto(p.assign)
+	p.assign = assign
 	for i, id := range aliveIDs {
 		h := headOf[assign[i]]
 		if h >= 0 {
@@ -219,14 +277,19 @@ func (p *FCM) StartRound(round int) []int {
 	}
 	// Hierarchy: tier heads by distance to BS; each head relays to the
 	// nearest head in a strictly lower tier; tier-0 heads go to the BS.
-	dists := make([]float64, len(heads))
+	dists := growFloats(p.dists, len(heads))
+	p.dists = dists
 	for i, h := range heads {
 		dists[i] = p.net.DistToBS(h)
 	}
-	tiers, err := fcm.Tiers(dists, p.levels)
+	tiers, err := fcm.TiersInto(dists, p.levels, p.tiers)
 	if err != nil {
-		tiers = make([]int, len(heads))
+		tiers = growInts(p.tiers, len(heads))
+		for i := range tiers {
+			tiers[i] = 0
+		}
 	}
+	p.tiers = tiers
 	for i, h := range heads {
 		p.isHead[h] = true
 		p.hop[h] = network.BSID
@@ -268,6 +331,7 @@ type LEACH struct {
 
 	isHead  []bool
 	nearest cluster.Assignment
+	hop     []int
 }
 
 // NewLEACH builds the baseline with head fraction p = k/N.
@@ -285,6 +349,7 @@ func NewLEACH(w *network.Network, k int, deathLine energy.Joules, seed uint64) (
 	return &LEACH{
 		deathLine: deathLine, net: w, sel: sel,
 		isHead: make([]bool, w.N()),
+		hop:    make([]int, w.N()),
 	}, nil
 }
 
@@ -301,16 +366,22 @@ func (p *LEACH) StartRound(round int) []int {
 		p.isHead[h] = true
 	}
 	p.nearest = cluster.AssignNearest(p.net, heads)
+	for id := range p.hop {
+		if p.isHead[id] {
+			p.hop[id] = network.BSID
+		} else {
+			p.hop[id] = p.nearest.Head[id]
+		}
+	}
 	return heads
 }
 
 // NextHop implements cluster.Protocol.
-func (p *LEACH) NextHop(node int) int {
-	if p.isHead[node] {
-		return network.BSID
-	}
-	return p.nearest.Head[node]
-}
+func (p *LEACH) NextHop(node int) int { return p.hop[node] }
+
+// StaticHops implements cluster.StaticRouter: nearest-head assignment
+// is fixed for the round and LEACH never learns.
+func (p *LEACH) StaticHops() []int { return p.hop }
 
 // OnOutcome implements cluster.Protocol: LEACH does not learn.
 func (p *LEACH) OnOutcome(node, target int, success bool) {}

@@ -87,6 +87,34 @@ type Protocol interface {
 	RelayMode() RelayMode
 }
 
+// StaticRouter is an optional Protocol extension for protocols whose
+// routing is a fixed member→target map for the whole round — no
+// rerouting on retry, no learning from outcomes. The simulation engine
+// uses it to run independent clusters on parallel goroutines between
+// CH-selection barriers (see sim.Config.ClusterWorkers): with a static
+// map the engine can partition nodes by target before the round's event
+// loop starts.
+//
+// Contract: the returned slice has one entry per node — the value
+// NextHop would return for that node at any point during the current
+// round (a head node id or network.BSID) — and is valid until the next
+// StartRound. Implementations must tolerate OnOutcome not being called
+// for transmissions simulated on parallel lanes; a protocol that learns
+// from outcomes must not implement StaticRouter.
+type StaticRouter interface {
+	StaticHops() []int
+}
+
+// GeometryInvalidator is an optional Protocol extension for protocols
+// that memoize position-derived quantities (distances, path-loss costs)
+// across rounds. The simulation engine calls InvalidateGeometry after
+// every mobility step, immediately after node positions change; a
+// protocol that never receives the call may assume positions are frozen
+// for the network's lifetime.
+type GeometryInvalidator interface {
+	InvalidateGeometry()
+}
+
 // Assignment maps every node to its cluster: Head[i] is the head node id
 // serving node i (a head maps to itself), or network.BSID when no head
 // is reachable.

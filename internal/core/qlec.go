@@ -195,6 +195,11 @@ func (q *QLEC) StartRound(round int) []int {
 	}
 	if q.cfg.DisableQLearning {
 		q.nearest = cluster.AssignNearest(q.net, q.heads)
+	} else {
+		// Arm the learner's per-round geometry cache for this head set.
+		// StartRound runs after any inter-round movement, so positions
+		// are frozen for the epoch's lifetime.
+		q.learner.BeginEpoch(q.heads)
 	}
 	return q.heads
 }
@@ -209,6 +214,14 @@ func (q *QLEC) NextHop(node int) int {
 		return q.nearest.Head[node]
 	}
 	return q.learner.Decide(node, q.heads)
+}
+
+// InvalidateGeometry implements cluster.GeometryInvalidator: the engine
+// moved nodes, so the learner's memoized link costs are stale.
+func (q *QLEC) InvalidateGeometry() {
+	if !q.cfg.DisableQLearning {
+		q.learner.InvalidateGeometry()
+	}
 }
 
 // OnOutcome implements cluster.Protocol: ACK feedback into the link

@@ -128,6 +128,13 @@ const pMin = 1e-4
 func (s *Selector) probability(n *network.Node, round int) float64 {
 	mean := float64(s.net.EstimatedMeanEnergy(round, s.cfg.TotalRounds))
 	popt := float64(s.cfg.K) / float64(s.net.N())
+	return probabilityFrom(n, mean, popt)
+}
+
+// probabilityFrom is probability with the node-independent terms — the
+// Eq. (2) mean-energy estimate and p_opt — hoisted, so Select computes
+// them once per round instead of once per node.
+func probabilityFrom(n *network.Node, mean, popt float64) float64 {
 	var p float64
 	if mean <= 0 {
 		// Eq. (2) estimates zero average energy at or past round R; fall
@@ -177,11 +184,13 @@ func (s *Selector) Select(round int) []int {
 	heads := s.headsBuf[:0]
 	reserve := s.reserve[:0] // eligible-by-epoch nodes for top-up
 
+	mean := float64(s.net.EstimatedMeanEnergy(round, s.cfg.TotalRounds))
+	popt := float64(s.cfg.K) / float64(s.net.N())
 	for _, n := range s.net.Nodes {
 		if !n.Alive(s.cfg.DeathLine) {
 			continue
 		}
-		p := s.probability(n, round)
+		p := probabilityFrom(n, mean, popt)
 		epoch := int(math.Floor(1 / p))
 		if epoch < 1 {
 			epoch = 1

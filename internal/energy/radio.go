@@ -101,6 +101,49 @@ func (m Model) Rx(bits int) Joules {
 	return Joules(float64(bits)) * m.Elec
 }
 
+// Calc is a Model with the crossover distance precomputed. Tx and
+// TxAmplifier are evaluated once per radio event on the simulator's hot
+// path, and the sqrt inside CrossoverDistance showed up in profiles;
+// Calc hoists it while keeping the per-call arithmetic — and therefore
+// every result bit — identical to Model's.
+type Calc struct {
+	m  Model
+	d0 float64
+}
+
+// Calc precomputes the crossover distance for hot-path cost evaluation.
+func (m Model) Calc() Calc {
+	return Calc{m: m, d0: m.CrossoverDistance()}
+}
+
+// Tx returns the energy to transmit bits over distance d (Eq. 18 plus
+// the electronics term); identical to Model.Tx.
+func (c Calc) Tx(bits int, d float64) Joules {
+	return c.TxAmplifier(bits, d) + Joules(float64(bits))*c.m.Elec
+}
+
+// TxAmplifier returns the amplifier portion of the transmit cost;
+// identical to Model.TxAmplifier.
+func (c Calc) TxAmplifier(bits int, d float64) Joules {
+	l := float64(bits)
+	if d < c.d0 {
+		return Joules(l * float64(c.m.FreeSpace) * d * d)
+	}
+	d2 := d * d
+	return Joules(l * float64(c.m.MultiPath) * d2 * d2)
+}
+
+// Rx returns the energy to receive bits; identical to Model.Rx.
+func (c Calc) Rx(bits int) Joules {
+	return Joules(float64(bits)) * c.m.Elec
+}
+
+// Aggregate returns the per-bit aggregation cost; identical to
+// Model.Aggregate.
+func (c Calc) Aggregate(bits int) Joules {
+	return Joules(float64(bits)) * c.m.Aggregation
+}
+
 // Aggregate returns the energy to aggregate bits at a cluster head.
 func (m Model) Aggregate(bits int) Joules {
 	return Joules(float64(bits)) * m.Aggregation

@@ -83,7 +83,14 @@ type Result struct {
 
 // HardAssign returns each point's highest-membership cluster.
 func (r *Result) HardAssign() []int {
-	out := make([]int, len(r.U))
+	return r.HardAssignInto(make([]int, len(r.U)))
+}
+
+// HardAssignInto writes each point's highest-membership cluster into
+// dst, growing it if needed, and returns the filled slice. Callers on
+// the per-round hot path pass a reused buffer to avoid the allocation.
+func (r *Result) HardAssignInto(dst []int) []int {
+	dst = growInts(dst, len(r.U))
 	for i, row := range r.U {
 		best, bestU := 0, -1.0
 		for c, u := range row {
@@ -91,14 +98,36 @@ func (r *Result) HardAssign() []int {
 				best, bestU = c, u
 			}
 		}
-		out[i] = best
+		dst[i] = best
 	}
-	return out
+	return dst
+}
+
+// Scratch holds the reusable working storage of ClusterScratch: the
+// membership matrix backing, the prototype slice, and the per-point
+// distance buffers of the membership update. The zero value is ready;
+// buffers grow on demand and persist across calls, so steady-state
+// clustering performs no per-call allocation beyond the Result header.
+type Scratch struct {
+	uBack   []float64 // flat n×k backing for the membership rows
+	u       [][]float64
+	centers []geom.Vec3
+	d       []float64 // point→center distances
+	inv     []float64 // inverse squared distances (m=2 fast path)
 }
 
 // Cluster runs fuzzy c-means. The stream seeds the initial membership
 // matrix; results are deterministic per stream state.
 func Cluster(points []geom.Vec3, cfg Config, r *rng.Stream) (*Result, error) {
+	var s Scratch
+	return ClusterScratch(points, cfg, r, &s)
+}
+
+// ClusterScratch is Cluster with caller-owned working storage. The
+// returned Result's U and Centers alias the scratch and stay valid only
+// until the next call with the same Scratch; callers who need the
+// clustering to outlive the scratch must copy.
+func ClusterScratch(points []geom.Vec3, cfg Config, r *rng.Stream, s *Scratch) (*Result, error) {
 	if err := cfg.Validate(len(points)); err != nil {
 		return nil, err
 	}
@@ -106,10 +135,20 @@ func Cluster(points []geom.Vec3, cfg Config, r *rng.Stream) (*Result, error) {
 	n := len(points)
 	k := cfg.K
 
-	// Random row-stochastic initial memberships.
-	u := make([][]float64, n)
+	// Random row-stochastic initial memberships, in one flat backing
+	// array: row i is uBack[i*k : (i+1)*k], so the whole matrix is two
+	// allocations instead of n+1 and iterates cache-linearly.
+	if cap(s.uBack) < n*k {
+		s.uBack = make([]float64, n*k)
+	}
+	s.uBack = s.uBack[:n*k]
+	if cap(s.u) < n {
+		s.u = make([][]float64, n)
+	}
+	s.u = s.u[:n]
+	u := s.u
 	for i := range u {
-		u[i] = make([]float64, k)
+		u[i] = s.uBack[i*k : (i+1)*k : (i+1)*k]
 		total := 0.0
 		for c := range u[i] {
 			v := r.Float64() + 1e-9
@@ -120,56 +159,32 @@ func Cluster(points []geom.Vec3, cfg Config, r *rng.Stream) (*Result, error) {
 			u[i][c] /= total
 		}
 	}
-	centers := make([]geom.Vec3, k)
+	if cap(s.centers) < k {
+		s.centers = make([]geom.Vec3, k)
+	}
+	s.centers = s.centers[:k]
+	if cap(s.d) < k {
+		s.d = make([]float64, k)
+		s.inv = make([]float64, k)
+	}
+	s.d, s.inv = s.d[:k], s.inv[:k]
+	centers := s.centers
+	for c := range centers {
+		centers[c] = geom.Vec3{}
+	}
 	res := &Result{U: u, Centers: centers}
 
+	// The standard fuzzifier m=2 turns both update steps into plain
+	// multiplications: u^m = u·u and (d_c/d_j)^(2/(m−1)) = (d_c/d_j)².
+	// That removes every math.Pow call from the hot loop, and the
+	// membership update collapses from O(k²) ratio terms per point to
+	// O(k) precomputed inverse squared distances.
+	fast := cfg.M == 2
 	exp := 2 / (cfg.M - 1)
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
 		res.Iterations = iter + 1
-		// Update centers: v_c = Σ u^m x / Σ u^m.
-		for c := 0; c < k; c++ {
-			var num geom.Vec3
-			den := 0.0
-			for i, p := range points {
-				w := math.Pow(u[i][c], cfg.M)
-				num = num.Add(p.Scale(w))
-				den += w
-			}
-			if den > 0 {
-				centers[c] = num.Scale(1 / den)
-			}
-		}
-		// Update memberships: u_ic = 1 / Σ_j (d_ic/d_ij)^(2/(m−1)).
-		maxDelta := 0.0
-		for i, p := range points {
-			// Handle coincidence with a center: crisp membership.
-			coincident := -1
-			d := make([]float64, k)
-			for c := range centers {
-				d[c] = p.Dist(centers[c])
-				if d[c] == 0 {
-					coincident = c
-				}
-			}
-			for c := 0; c < k; c++ {
-				var next float64
-				if coincident >= 0 {
-					if c == coincident {
-						next = 1
-					}
-				} else {
-					sum := 0.0
-					for j := 0; j < k; j++ {
-						sum += math.Pow(d[c]/d[j], exp)
-					}
-					next = 1 / sum
-				}
-				if delta := math.Abs(next - u[i][c]); delta > maxDelta {
-					maxDelta = delta
-				}
-				u[i][c] = next
-			}
-		}
+		updateCenters(points, u, centers, cfg.M, fast, r)
+		maxDelta := updateMemberships(points, u, centers, s.d, s.inv, exp, fast)
 		if maxDelta < cfg.Tolerance {
 			break
 		}
@@ -178,11 +193,119 @@ func Cluster(points []geom.Vec3, cfg Config, r *rng.Stream) (*Result, error) {
 	obj := 0.0
 	for i, p := range points {
 		for c := range centers {
-			obj += math.Pow(u[i][c], cfg.M) * p.DistSq(centers[c])
+			w := u[i][c] * u[i][c]
+			if !fast {
+				w = math.Pow(u[i][c], cfg.M)
+			}
+			obj += w * p.DistSq(centers[c])
 		}
 	}
 	res.Objective = obj
 	return res, nil
+}
+
+// updateCenters recomputes each prototype v_c = Σ u^m x / Σ u^m. A
+// center whose membership mass underflows to den == 0 (possible once
+// crisp memberships appear) is re-seeded on a point drawn uniformly
+// from the stream — leaving it at its stale (or zero-value) position
+// would freeze a dead prototype in place forever.
+func updateCenters(points []geom.Vec3, u [][]float64, centers []geom.Vec3, m float64, fast bool, r *rng.Stream) {
+	for c := range centers {
+		var num geom.Vec3
+		den := 0.0
+		if fast {
+			for i, p := range points {
+				uv := u[i][c]
+				w := uv * uv
+				num = num.Add(p.Scale(w))
+				den += w
+			}
+		} else {
+			for i, p := range points {
+				w := math.Pow(u[i][c], m)
+				num = num.Add(p.Scale(w))
+				den += w
+			}
+		}
+		if den > 0 {
+			centers[c] = num.Scale(1 / den)
+		} else {
+			centers[c] = points[r.Intn(len(points))]
+		}
+	}
+}
+
+// updateMemberships recomputes u_ic = 1 / Σ_j (d_ic/d_ij)^(2/(m−1)) and
+// returns the largest membership change. A point coincident with one or
+// more centers gets crisp membership split uniformly across all
+// coincident centers (several prototypes can collapse onto the same
+// position; giving the whole mass to one of them is order-dependent and
+// starves the others' mass to zero).
+func updateMemberships(points []geom.Vec3, u [][]float64, centers []geom.Vec3, d, inv []float64, exp float64, fast bool) float64 {
+	k := len(centers)
+	maxDelta := 0.0
+	for i, p := range points {
+		row := u[i]
+		coincident := 0
+		for c := range centers {
+			dc := p.Dist(centers[c])
+			d[c] = dc
+			if dc == 0 {
+				coincident++
+			}
+		}
+		if coincident > 0 {
+			share := 1 / float64(coincident)
+			for c := 0; c < k; c++ {
+				next := 0.0
+				if d[c] == 0 {
+					next = share
+				}
+				if delta := math.Abs(next - row[c]); delta > maxDelta {
+					maxDelta = delta
+				}
+				row[c] = next
+			}
+			continue
+		}
+		if fast {
+			// m=2: u_ic = (1/d_ic²) / Σ_j (1/d_ij²).
+			total := 0.0
+			for c := 0; c < k; c++ {
+				v := 1 / (d[c] * d[c])
+				inv[c] = v
+				total += v
+			}
+			for c := 0; c < k; c++ {
+				next := inv[c] / total
+				if delta := math.Abs(next - row[c]); delta > maxDelta {
+					maxDelta = delta
+				}
+				row[c] = next
+			}
+			continue
+		}
+		for c := 0; c < k; c++ {
+			sum := 0.0
+			dc := d[c]
+			for j := 0; j < k; j++ {
+				sum += math.Pow(dc/d[j], exp)
+			}
+			next := 1 / sum
+			if delta := math.Abs(next - row[c]); delta > maxDelta {
+				maxDelta = delta
+			}
+			row[c] = next
+		}
+	}
+	return maxDelta
+}
+
+func growInts(dst []int, n int) []int {
+	if cap(dst) < n {
+		return make([]int, n)
+	}
+	return dst[:n]
 }
 
 // Tiers partitions head candidates into hierarchy levels by distance to
@@ -190,6 +313,12 @@ func Cluster(points []geom.Vec3, cfg Config, r *rng.Stream) (*Result, error) {
 // different hierarchies based on the distance to the BS"). Level 0 is
 // the innermost ring (closest to the BS). levels must be >= 1.
 func Tiers(dists []float64, levels int) ([]int, error) {
+	return TiersInto(dists, levels, make([]int, len(dists)))
+}
+
+// TiersInto is Tiers writing into a caller-owned buffer (grown if
+// needed); the per-round protocol adapters reuse one across rounds.
+func TiersInto(dists []float64, levels int, dst []int) ([]int, error) {
 	if levels < 1 {
 		return nil, fmt.Errorf("fcm: levels must be >= 1, got %d", levels)
 	}
@@ -205,16 +334,19 @@ func Tiers(dists []float64, levels int) ([]int, error) {
 			maxD = d
 		}
 	}
-	out := make([]int, len(dists))
+	dst = growInts(dst, len(dists))
 	if maxD == 0 {
-		return out, nil
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst, nil
 	}
 	for i, d := range dists {
 		lvl := int(float64(levels) * d / maxD)
 		if lvl >= levels {
 			lvl = levels - 1
 		}
-		out[i] = lvl
+		dst[i] = lvl
 	}
-	return out, nil
+	return dst, nil
 }

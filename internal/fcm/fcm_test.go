@@ -207,3 +207,89 @@ func BenchmarkCluster100K5(b *testing.B) {
 		}
 	}
 }
+
+func TestCoincidentCentersSplitMembership(t *testing.T) {
+	// Two prototypes collapsed onto the same position, with a point
+	// sitting exactly on them: the crisp membership must split uniformly
+	// across the coincident pair (giving the whole mass to whichever
+	// center came first starves the other to zero and is order-dependent).
+	points := []geom.Vec3{{X: 0}, {X: 10}}
+	centers := []geom.Vec3{{X: 0}, {X: 0}, {X: 10}}
+	u := [][]float64{{1, 0, 0}, {0, 0, 1}}
+	d := make([]float64, 3)
+	inv := make([]float64, 3)
+	updateMemberships(points, u, centers, d, inv, 2, true)
+	if u[0][0] != 0.5 || u[0][1] != 0.5 || u[0][2] != 0 {
+		t.Fatalf("coincident membership row = %v, want [0.5 0.5 0]", u[0])
+	}
+	if u[1][0] != 0 || u[1][1] != 0 || u[1][2] != 1 {
+		t.Fatalf("point on single center got row %v, want [0 0 1]", u[1])
+	}
+}
+
+func TestCoincidentCentersEndToEnd(t *testing.T) {
+	// Seeded regression for the full pipeline: with more clusters than
+	// distinct positions, prototypes must collapse onto shared positions
+	// and every membership row has to stay a clean distribution — no NaN,
+	// no row starved to zero mass.
+	points := []geom.Vec3{
+		{X: 0}, {X: 0}, {X: 0}, {X: 0},
+		{X: 50}, {X: 50}, {X: 50}, {X: 50},
+	}
+	res, err := Cluster(points, Config{K: 4}, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range res.U {
+		sum := 0.0
+		for _, u := range row {
+			if math.IsNaN(u) || u < 0 || u > 1 {
+				t.Fatalf("point %d has invalid membership %v", i, row)
+			}
+			sum += u
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("point %d membership row sums to %v: %v", i, sum, row)
+		}
+	}
+}
+
+func TestDeadCenterReseededFromStream(t *testing.T) {
+	// A prototype whose membership mass underflows to zero must be
+	// re-seeded on a point drawn from the stream — deterministically, so
+	// two runs from the same stream state agree — rather than freezing at
+	// its stale position.
+	points := []geom.Vec3{{X: 1}, {X: 2}, {X: 3}, {X: 4}}
+	u := [][]float64{{1, 0}, {1, 0}, {1, 0}, {1, 0}} // center 1 has no mass
+	run := func() geom.Vec3 {
+		centers := []geom.Vec3{{}, {X: -99}}
+		updateCenters(points, u, centers, 2, true, rng.New(5))
+		return centers[1]
+	}
+	got := run()
+	want := points[rng.New(5).Intn(len(points))]
+	if got != want {
+		t.Fatalf("dead center re-seeded at %v, want stream-determined %v", got, want)
+	}
+	if again := run(); again != got {
+		t.Fatalf("re-seed not deterministic: %v then %v", got, again)
+	}
+}
+
+func TestClusterScratchAllocs(t *testing.T) {
+	r := rng.New(13)
+	pts := geom.Cube(200).SampleUniformN(r, 100)
+	var s Scratch
+	if _, err := ClusterScratch(pts, Config{K: 5}, r, &s); err != nil {
+		t.Fatal(err) // warm the scratch
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := ClusterScratch(pts, Config{K: 5}, r, &s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Steady state allocates only the Result header.
+	if allocs > 1 {
+		t.Fatalf("ClusterScratch allocates %.1f objects per call, want <= 1", allocs)
+	}
+}

@@ -70,24 +70,55 @@ func (c Config) Validate(n int) error {
 	return nil
 }
 
+// Scratch holds the reusable working storage of ClusterScratch: the
+// assignment and centroid slices plus the update-step and seeding
+// buffers that used to be reallocated every call (and, worse, every
+// Lloyd iteration). The zero value is ready; buffers grow on demand and
+// persist across calls.
+type Scratch struct {
+	assign    []int
+	centroids []geom.Vec3
+	sums      []geom.Vec3
+	counts    []int
+	d2        []float64
+}
+
 // Cluster runs k-means++ seeding followed by Lloyd's algorithm.
 // The stream drives seeding; results are deterministic per stream state.
 func Cluster(points []geom.Vec3, cfg Config, r *rng.Stream) (*Result, error) {
+	var s Scratch
+	return ClusterScratch(points, cfg, r, &s)
+}
+
+// ClusterScratch is Cluster with caller-owned working storage. The
+// returned Result's Assign and Centroids alias the scratch and stay
+// valid only until the next call with the same Scratch.
+func ClusterScratch(points []geom.Vec3, cfg Config, r *rng.Stream, s *Scratch) (*Result, error) {
 	if err := cfg.Validate(len(points)); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	centroids := seedPlusPlus(points, cfg.K, r)
-	assign := make([]int, len(points))
+	centroids := seedPlusPlus(points, cfg.K, r, s)
+	if cap(s.assign) < len(points) {
+		s.assign = make([]int, len(points))
+	}
+	assign := s.assign[:len(points)]
 	res := &Result{Centroids: centroids, Assign: assign}
 
+	if cap(s.sums) < cfg.K {
+		s.sums = make([]geom.Vec3, cfg.K)
+		s.counts = make([]int, cfg.K)
+	}
+	sums, counts := s.sums[:cfg.K], s.counts[:cfg.K]
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
 		res.Iterations = iter + 1
 		// Assignment step.
 		changed := assignNearest(points, centroids, assign)
 		// Update step.
-		sums := make([]geom.Vec3, cfg.K)
-		counts := make([]int, cfg.K)
+		for c := range sums {
+			sums[c] = geom.Vec3{}
+			counts[c] = 0
+		}
 		for i, a := range assign {
 			sums[a] = sums[a].Add(points[i])
 			counts[a]++
@@ -117,11 +148,18 @@ func Cluster(points []geom.Vec3, cfg Config, r *rng.Stream) (*Result, error) {
 }
 
 // seedPlusPlus picks K initial centroids with D² weighting
-// (Arthur & Vassilvitskii, 2007).
-func seedPlusPlus(points []geom.Vec3, k int, r *rng.Stream) []geom.Vec3 {
-	centroids := make([]geom.Vec3, 0, k)
+// (Arthur & Vassilvitskii, 2007), reusing the scratch's centroid and
+// distance buffers.
+func seedPlusPlus(points []geom.Vec3, k int, r *rng.Stream, s *Scratch) []geom.Vec3 {
+	if cap(s.centroids) < k {
+		s.centroids = make([]geom.Vec3, 0, k)
+	}
+	centroids := s.centroids[:0]
 	centroids = append(centroids, points[r.Intn(len(points))])
-	d2 := make([]float64, len(points))
+	if cap(s.d2) < len(points) {
+		s.d2 = make([]float64, len(points))
+	}
+	d2 := s.d2[:len(points)]
 	for len(centroids) < k {
 		total := 0.0
 		last := centroids[len(centroids)-1]

@@ -211,3 +211,21 @@ func BenchmarkCluster2896(b *testing.B) {
 		}
 	}
 }
+
+func TestClusterScratchAllocs(t *testing.T) {
+	r := rng.New(17)
+	pts := geom.Cube(200).SampleUniformN(r, 100)
+	var s Scratch
+	if _, err := ClusterScratch(pts, Config{K: 5}, r, &s); err != nil {
+		t.Fatal(err) // warm the scratch
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := ClusterScratch(pts, Config{K: 5}, r, &s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Steady state allocates only the Result header.
+	if allocs > 1 {
+		t.Fatalf("ClusterScratch allocates %.1f objects per call, want <= 1", allocs)
+	}
+}

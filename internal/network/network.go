@@ -260,6 +260,18 @@ func (w *Network) AliveIDs(deathLine energy.Joules) []int {
 	return ids
 }
 
+// AliveIDsInto is AliveIDs appending into a caller-owned buffer
+// (truncated first) — the allocation-free form for per-round hot paths.
+func (w *Network) AliveIDsInto(deathLine energy.Joules, dst []int) []int {
+	dst = dst[:0]
+	for _, n := range w.Nodes {
+		if n.Alive(deathLine) {
+			dst = append(dst, n.ID)
+		}
+	}
+	return dst
+}
+
 // AliveCount returns how many nodes are above the death line.
 func (w *Network) AliveCount(deathLine energy.Joules) int {
 	c := 0

@@ -135,7 +135,7 @@ func (p Params) Validate() error {
 type Learner struct {
 	params Params
 	net    *network.Network
-	model  energy.Model
+	model  energy.Calc // radio model with the crossover distance precomputed
 	bits   int
 
 	v   []float64 // V*(b_i), indexed by node id
@@ -154,6 +154,29 @@ type Learner struct {
 	// yNorm is the Eq. (18) cost of the longest possible in-box hop,
 	// used to normalize y(·) into [0,1].
 	yNorm float64
+
+	// Per-epoch geometry cache for Decide. y(from, to) is a pure
+	// function of node positions, which only change between rounds, yet
+	// the un-cached path recomputed it (a sqrt and the amplifier power
+	// law) for every action of every packet's Decide call. BeginEpoch
+	// arms the cache for one head set; each node's row of y values —
+	// [BS, heads[0], heads[1], ...] — fills lazily on its first Decide
+	// of the epoch and is reused for the rest. Cached and fresh values
+	// are bit-identical (same pure computation), so results are
+	// unchanged.
+	yEpoch   uint64
+	yHeads   []int
+	yStamp   []uint64
+	yRows    []float64
+	yScratch []float64
+
+	// yPair memoizes y(from, to) per link across epochs: positions only
+	// change under mobility, which the engine reports via
+	// InvalidateGeometry (cluster.GeometryInvalidator), so in a static
+	// network each link's cost is computed exactly once for the run.
+	// Dense (N+1)-stride layout with to==BSID at column 0; NaN marks an
+	// uncomputed cell. Allocated on first BeginEpoch.
+	yPair []float64
 
 	updates   uint64
 	lastDelta float64
@@ -194,7 +217,7 @@ func NewLearner(w *network.Network, model energy.Model, bits int, params Params)
 	l := &Learner{
 		params:   params,
 		net:      w,
-		model:    model,
+		model:    model.Calc(),
 		bits:     bits,
 		v:        make([]float64, w.N()),
 		links:    make([]float64, w.N()*(w.N()+1)),
@@ -258,19 +281,19 @@ func (l *Learner) rewardFailure(from, to int) float64 {
 
 // q evaluates Eq. (15)+(16) for one state-action pair.
 func (l *Learner) q(from, to int) float64 {
-	return l.qHoisted(from, to, l.x(from), l.v[from])
+	return l.qHoisted(from, to, l.x(from), l.v[from], l.y(from, to))
 }
 
 // qHoisted is q with the from-side invariants — x(from) and V*(from),
-// identical for every action probed by one Decide call — supplied by
-// the caller. The arithmetic is term-for-term the same expression as the
-// pre-flattening rewardSuccess/rewardFailure/q composition, so results
-// stay byte-identical (the determinism-preservation rule of DESIGN.md
-// §8); the transmission cost y is evaluated once instead of once per
-// reward term.
-func (l *Learner) qHoisted(from, to int, xFrom, vFrom float64) float64 {
+// identical for every action probed by one Decide call — and the
+// geometry cost y supplied by the caller (Decide reads it from the
+// per-epoch cache). The arithmetic is term-for-term the same expression
+// as the pre-flattening rewardSuccess/rewardFailure/q composition, so
+// results stay byte-identical (the determinism-preservation rule of
+// DESIGN.md §8); the transmission cost y is evaluated once instead of
+// once per reward term.
+func (l *Learner) qHoisted(from, to int, xFrom, vFrom, y float64) float64 {
 	p := l.LinkP(from, to)
-	y := l.y(from, to)
 	rs := -l.params.G + l.params.Alpha1*(xFrom+l.x(to)) - l.params.Alpha2*y
 	if to == network.BSID {
 		rs -= l.params.L
@@ -284,6 +307,109 @@ func (l *Learner) qHoisted(from, to int, xFrom, vFrom float64) float64 {
 		vTo = l.v[to]
 	}
 	return rt + l.params.Gamma*(p*vTo+(1-p)*vFrom)
+}
+
+// BeginEpoch arms the geometry cache for one action set — typically a
+// round's elected heads. Until the next BeginEpoch, Decide(from, heads)
+// calls whose heads match the epoch's set read y(from, ·) from a cached
+// per-node row instead of recomputing it per packet. Callers whose node
+// positions can change (a mobility model) must call BeginEpoch again
+// afterwards — QLEC does so every round from StartRound, which runs
+// after any movement. Passing nil disarms the cache.
+func (l *Learner) BeginEpoch(heads []int) {
+	l.yEpoch++
+	l.yHeads = append(l.yHeads[:0], heads...)
+	if heads == nil {
+		l.yHeads = nil
+		return
+	}
+	n := len(l.v)
+	if len(l.yStamp) != n {
+		l.yStamp = make([]uint64, n)
+	}
+	need := n * (len(heads) + 1)
+	if cap(l.yRows) < need {
+		l.yRows = make([]float64, need)
+	}
+	l.yRows = l.yRows[:need]
+	if l.yPair == nil {
+		l.yPair = make([]float64, n*(n+1))
+		l.invalidatePairs()
+	}
+}
+
+// InvalidateGeometry implements cluster.GeometryInvalidator for the
+// learner: node positions changed, so every memoized link cost is
+// stale. Per-epoch rows need no touch — the next BeginEpoch (which
+// always follows a mobility step before any Decide) re-stamps them.
+func (l *Learner) InvalidateGeometry() {
+	l.invalidatePairs()
+}
+
+func (l *Learner) invalidatePairs() {
+	for i := range l.yPair {
+		l.yPair[i] = math.NaN()
+	}
+}
+
+// yMemo returns y(from, to) through the cross-epoch link memo.
+func (l *Learner) yMemo(from, to int) float64 {
+	cell := from*(len(l.v)+1) + to + 1
+	v := l.yPair[cell]
+	if v != v { // NaN: not yet computed for the current geometry
+		v = l.y(from, to)
+		l.yPair[cell] = v
+	}
+	return v
+}
+
+// yFor returns the y(from, ·) row for the action set [BS, heads...],
+// served from the epoch cache when armed for exactly this head set and
+// computed into a per-call scratch otherwise.
+func (l *Learner) yFor(from int, heads []int) []float64 {
+	w := len(heads) + 1
+	if l.yHeads != nil && slicesEqual(l.yHeads, heads) {
+		row := l.yRows[from*w : (from+1)*w]
+		if l.yStamp[from] != l.yEpoch {
+			l.fillY(row, from, heads)
+			l.yStamp[from] = l.yEpoch
+		}
+		return row
+	}
+	if cap(l.yScratch) < w {
+		l.yScratch = make([]float64, w)
+	}
+	row := l.yScratch[:w]
+	l.fillY(row, from, heads)
+	return row
+}
+
+// fillY computes row = [y(from, BS), y(from, heads[0]), ...], reading
+// each link through the cross-epoch memo when it is allocated.
+func (l *Learner) fillY(row []float64, from int, heads []int) {
+	if l.yPair != nil {
+		row[0] = l.yMemo(from, network.BSID)
+		for j, h := range heads {
+			row[j+1] = l.yMemo(from, h)
+		}
+		return
+	}
+	row[0] = l.y(from, network.BSID)
+	for j, h := range heads {
+		row[j+1] = l.y(from, h)
+	}
+}
+
+func slicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // QValue evaluates Eq. (15)+(16) for one state-action pair without
@@ -320,17 +446,18 @@ func (l *Learner) Decide(from int, heads []int) int {
 	if l.decObs != nil {
 		rec = &Decision{Node: from, VBefore: vFrom, EpsRoll: math.NaN()}
 	}
+	ys := l.yFor(from, heads)
 	best := network.BSID
-	bestQ := l.qHoisted(from, network.BSID, xFrom, vFrom)
+	bestQ := l.qHoisted(from, network.BSID, xFrom, vFrom, ys[0])
 	if rec != nil {
 		rec.Candidates = append(rec.Candidates, network.BSID)
 		rec.QValues = append(rec.QValues, bestQ)
 	}
-	for _, h := range heads {
+	for j, h := range heads {
 		if h == from {
 			continue
 		}
-		q := l.qHoisted(from, h, xFrom, vFrom)
+		q := l.qHoisted(from, h, xFrom, vFrom, ys[j+1])
 		if rec != nil {
 			rec.Candidates = append(rec.Candidates, h)
 			rec.QValues = append(rec.QValues, q)

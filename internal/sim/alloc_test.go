@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+
+	"qlec/internal/cluster"
+	"qlec/internal/energy"
+	"qlec/internal/network"
+)
+
+// fixedProto is a zero-allocation StaticRouter: fixed heads, hop map
+// computed once. It isolates the round kernel's own allocation behavior
+// from per-round protocol work (real selectors re-cluster every round).
+type fixedProto struct {
+	heads []int
+	hop   []int
+}
+
+func (p *fixedProto) Name() string                        { return "fixed" }
+func (p *fixedProto) StartRound(round int) []int          { return p.heads }
+func (p *fixedProto) NextHop(node int) int                { return p.hop[node] }
+func (p *fixedProto) StaticHops() []int                   { return p.hop }
+func (p *fixedProto) OnOutcome(node, target int, ok bool) {}
+func (p *fixedProto) EndRound(round int)                  {}
+func (p *fixedProto) RelayMode() cluster.RelayMode        { return cluster.HoldAndBurst }
+
+func newFixedProto(w *network.Network, heads []int) *fixedProto {
+	p := &fixedProto{heads: heads, hop: make([]int, w.N())}
+	a := cluster.AssignNearest(w, heads)
+	for id := range p.hop {
+		p.hop[id] = a.Head[id]
+	}
+	for _, h := range heads {
+		p.hop[h] = network.BSID
+	}
+	return p
+}
+
+// TestSnapshotHeadsLazyCopy pins the stepper's Heads policy: without an
+// observer the snapshot reuses one buffer (zero allocations per Step for
+// it); with an observer each snapshot gets a private copy it may keep.
+func TestSnapshotHeadsLazyCopy(t *testing.T) {
+	w := paperNet(t, 50)
+	proto := newFixedProto(w, []int{10, 30, 50})
+	e, err := NewEngine(w, proto, energy.DefaultModel(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads := []int{10, 30, 50}
+	e.snapshotHeads(heads) // size the buffer
+	if allocs := testing.AllocsPerRun(100, func() { e.snapshotHeads(heads) }); allocs != 0 {
+		t.Fatalf("unobserved snapshotHeads allocates %.1f objects per call, want 0", allocs)
+	}
+	s1 := e.snapshotHeads(heads)
+	s2 := e.snapshotHeads(heads)
+	if &s1[0] != &s2[0] {
+		t.Fatal("unobserved snapshots must share the reused buffer")
+	}
+
+	e.SetObserver(func(RoundSnapshot) {})
+	o1 := e.snapshotHeads(heads)
+	o2 := e.snapshotHeads(heads)
+	if &o1[0] == &o2[0] {
+		t.Fatal("observed snapshots must be private copies")
+	}
+	o1[0] = -1
+	if s1[0] == -1 {
+		t.Fatal("observed snapshot aliases the reused buffer")
+	}
+}
+
+// TestRoundKernelAllocs puts a ceiling on the batched round kernel's
+// steady-state allocation rate: after the first round has sized every
+// reusable buffer (event slab, generation schedule, lane node list,
+// queue pool), later rounds must stay nearly allocation-free. The
+// ceiling leaves headroom only for amortized growth of the per-round
+// result slice and incidental runtime noise.
+func TestRoundKernelAllocs(t *testing.T) {
+	w := paperNet(t, 51)
+	proto := newFixedProto(w, []int{10, 30, 50, 70, 90})
+	e, err := NewEngine(w, proto, energy.DefaultModel(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(1000); err != nil {
+		t.Fatal(err)
+	}
+	round := 0
+	for ; round < 3; round++ { // warm the buffers
+		e.runRound(round)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		e.runRound(round)
+		round++
+	})
+	if allocs > 8 {
+		t.Fatalf("steady-state round allocates %.1f objects, want <= 8", allocs)
+	}
+}

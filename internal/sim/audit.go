@@ -101,10 +101,18 @@ type Auditor interface {
 // passing nil disables auditing.
 func (e *Engine) SetAuditor(a Auditor) { e.auditor = a }
 
-// auditEnergy emits a ledger entry if an auditor is installed.
+// auditEnergy emits a ledger entry stamped with the engine clock (the
+// round start — control-plane draws happen at the CH-selection barrier).
 func (e *Engine) auditEnergy(cause EnergyCause, id int, drawn energy.Joules, pkt packet.ID, hasPkt bool) {
+	e.auditEnergyAt(e.now, cause, id, drawn, pkt, hasPkt)
+}
+
+// auditEnergyAt emits a ledger entry at an explicit time — the lane's
+// virtual clock for event-loop draws. Auditing forces the serial
+// kernel, so the single caller goroutine invariant of Auditor holds.
+func (e *Engine) auditEnergyAt(t float64, cause EnergyCause, id int, drawn energy.Joules, pkt packet.ID, hasPkt bool) {
 	e.auditor.AuditEnergy(EnergyEntry{
-		Time: e.now, Round: e.curRound, Node: id, Cause: cause,
+		Time: t, Round: e.curRound, Node: id, Cause: cause,
 		Joules: drawn, Packet: pkt, HasPacket: hasPkt,
 	})
 }

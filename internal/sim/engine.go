@@ -17,18 +17,43 @@ import (
 )
 
 // Engine runs one protocol over one network for a number of rounds.
+//
+// The engine owns the shared, protocol-independent state of a run —
+// batteries, head queues, RNG streams, accumulators — while the event
+// loop itself lives in the lane kernel (lane.go): one serial lane that
+// replays the historical single-heap schedule byte for byte, or, when
+// Config.ClusterWorkers enables it and the protocol qualifies, one lane
+// per cluster running concurrently between CH-selection barriers
+// (parallel.go).
 type Engine struct {
 	cfg   Config
 	net   *network.Network
 	proto cluster.Protocol
 	model energy.Model
+	calc  energy.Calc // model with the crossover distance precomputed
 
 	nodeGen []*rng.Stream // per-node traffic timing streams
-	link    *rng.Stream   // link success draws
+	link    *rng.Stream   // link success draws (serial schedule)
 
-	events eventHeap
-	seq    uint64
-	now    float64
+	// nodeLink holds per-node link-draw sub-streams, materialized on the
+	// first parallel round: cross-cluster event interleaving must not
+	// perturb the sequence any one transmitter sees, so each node draws
+	// from its own stream there. The serial kernel keeps the single
+	// shared stream in event order for byte-compatibility with the
+	// historical schedule.
+	nodeLink []rng.Stream
+
+	// main is the serial lane: it owns every node and points its metric
+	// sinks straight at the engine's accumulators, reproducing the
+	// historical event loop exactly.
+	main lane
+
+	// lanes and sinks are the parallel round kernel's per-cluster lanes
+	// and their private metric sinks, reused across rounds. laneOf is the
+	// node→lane partition scratch.
+	lanes  []*lane
+	sinks  []laneSinks
+	laneOf []int32
 
 	// Per-round head state, indexed by node id. servicePending[h]
 	// reports that an evService event for head h is sitting in the heap;
@@ -46,9 +71,7 @@ type Engine struct {
 
 	// Base-station receive pipeline for in-round packets (direct-to-BS
 	// traffic, FCM terminal hops). Finite, per Config.BSQueueCapacity.
-	// bsPending mirrors servicePending for the BS pipeline.
-	bsQueue   *packet.Queue
-	bsPending bool
+	bsQueue *packet.Queue
 
 	// mover advances node positions between rounds when mobility is
 	// configured.
@@ -64,10 +87,7 @@ type Engine struct {
 	shadowSeed *rng.Stream
 
 	nextPkt packet.ID
-
-	// inFlight counts transmissions currently on the air, for the
-	// contention model.
-	inFlight int
+	now     float64 // engine clock outside the event loop (round start)
 
 	// tracer, when installed, observes every packet transition;
 	// curRound stamps trace events. observer, when installed, receives
@@ -85,8 +105,28 @@ type Engine struct {
 	nextRound    int
 	finished     bool
 
-	// posBuf is the reusable position scratch buffer for moveNodes.
-	posBuf []geom.Vec3
+	// posBuf is the reusable position scratch buffer for moveNodes;
+	// headsBuf is the reusable RoundSnapshot.Heads buffer of the
+	// unobserved stepper path (see step.go).
+	posBuf   []geom.Vec3
+	headsBuf []int
+
+	// Per-round link-geometry cache (serial lane only). The hop distance
+	// and the base channel probability LinkPMax·exp(−(d/LinkRef)²) are
+	// pure functions of positions that are frozen for the round, yet the
+	// hot path recomputed the sqrt on every transmit and the exp on
+	// every arrival. Rows are indexed from·(K+1)+slot where slot 0 is
+	// the BS and slot 1+j is geomHeads[j]; cells fill lazily (stamped
+	// with geomRound) so only links actually exercised pay the math.
+	// Cached and fresh values are bit-identical — the same expressions
+	// on the same inputs — so results are unchanged (DESIGN.md §8).
+	// Parallel lanes bypass the cache: the lazy fill would race.
+	geomHeads []int
+	geomSlot  []int32 // node id → row slot, -1 when not a head this round
+	geomStamp []uint32
+	geomRound uint32
+	geomD     []float64
+	geomP     []float64
 
 	// breakdown tallies consumption by radio activity.
 	breakdown metrics.EnergyBreakdown
@@ -124,12 +164,24 @@ func NewEngine(w *network.Network, proto cluster.Protocol, model energy.Model, c
 		net:            w,
 		proto:          proto,
 		model:          model,
+		calc:           model.Calc(),
 		link:           rng.NewNamed(cfg.Seed, "sim/link"),
 		isHead:         make([]bool, w.N()),
 		queues:         make([]*packet.Queue, w.N()),
 		servicePending: make([]bool, w.N()),
 		fused:          make([]fusedBuf, w.N()),
 	}
+	// The serial lane writes straight into the engine's accumulators so
+	// observation order — and therefore every Welford intermediate —
+	// matches the historical single-heap loop exactly.
+	e.main.e = e
+	e.main.link = e.link
+	e.main.round = &e.round
+	e.main.breakdown = &e.breakdown
+	e.main.latency = &e.latency
+	e.main.access = &e.access
+	e.main.hopsAcc = &e.hops
+	e.main.roundLat = &e.roundLat
 	traffic := rng.NewNamed(cfg.Seed, "sim/traffic")
 	e.nodeGen = make([]*rng.Stream, w.N())
 	for i := range e.nodeGen {
@@ -154,26 +206,6 @@ func NewEngine(w *network.Network, proto cluster.Protocol, model energy.Model, c
 	return e, nil
 }
 
-// linkP returns the link success probability from node `from` to
-// `target` over distance d, including the persistent per-link shadowing
-// factor when enabled.
-func (e *Engine) linkP(from, target int, d float64) float64 {
-	x := d / e.cfg.LinkRef
-	p := e.cfg.LinkPMax * math.Exp(-x*x)
-	if e.shadow != nil {
-		p *= e.shadowFactor(from, target)
-		if p > 0.999 {
-			p = 0.999
-		}
-	}
-	if e.cfg.ContentionGamma > 0 && e.inFlight > 1 {
-		// The resolving transmission itself is one of inFlight; only the
-		// others interfere.
-		p *= math.Exp(-e.cfg.ContentionGamma * float64(e.inFlight-1))
-	}
-	return p
-}
-
 // shadowFactor returns the link's persistent log-normal quality factor,
 // drawing it on first use from a stream keyed by the (from, target)
 // pair so the value is independent of lookup order. target may be BSID
@@ -190,36 +222,10 @@ func (e *Engine) shadowFactor(from, target int) float64 {
 	return f
 }
 
-// Classified battery draws: every energy expenditure goes through one
-// of these so Result.Energy's categories always sum to TotalEnergy and
-// the audit ledger sees every joule. The ledger records the amount the
-// battery actually drew (clamped at empty), not the amount requested.
-// pkt/hasPkt attribute the draw to a packet where one exists; aggregate
-// draws (control broadcasts, burst transmissions) pass hasPkt=false.
-func (e *Engine) drawTx(id int, amount energy.Joules, pkt packet.ID, hasPkt bool) {
-	d := e.net.Nodes[id].Battery.Draw(amount)
-	e.breakdown.Tx += d
-	if e.auditor != nil {
-		e.auditEnergy(CauseTx, id, d, pkt, hasPkt)
-	}
-}
-
-func (e *Engine) drawRx(id int, amount energy.Joules, pkt packet.ID, hasPkt bool) {
-	d := e.net.Nodes[id].Battery.Draw(amount)
-	e.breakdown.Rx += d
-	if e.auditor != nil {
-		e.auditEnergy(CauseRx, id, d, pkt, hasPkt)
-	}
-}
-
-func (e *Engine) drawFusion(id int, amount energy.Joules, pkt packet.ID, hasPkt bool) {
-	d := e.net.Nodes[id].Battery.Draw(amount)
-	e.breakdown.Fusion += d
-	if e.auditor != nil {
-		e.auditEnergy(CauseFusion, id, d, pkt, hasPkt)
-	}
-}
-
+// drawControl bills a control-plane battery draw (head advertisements,
+// member receptions). Control traffic happens at the CH-selection
+// barrier, outside any lane's event loop, so it writes the engine's
+// breakdown directly.
 func (e *Engine) drawControl(id int, amount energy.Joules) {
 	d := e.net.Nodes[id].Battery.Draw(amount)
 	e.breakdown.Control += d
@@ -237,12 +243,6 @@ func (e *Engine) dist(from, to int) float64 {
 		return e.net.DistToBS(from)
 	}
 	return e.net.Nodes[from].Pos.Dist(e.net.Nodes[to].Pos)
-}
-
-func (e *Engine) push(ev event) {
-	ev.seq = e.seq
-	e.seq++
-	e.events.Push(ev)
 }
 
 // Run executes up to rounds rounds and returns the measurements. It is
@@ -282,6 +282,9 @@ func (e *Engine) moveNodes() {
 	for i, n := range e.net.Nodes {
 		n.Pos = pos[i]
 	}
+	if g, ok := e.proto.(cluster.GeometryInvalidator); ok {
+		g.InvalidateGeometry()
+	}
 }
 
 // runRound executes one full round: head selection, event loop, drain,
@@ -305,46 +308,12 @@ func (e *Engine) runRound(r int) []int {
 		e.chargeControl(heads)
 	}
 
-	// Schedule each alive node's first packet of the round.
-	e.events.Reset()
-	for id := range e.net.Nodes {
-		if !e.alive(id) {
-			continue
-		}
-		t := roundStart + e.nodeGen[id].ExpFloat64()*e.cfg.MeanInterArrival
-		if t < roundEnd {
-			e.push(event{t: t, kind: evGenerate, node: id})
-		}
+	if e.parallelEligible() {
+		e.runLanesParallel(heads, roundStart, roundEnd)
+	} else {
+		e.runSerial(heads, roundStart, roundEnd)
 	}
 
-	// Event loop: generation stops at roundEnd; in-flight transmissions
-	// and queue service run to completion (the queues drain in bounded
-	// time once generation ceases).
-	for {
-		ev, ok := e.events.Pop()
-		if !ok {
-			break
-		}
-		if ev.kind == evGenerate && ev.t >= roundEnd {
-			continue
-		}
-		e.now = ev.t
-		switch ev.kind {
-		case evGenerate:
-			e.handleGenerate(ev, roundEnd)
-		case evArrive:
-			e.handleArrive(ev)
-		case evRetry:
-			e.handleRetry(ev)
-		case evService:
-			e.handleService(ev)
-		}
-	}
-	if e.now < roundEnd {
-		e.now = roundEnd
-	}
-
-	e.endOfRound(heads)
 	e.proto.EndRound(r)
 
 	e.round.Energy = e.net.TotalConsumed() - energyBefore
@@ -360,6 +329,30 @@ func (e *Engine) runRound(r int) []int {
 		e.auditor.AuditEndRound(r, e.round.Energy, e.res.TotalEnergy)
 	}
 	return heads
+}
+
+// runSerial executes the round on the single serial lane: every node on
+// one event heap, the shared link stream drawn in event order — the
+// historical schedule, byte for byte.
+func (e *Engine) runSerial(heads []int, roundStart, roundEnd float64) {
+	l := &e.main
+	l.par = false
+	l.hold = e.proto.RelayMode() == cluster.HoldAndBurst
+	l.now = roundStart
+	l.inFlight = 0
+	l.bsPending = false
+	l.nextPkt = e.nextPkt
+	l.events.Reset()
+	l.nodes = l.nodes[:0]
+	for id := range e.net.Nodes {
+		if e.alive(id) {
+			l.nodes = append(l.nodes, int32(id))
+		}
+	}
+	l.buildGen(roundStart, roundEnd)
+	l.drain(roundEnd)
+	l.endOfRound(heads)
+	e.nextPkt = l.nextPkt
 }
 
 // setupHeads resets per-round head state, recycling last round's queues
@@ -390,7 +383,35 @@ func (e *Engine) setupHeads(heads []int) {
 	} else {
 		e.bsQueue.Reset()
 	}
-	e.bsPending = false
+	e.armGeom(heads)
+}
+
+// armGeom points the link-geometry cache at this round's head set and
+// invalidates every cell by bumping the round stamp.
+func (e *Engine) armGeom(heads []int) {
+	if e.geomSlot == nil {
+		e.geomSlot = make([]int32, len(e.net.Nodes))
+		for i := range e.geomSlot {
+			e.geomSlot[i] = -1
+		}
+	}
+	for _, h := range e.geomHeads {
+		e.geomSlot[h] = -1
+	}
+	e.geomHeads = append(e.geomHeads[:0], heads...)
+	for j, h := range heads {
+		e.geomSlot[h] = int32(j + 1)
+	}
+	e.geomRound++
+	need := len(e.net.Nodes) * (len(heads) + 1)
+	if cap(e.geomStamp) < need {
+		e.geomStamp = make([]uint32, need)
+		e.geomD = make([]float64, need)
+		e.geomP = make([]float64, need)
+	}
+	e.geomStamp = e.geomStamp[:need]
+	e.geomD = e.geomD[:need]
+	e.geomP = e.geomP[:need]
 }
 
 // chargeControl bills the per-round control traffic: every head
@@ -413,204 +434,6 @@ func (e *Engine) chargeControl(heads []int) {
 	}
 }
 
-// handleGenerate creates a packet at the node and launches it.
-func (e *Engine) handleGenerate(ev event, roundEnd float64) {
-	id := ev.node
-	// Schedule the node's next generation regardless of this packet's
-	// fate, to keep the Poisson process running.
-	next := e.now + e.nodeGen[id].ExpFloat64()*e.cfg.MeanInterArrival
-	if next < roundEnd {
-		e.push(event{t: next, kind: evGenerate, node: id})
-	}
-	if !e.alive(id) {
-		return
-	}
-	pkt := packet.Packet{ID: e.nextPkt, Source: id, Bits: e.cfg.Bits, Born: e.now}
-	e.nextPkt++
-	e.round.Generated++
-	e.trace(TraceEvent{Kind: TraceGenerate, Packet: pkt.ID, Node: id})
-
-	if e.isHead[id] {
-		// A head's own sensing data goes straight into its queue —
-		// no radio hop.
-		if e.queues[id].Push(pkt) {
-			e.scheduleService(id)
-		} else {
-			e.drop(metrics.DropQueue, pkt, id)
-		}
-		return
-	}
-	e.transmit(pkt, id, 0)
-}
-
-// transmit starts one radio attempt of pkt from node `from` toward the
-// protocol's chosen target, paying the transmit energy now and resolving
-// the outcome after the serialization delay.
-func (e *Engine) transmit(pkt packet.Packet, from, attempt int) {
-	target := e.proto.NextHop(from)
-	d := e.dist(from, target)
-	e.drawTx(from, e.model.Tx(pkt.Bits, d), pkt.ID, true)
-	e.inFlight++
-	e.trace(TraceEvent{Kind: TraceSend, Packet: pkt.ID, Node: from, Target: target, Attempt: attempt})
-	e.push(event{
-		t: e.now + e.cfg.TxDelay(pkt.Bits), kind: evArrive,
-		node: from, target: target, attempt: attempt, pkt: pkt,
-	})
-}
-
-// handleArrive resolves a transmission attempt at its target.
-func (e *Engine) handleArrive(ev event) {
-	from, target := ev.node, ev.target
-	d := e.dist(from, target)
-	linkOK := e.link.Float64() < e.linkP(from, target, d)
-	if e.inFlight > 0 {
-		e.inFlight--
-	}
-
-	success := false
-	reason := metrics.DropLink
-	if linkOK {
-		switch {
-		case target == network.BSID:
-			// The BS is mains-powered but its receive pipeline is
-			// finite: acceptance goes through a bounded queue, and
-			// delivery completes at BS service time (the "burden of the
-			// base station" the paper's −l penalty exists to limit).
-			pkt := ev.pkt
-			pkt.Hops++
-			if e.bsQueue.Push(pkt) {
-				success = true
-				e.scheduleBSService()
-			} else {
-				reason = metrics.DropQueue
-			}
-		case e.alive(target) && e.queues[target] != nil:
-			// Receiving costs energy whether or not the queue has room.
-			e.drawRx(target, e.model.Rx(ev.pkt.Bits), ev.pkt.ID, true)
-			pkt := ev.pkt
-			pkt.Hops++
-			if e.queues[target].Push(pkt) {
-				success = true
-				e.scheduleService(target)
-			} else {
-				reason = metrics.DropQueue
-			}
-		default:
-			// Dead target (or a node that is no longer a head): the
-			// transmission goes unanswered.
-			reason = metrics.DropDead
-		}
-	}
-	e.proto.OnOutcome(from, target, success)
-	if success {
-		e.trace(TraceEvent{Kind: TraceAccept, Packet: ev.pkt.ID, Node: from, Target: target, Attempt: ev.attempt})
-		// First radio hop accepted: record access latency (the routing-
-		// controlled part of delay; see metrics.Result.Access).
-		if ev.pkt.Hops == 0 {
-			e.access.Observe(e.now - ev.pkt.Born)
-		}
-		return
-	}
-	e.trace(TraceEvent{Kind: TraceReject, Packet: ev.pkt.ID, Node: from, Target: target, Attempt: ev.attempt, Reason: reason.String()})
-	if ev.attempt < e.cfg.MaxRetries && e.alive(from) {
-		e.push(event{
-			t: e.now + e.cfg.RetryBackoff, kind: evRetry,
-			node: from, attempt: ev.attempt + 1, pkt: ev.pkt,
-		})
-		return
-	}
-	e.drop(reason, ev.pkt, from)
-}
-
-// handleRetry re-launches a failed packet; the protocol may pick a
-// different target this time (QLEC's reroute).
-func (e *Engine) handleRetry(ev event) {
-	if !e.alive(ev.node) {
-		e.drop(metrics.DropDead, ev.pkt, ev.node)
-		return
-	}
-	e.transmit(ev.pkt, ev.node, ev.attempt)
-}
-
-// scheduleService starts the head's fusion pipeline unless an evService
-// event is already pending. The explicit pending flag (not a busy-until
-// timestamp) makes an arrival at exactly the pending completion time a
-// no-op; a `busyUntil > now` guard passed on that tie and started a
-// second concurrent service chain (fixed ServiceTime/TxDelay/
-// RetryBackoff deltas make exact ties reachable).
-func (e *Engine) scheduleService(head int) {
-	if e.servicePending[head] || e.queues[head].Len() == 0 {
-		return // chain already running, or nothing to serve
-	}
-	e.servicePending[head] = true
-	e.push(event{t: e.now + e.cfg.ServiceTime, kind: evService, node: head})
-}
-
-// scheduleBSService starts the base station's receive pipeline if idle;
-// same pending-flag discipline as scheduleService.
-func (e *Engine) scheduleBSService() {
-	if e.bsPending || e.bsQueue.Len() == 0 {
-		return
-	}
-	e.bsPending = true
-	e.push(event{t: e.now + e.cfg.BSServiceTime, kind: evService, node: network.BSID})
-}
-
-// handleService fuses the packet at the head's queue front, or completes
-// BS-side processing when node is the base station.
-func (e *Engine) handleService(ev event) {
-	if ev.node == network.BSID {
-		e.bsPending = false
-		if pkt, ok := e.bsQueue.Pop(); ok {
-			e.deliver(pkt)
-		}
-		if e.bsQueue.Len() > 0 {
-			e.bsPending = true
-			e.push(event{t: e.now + e.cfg.BSServiceTime, kind: evService, node: network.BSID})
-		}
-		return
-	}
-	head := ev.node
-	e.servicePending[head] = false
-	q := e.queues[head]
-	if q == nil {
-		return
-	}
-	pkt, ok := q.Pop()
-	if ok {
-		if e.alive(head) {
-			e.drawFusion(head, e.model.Aggregate(pkt.Bits), pkt.ID, true)
-			e.trace(TraceEvent{Kind: TraceService, Packet: pkt.ID, Node: head})
-			e.afterService(head, pkt)
-		} else {
-			e.drop(metrics.DropDead, pkt, head)
-		}
-	}
-	if q.Len() > 0 {
-		e.servicePending[head] = true
-		e.push(event{t: e.now + e.cfg.ServiceTime, kind: evService, node: head})
-	}
-}
-
-// afterService routes a fused packet according to the protocol's relay
-// mode: buffer it for the end-of-round burst, or forward it now through
-// the head hierarchy (the FCM baseline).
-func (e *Engine) afterService(head int, pkt packet.Packet) {
-	if e.proto.RelayMode() == cluster.HoldAndBurst {
-		e.fused[head].bits += pkt.Bits
-		e.fused[head].pkts = append(e.fused[head].pkts, pkt)
-		return
-	}
-	// ForwardPerPacket: compress at the first head only, then relay.
-	bits := pkt.Bits
-	if pkt.Hops <= 1 {
-		bits = compressedBits(bits, e.cfg.Compression)
-	}
-	fwd := pkt
-	fwd.Bits = bits
-	e.transmit(fwd, head, 0)
-}
-
 // compressedBits applies the Table 2 fusion ratio, keeping at least one
 // bit so packets never become free to transmit.
 func compressedBits(bits int, ratio float64) int {
@@ -619,141 +442,4 @@ func compressedBits(bits int, ratio float64) int {
 		out = 1
 	}
 	return out
-}
-
-// drop abandons a packet, recording the reason in metrics and the
-// trace.
-func (e *Engine) drop(reason metrics.DropReason, pkt packet.Packet, node int) {
-	e.round.Dropped[reason]++
-	e.trace(TraceEvent{Kind: TraceDrop, Packet: pkt.ID, Node: node, Reason: reason.String()})
-}
-
-// deliver records a packet's arrival at the base station.
-func (e *Engine) deliver(pkt packet.Packet) {
-	e.trace(TraceEvent{Kind: TraceDeliver, Packet: pkt.ID, Node: pkt.Source})
-	e.round.Delivered++
-	lat := e.now - pkt.Born
-	e.latency.Observe(lat)
-	e.roundLat.Observe(lat)
-	e.hops.Observe(float64(pkt.Hops))
-}
-
-// endOfRound flushes remaining queue contents and performs the
-// HoldAndBurst delivery toward the BS.
-func (e *Engine) endOfRound(heads []int) {
-	// Packets the BS accepted but had not finished processing complete
-	// now (they were received; processing spills past the boundary).
-	for {
-		pkt, ok := e.bsQueue.Pop()
-		if !ok {
-			break
-		}
-		e.deliver(pkt)
-	}
-	hold := e.proto.RelayMode() == cluster.HoldAndBurst
-	for _, h := range heads {
-		q := e.queues[h]
-		if q == nil {
-			continue
-		}
-		// Remaining queued packets get fused in the final data-fusion
-		// pass; a dead head strands its queue.
-		for {
-			pkt, ok := q.Pop()
-			if !ok {
-				break
-			}
-			if !e.alive(h) {
-				e.drop(metrics.DropDead, pkt, h)
-				continue
-			}
-			e.drawFusion(h, e.model.Aggregate(pkt.Bits), pkt.ID, true)
-			if hold {
-				e.fused[h].bits += pkt.Bits
-				e.fused[h].pkts = append(e.fused[h].pkts, pkt)
-			} else {
-				e.forwardChainInstant(h, pkt)
-			}
-		}
-		if hold {
-			e.burst(h)
-		}
-	}
-}
-
-// burst sends a head's aggregate to the BS with retries (Algorithm 1
-// lines 13-14: "transmit processed data directly to BS").
-func (e *Engine) burst(head int) {
-	buf := &e.fused[head]
-	if len(buf.pkts) == 0 {
-		return
-	}
-	aggBits := compressedBits(buf.bits, e.cfg.Compression)
-	d := e.net.DistToBS(head)
-	delivered := false
-	for attempt := 0; attempt <= e.cfg.BatchRetries; attempt++ {
-		if !e.alive(head) {
-			break
-		}
-		e.drawTx(head, e.model.Tx(aggBits, d), 0, false)
-		ok := e.link.Float64() < e.linkP(head, network.BSID, d)
-		e.proto.OnOutcome(head, network.BSID, ok)
-		if ok {
-			delivered = true
-			break
-		}
-	}
-	arrival := e.now + e.cfg.TxDelay(aggBits)
-	for _, pkt := range buf.pkts {
-		if delivered {
-			pkt.Hops++
-			saved := e.now
-			e.now = arrival
-			e.deliver(pkt)
-			e.now = saved
-		} else {
-			e.drop(metrics.DropBatch, pkt, head)
-		}
-	}
-	buf.bits = 0
-	buf.pkts = buf.pkts[:0]
-}
-
-// forwardChainInstant pushes a leftover fused packet through the
-// protocol's relay chain at round end, paying per-hop energy and taking
-// per-hop loss draws, without queueing (generation has stopped; queues
-// are drained).
-func (e *Engine) forwardChainInstant(head int, pkt packet.Packet) {
-	bits := pkt.Bits
-	if pkt.Hops <= 1 {
-		bits = compressedBits(bits, e.cfg.Compression)
-	}
-	holder := head
-	for hop := 0; hop < 32; hop++ {
-		if !e.alive(holder) {
-			e.drop(metrics.DropDead, pkt, holder)
-			return
-		}
-		target := e.proto.NextHop(holder)
-		d := e.dist(holder, target)
-		ok := false
-		for attempt := 0; attempt <= e.cfg.MaxRetries && !ok; attempt++ {
-			e.drawTx(holder, e.model.Tx(bits, d), pkt.ID, true)
-			ok = e.link.Float64() < e.linkP(holder, target, d)
-			e.proto.OnOutcome(holder, target, ok)
-		}
-		if !ok {
-			e.drop(metrics.DropLink, pkt, holder)
-			return
-		}
-		pkt.Hops++
-		if target == network.BSID {
-			e.deliver(pkt)
-			return
-		}
-		e.drawRx(target, e.model.Rx(bits), pkt.ID, true)
-		holder = target
-	}
-	// Routing loop guard: a protocol that cycles loses the packet.
-	e.drop(metrics.DropLink, pkt, holder)
 }

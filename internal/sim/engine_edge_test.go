@@ -25,21 +25,22 @@ func TestServiceTieDoesNotDoubleSchedule(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.setupHeads([]int{10})
+	e.main.hold = true // runSerial caches the protocol's HoldAndBurst mode per round
 
 	// First packet arrives at t=0 and arms the pipeline.
 	e.queues[10].Push(packet.Packet{ID: 1, Bits: cfg.Bits})
-	e.scheduleService(10)
+	e.main.scheduleService(10)
 
 	// Second packet arrives at exactly the service completion instant,
 	// before the pending evService has been popped — the colliding
 	// sequence handleArrive would produce.
-	e.now += cfg.ServiceTime
+	e.main.now += cfg.ServiceTime
 	e.queues[10].Push(packet.Packet{ID: 2, Bits: cfg.Bits})
-	e.scheduleService(10)
+	e.main.scheduleService(10)
 
 	services := 0
 	for {
-		ev, ok := e.events.Pop()
+		ev, ok := e.main.events.Pop()
 		if !ok {
 			break
 		}
@@ -53,14 +54,14 @@ func TestServiceTieDoesNotDoubleSchedule(t *testing.T) {
 
 	// The single chain still drains both packets: completing the first
 	// service re-arms for the second.
-	e.handleService(event{t: e.now, kind: evService, node: 10})
+	e.main.handleService(&event{t: e.main.now, kind: evService, node: 10})
 	if e.queues[10].Len() != 1 {
 		t.Fatalf("first service left %d packets queued, want 1", e.queues[10].Len())
 	}
 	if !e.servicePending[10] {
 		t.Fatal("service chain not re-armed with packets still queued")
 	}
-	ev, ok := e.events.Pop()
+	ev, ok := e.main.events.Pop()
 	if !ok || ev.kind != evService {
 		t.Fatalf("re-armed event missing or wrong kind: %+v ok=%v", ev, ok)
 	}
@@ -84,7 +85,7 @@ func TestForwardChainInstantLoopGuard(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	e.forwardChainInstant(10, packet.Packet{ID: 7, Bits: cfg.Bits, Hops: 1})
+	e.main.forwardChainInstant(10, packet.Packet{ID: 7, Bits: cfg.Bits, Hops: 1})
 
 	if got := e.round.Dropped[metrics.DropLink]; got != 1 {
 		t.Fatalf("loop guard recorded %d DropLink, want 1 (all drops: %v)", got, e.round.Dropped)
@@ -130,7 +131,7 @@ func TestBurstDeadHeadDropsBatch(t *testing.T) {
 		packet.Packet{ID: 1, Bits: cfg.Bits, Hops: 1},
 		packet.Packet{ID: 2, Bits: cfg.Bits, Hops: 1},
 		packet.Packet{ID: 3, Bits: cfg.Bits, Hops: 1})
-	e.burst(10)
+	e.main.burst(10)
 
 	if e.alive(10) {
 		t.Fatal("head survived a transmit it could not afford")

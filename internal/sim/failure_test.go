@@ -275,8 +275,13 @@ func TestShadowingDisabledMatchesBaseModel(t *testing.T) {
 	w := paperNet(t, 41)
 	cfg := DefaultConfig() // ShadowSigma = 0
 	e, _ := NewEngine(w, &stubProtocol{net: w, heads: []int{10}}, energy.DefaultModel(), cfg)
-	want := cfg.LinkPMax * math.Exp(-(50.0/cfg.LinkRef)*(50.0/cfg.LinkRef))
-	if got := e.linkP(3, 10, 50); math.Abs(got-want) > 1e-12 {
+	d := e.dist(3, 10)
+	want := cfg.LinkPMax * math.Exp(-(d/cfg.LinkRef)*(d/cfg.LinkRef))
+	_, pBase := e.main.geom(3, 10)
+	if math.Abs(pBase-want) > 1e-12 {
+		t.Fatalf("geom base probability = %v, want %v", pBase, want)
+	}
+	if got := e.main.linkP(3, 10, pBase); math.Abs(got-want) > 1e-12 {
 		t.Fatalf("linkP with shadowing off = %v, want %v", got, want)
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"slices"
 	"testing"
 
 	"qlec/internal/rng"
@@ -95,5 +96,48 @@ func TestHeapReset(t *testing.T) {
 	h.Reset()
 	if h.Len() != 0 {
 		t.Fatal("reset did not empty heap")
+	}
+}
+
+// TestSortGenMatchesGenericSort cross-checks the specialized schedule
+// sort against slices.SortFunc over adversarial shapes: random draws,
+// already-sorted, reversed, heavy time ties (node tie-break), and the
+// degenerate all-equal case. The two sorts must agree element for
+// element — equal (t, node) keys are interchangeable, so exact slice
+// equality is the right oracle.
+func TestSortGenMatchesGenericSort(t *testing.T) {
+	cmp := func(a, b genPoint) int {
+		if a.t != b.t {
+			if a.t < b.t {
+				return -1
+			}
+			return 1
+		}
+		return int(a.node - b.node)
+	}
+	r := rng.New(99)
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(400)
+		pts := make([]genPoint, n)
+		for i := range pts {
+			tv := r.Float64() * 100
+			switch trial % 5 {
+			case 1: // sorted
+				tv = float64(i)
+			case 2: // reversed
+				tv = float64(n - i)
+			case 3: // heavy ties
+				tv = float64(r.Intn(4))
+			case 4: // all equal
+				tv = 7
+			}
+			pts[i] = genPoint{t: tv, node: int32(r.Intn(50))}
+		}
+		want := slices.Clone(pts)
+		slices.SortFunc(want, cmp)
+		sortGen(pts)
+		if !slices.Equal(pts, want) {
+			t.Fatalf("trial %d: sortGen diverged from generic sort on %d points", trial, n)
+		}
 	}
 }

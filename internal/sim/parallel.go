@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"qlec/internal/cluster"
+	"qlec/internal/network"
+	"qlec/internal/packet"
+	"qlec/internal/rng"
+)
+
+// parallelEligible reports whether the current round may run on the
+// parallel cluster-lane kernel. The partition argument — lanes share no
+// mutable state — only holds when:
+//
+//   - the protocol's routing is a fixed member→target map for the round
+//     (cluster.StaticRouter) and heads hold fused data for the
+//     end-of-round burst (HoldAndBurst), so no packet ever crosses from
+//     one cluster's node set into another's;
+//   - no tracer or auditor is installed (both contract a single caller
+//     goroutine and a globally ordered event stream);
+//   - contention is off (the in-flight count would be global) and
+//     shadowing is off (the factor cache fills lazily, a write race).
+func (e *Engine) parallelEligible() bool {
+	if e.cfg.ClusterWorkers < 2 || e.tracer != nil || e.auditor != nil ||
+		e.cfg.ContentionGamma > 0 || e.shadow != nil {
+		return false
+	}
+	if e.proto.RelayMode() != cluster.HoldAndBurst {
+		return false
+	}
+	_, ok := e.proto.(cluster.StaticRouter)
+	return ok
+}
+
+// runLanesParallel executes the round's event loop on one lane per
+// cluster plus a base-station lane, spread over Config.ClusterWorkers
+// goroutines. Lane 0 owns the BS queue and every node whose static hop
+// is the BS; lane 1+i owns heads[i] and its members. Each lane runs its
+// own heap, clock, and metric sinks; the sinks merge into the engine's
+// accumulators in lane-index order after the barrier, which is what
+// makes the result deterministic for any worker count.
+func (e *Engine) runLanesParallel(heads []int, roundStart, roundEnd float64) {
+	hops := e.proto.(cluster.StaticRouter).StaticHops()
+	n := e.net.N()
+	if e.nodeLink == nil {
+		// Per-node link sub-streams, drawn instead of the shared serial
+		// stream so the sequence each transmitter sees is independent of
+		// cross-cluster interleaving. Derived from the seed once and
+		// persisted: a node's stream advances identically however the
+		// lanes are scheduled.
+		e.nodeLink = rng.NewNamed(e.cfg.Seed, "sim/link-node").SplitN(n)
+	}
+	need := len(heads) + 1
+	for len(e.lanes) < need {
+		e.lanes = append(e.lanes, &lane{e: e})
+	}
+	if cap(e.sinks) < need {
+		e.sinks = make([]laneSinks, need)
+	}
+	sinks := e.sinks[:need]
+	if cap(e.laneOf) < n {
+		e.laneOf = make([]int32, n)
+	}
+	laneOf := e.laneOf[:n]
+	for i := range laneOf {
+		laneOf[i] = 0
+	}
+	for i, h := range heads {
+		laneOf[h] = int32(i + 1)
+	}
+	for i := 0; i < need; i++ {
+		l := e.lanes[i]
+		// Every lane numbers its packets from the same base: ids are only
+		// observable through the tracer and auditor, both of which force
+		// the serial kernel, so cross-lane collisions are invisible. The
+		// engine's counter advances by the round's total generation count
+		// after the merge.
+		l.reset(roundStart, hops, e.nextPkt)
+		sinks[i] = laneSinks{}
+		s := &sinks[i]
+		l.round, l.breakdown = &s.round, &s.breakdown
+		l.latency, l.access = &s.latency, &s.access
+		l.hopsAcc, l.roundLat = &s.hopsAcc, &s.roundLat
+	}
+	// Partition the alive nodes: a head joins its own cluster's lane, a
+	// member its target head's; direct-to-BS traffic lands on lane 0,
+	// the only lane allowed to touch the BS queue. Nodes dead at round
+	// start join no lane (the serial schedule drew no traffic for them
+	// either).
+	for id := range e.net.Nodes {
+		if !e.alive(id) {
+			continue
+		}
+		li := int32(0)
+		if e.isHead[id] {
+			li = laneOf[id]
+		} else if t := hops[id]; t != network.BSID {
+			li = laneOf[t]
+		}
+		l := e.lanes[li]
+		l.nodes = append(l.nodes, int32(id))
+	}
+
+	workers := e.cfg.ClusterWorkers
+	if workers > need {
+		workers = need
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= need {
+					return
+				}
+				l := e.lanes[i]
+				l.buildGen(roundStart, roundEnd)
+				l.drain(roundEnd)
+				if i == 0 {
+					l.drainBS()
+				} else {
+					l.finishHead(heads[i-1])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Merge in lane-index order: float accumulation order is then a
+	// function of the head list alone, never of goroutine scheduling.
+	generated := 0
+	for i := 0; i < need; i++ {
+		s := &sinks[i]
+		e.round.Generated += s.round.Generated
+		e.round.Delivered += s.round.Delivered
+		for j, d := range s.round.Dropped {
+			e.round.Dropped[j] += d
+		}
+		e.breakdown.Tx += s.breakdown.Tx
+		e.breakdown.Rx += s.breakdown.Rx
+		e.breakdown.Fusion += s.breakdown.Fusion
+		e.breakdown.Control += s.breakdown.Control
+		e.latency.Merge(s.latency)
+		e.access.Merge(s.access)
+		e.hops.Merge(s.hopsAcc)
+		e.roundLat.Merge(s.roundLat)
+		generated += s.round.Generated
+	}
+	e.nextPkt += packet.ID(generated)
+}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"qlec/internal/cluster"
+	"qlec/internal/energy"
+	"qlec/internal/metrics"
+	"qlec/internal/network"
+)
+
+// staticStub is a StaticRouter protocol for parallel-kernel tests:
+// fixed heads, nearest-head assignment frozen at StartRound.
+type staticStub struct {
+	net   *network.Network
+	heads []int
+	hop   []int
+}
+
+func (s *staticStub) Name() string { return "static-stub" }
+
+func (s *staticStub) StartRound(round int) []int {
+	if s.hop == nil {
+		s.hop = make([]int, s.net.N())
+	}
+	a := cluster.AssignNearest(s.net, s.heads)
+	for id := range s.hop {
+		s.hop[id] = a.Head[id]
+	}
+	for _, h := range s.heads {
+		s.hop[h] = network.BSID
+	}
+	return s.heads
+}
+
+func (s *staticStub) NextHop(node int) int                   { return s.hop[node] }
+func (s *staticStub) StaticHops() []int                      { return s.hop }
+func (s *staticStub) OnOutcome(node, target int, success bool) {}
+func (s *staticStub) EndRound(round int)                     {}
+func (s *staticStub) RelayMode() cluster.RelayMode           { return cluster.HoldAndBurst }
+
+// runStatic executes a small run with the given worker count and
+// returns the result.
+func runStatic(t *testing.T, seed uint64, workers, rounds int) *metrics.Result {
+	t.Helper()
+	w := paperNet(t, seed)
+	proto := &staticStub{net: w, heads: []int{10, 30, 50, 70, 90}}
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.ClusterWorkers = workers
+	e, err := NewEngine(w, proto, energy.DefaultModel(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(context.Background(), rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestParallelDeterministicAcrossWorkerCounts pins the parallel round
+// kernel's core contract: the result is a function of the configuration
+// alone, never of the worker count or goroutine scheduling. Per-node
+// RNG sub-streams advance identically however lanes are scheduled, and
+// lane sinks merge in lane-index order.
+func TestParallelDeterministicAcrossWorkerCounts(t *testing.T) {
+	const rounds = 6
+	ref := runStatic(t, 7, 2, rounds)
+	for _, workers := range []int{3, 4, 16} {
+		got := runStatic(t, 7, workers, rounds)
+		if got.Generated != ref.Generated || got.Delivered != ref.Delivered ||
+			got.Dropped != ref.Dropped || got.TotalEnergy != ref.TotalEnergy ||
+			got.Energy != ref.Energy || got.Latency != ref.Latency ||
+			got.Hops != ref.Hops {
+			t.Fatalf("workers=%d diverged from workers=2:\n%+v\nvs\n%+v", workers, got, ref)
+		}
+		for i := range ref.PerRound {
+			if got.PerRound[i] != ref.PerRound[i] {
+				t.Fatalf("workers=%d round %d diverged: %+v vs %+v",
+					workers, i, got.PerRound[i], ref.PerRound[i])
+			}
+		}
+	}
+}
+
+// TestParallelAgreesWithSerialTraffic checks the parallel kernel against
+// the serial schedule where they must agree exactly — generation counts
+// come from per-node Poisson streams untouched by lane scheduling — and
+// loosely where they legitimately differ (link draws come from different
+// streams, so delivery counts may drift a little, not collapse).
+func TestParallelAgreesWithSerialTraffic(t *testing.T) {
+	const rounds = 6
+	serial := runStatic(t, 11, 0, rounds)
+	par := runStatic(t, 11, 4, rounds)
+	if par.Generated != serial.Generated {
+		t.Fatalf("generated diverged: parallel %d vs serial %d", par.Generated, serial.Generated)
+	}
+	if serial.PDR() < 0.9 || par.PDR() < 0.9 {
+		t.Fatalf("implausible delivery: serial PDR %.3f, parallel PDR %.3f", serial.PDR(), par.PDR())
+	}
+	if d := par.PDR() - serial.PDR(); d > 0.05 || d < -0.05 {
+		t.Fatalf("parallel PDR %.3f too far from serial %.3f", par.PDR(), serial.PDR())
+	}
+	// Same physics, different draw sequences: retry counts differ, so
+	// energy scatters a few percent either side of serial (measured
+	// symmetric over seeds), never systematically.
+	ratio := float64(par.TotalEnergy) / float64(serial.TotalEnergy)
+	if ratio < 0.90 || ratio > 1.10 {
+		t.Fatalf("parallel energy %.4f J vs serial %.4f J (ratio %.4f)",
+			float64(par.TotalEnergy), float64(serial.TotalEnergy), ratio)
+	}
+}
+
+// TestParallelFallsBackToSerial pins the eligibility gate: a protocol
+// that is not a StaticRouter (here the learning-capable stub) must run
+// the byte-exact serial kernel even with workers configured.
+func TestParallelFallsBackToSerial(t *testing.T) {
+	run := func(workers int) *metrics.Result {
+		w := paperNet(t, 13)
+		proto := &stubProtocol{net: w, heads: []int{10, 30, 50}}
+		cfg := DefaultConfig()
+		cfg.Seed = 13
+		cfg.ClusterWorkers = workers
+		e, err := NewEngine(w, proto, energy.DefaultModel(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(context.Background(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, gated := run(0), run(8)
+	if serial.Generated != gated.Generated || serial.Delivered != gated.Delivered ||
+		serial.TotalEnergy != gated.TotalEnergy || serial.Latency != gated.Latency {
+		t.Fatalf("non-static protocol did not fall back to the serial kernel:\n%+v\nvs\n%+v",
+			gated, serial)
+	}
+}
+
+// TestParallelTracerForcesSerial: installing a tracer must force the
+// serial kernel (the trace contract is a globally ordered event stream).
+func TestParallelTracerForcesSerial(t *testing.T) {
+	w := paperNet(t, 17)
+	proto := &staticStub{net: w, heads: []int{10, 30, 50}}
+	cfg := DefaultConfig()
+	cfg.Seed = 17
+	cfg.ClusterWorkers = 8
+	e, err := NewEngine(w, proto, energy.DefaultModel(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	e.SetTracer(func(TraceEvent) { events++ })
+	if _, err := e.Run(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("tracer saw no events")
+	}
+
+	// And the traced run must match the untraced serial schedule exactly.
+	w2 := paperNet(t, 17)
+	proto2 := &staticStub{net: w2, heads: []int{10, 30, 50}}
+	cfg.ClusterWorkers = 0
+	e2, err := NewEngine(w2, proto2, energy.DefaultModel(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := e2.Run(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Result()
+	if got.Generated != ref.Generated || got.TotalEnergy != ref.TotalEnergy ||
+		got.Latency != ref.Latency {
+		t.Fatalf("traced run diverged from serial: %+v vs %+v", got, ref)
+	}
+}

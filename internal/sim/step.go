@@ -25,6 +25,9 @@ type RoundSnapshot struct {
 	// latency).
 	Stats metrics.RoundStats
 	// Heads lists the cluster-head node ids that served this round.
+	// Without an Observer installed the slice aliases a buffer the
+	// engine reuses on the next Step — copy it to keep it across rounds.
+	// With an Observer installed it is a fresh private copy.
 	Heads []int
 	// Alive counts nodes above the death line at round end.
 	Alive int
@@ -55,8 +58,9 @@ type QLearningStats interface {
 // Observer receives one RoundSnapshot per executed round, after the
 // round completes. Unlike Tracer (per-packet, hot path) an Observer is
 // per-round and may do real work — progress meters, adaptive stopping,
-// metric streaming. Heads is the engine's own copy; observers may keep
-// it.
+// metric streaming. With an Observer installed the snapshot's Heads is
+// a fresh copy the observer may keep; without one, Step reuses a
+// buffer so the unobserved hot loop allocates nothing for it.
 type Observer func(RoundSnapshot)
 
 // SetObserver installs a per-round observer. Call before Start/Run;
@@ -116,7 +120,7 @@ func (e *Engine) Step(ctx context.Context) (RoundSnapshot, error) {
 	snap := RoundSnapshot{
 		Round:       r,
 		Stats:       e.round,
-		Heads:       append([]int(nil), heads...),
+		Heads:       e.snapshotHeads(heads),
 		Alive:       e.round.AliveAtEnd,
 		EnergySoFar: e.res.TotalEnergy,
 		FirstDead:   e.res.FirstDead,
@@ -131,6 +135,18 @@ func (e *Engine) Step(ctx context.Context) (RoundSnapshot, error) {
 		e.observer(snap)
 	}
 	return snap, nil
+}
+
+// snapshotHeads prepares the Heads slice for a RoundSnapshot. Observers
+// are allowed to retain the slice, so they get a private copy; the
+// unobserved stepper path instead reuses one buffer across rounds,
+// keeping per-Step allocations flat.
+func (e *Engine) snapshotHeads(heads []int) []int {
+	if e.observer != nil {
+		return append([]int(nil), heads...)
+	}
+	e.headsBuf = append(e.headsBuf[:0], heads...)
+	return e.headsBuf
 }
 
 // Result finalizes and returns the measurements accumulated so far.
