@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-service serve bench bench-json bench-check figs examples obs-demo audit-demo tournament-demo ci clean
+.PHONY: all build test race race-service serve bench bench-json bench-check figs examples obs-demo audit-demo tournament-demo fleet-e2e ci clean
 
 all: build test
 
@@ -139,6 +139,53 @@ tournament-demo:
 		echo "$$OUT" | grep -q "$$P" || { echo "tournament-demo: missing row for $$P" >&2; exit 1; }; \
 	done; \
 	echo "$$OUT" | grep -q "^1 " || { echo "tournament-demo: no rank-1 row" >&2; exit 1; }
+
+# Fleet end-to-end guard: boot three race-built qlecd processes as a
+# fleet, submit a batch through one of them, kill a peer after it has
+# stolen work, and require the batch to finish with zero failed configs
+# and an empty cell pool — the lease-expiry path must re-pool the dead
+# peer's cells. Any data race crashes a daemon and fails the target.
+# See README "Running a fleet" and DESIGN.md §14.
+FLEET_HOST ?= 127.0.0.1
+FLEET_P1 ?= 8181
+FLEET_P2 ?= 8182
+FLEET_P3 ?= 8183
+fleet-e2e:
+	mkdir -p figs
+	$(GO) build -race -o figs/.qlecd-fleet ./cmd/qlecd
+	@set -e; \
+	DATA=$$(mktemp -d); trap 'kill $$P1 $$P2 $$P3 2>/dev/null || true; rm -rf $$DATA' EXIT INT TERM; \
+	U1=http://$(FLEET_HOST):$(FLEET_P1); U2=http://$(FLEET_HOST):$(FLEET_P2); U3=http://$(FLEET_HOST):$(FLEET_P3); \
+	figs/.qlecd-fleet -addr $(FLEET_HOST):$(FLEET_P1) -data-dir $$DATA/n1 -workers 1 -cell-workers 1 -lease-ttl 2s -self $$U1 >$$DATA/n1.log 2>&1 & P1=$$!; \
+	figs/.qlecd-fleet -addr $(FLEET_HOST):$(FLEET_P2) -data-dir $$DATA/n2 -lease-ttl 2s -self $$U2 -join $$U1 >$$DATA/n2.log 2>&1 & P2=$$!; \
+	figs/.qlecd-fleet -addr $(FLEET_HOST):$(FLEET_P3) -data-dir $$DATA/n3 -lease-ttl 2s -self $$U3 -join $$U1 >$$DATA/n3.log 2>&1 & P3=$$!; \
+	for U in $$U1 $$U2 $$U3; do until curl -sf $$U/readyz >/dev/null 2>&1; do sleep 0.2; done; done; \
+	until [ "$$(curl -s $$U1/v1/fleet | grep -c '"ready": *true')" = 3 ]; do sleep 0.2; done; \
+	echo "fleet-e2e: 3 peers ready"; \
+	B=$$(curl -s $$U1/v1/batches -d '{"requests":[ \
+		{"kind":"fig3","protocols":["QLEC"],"config":{"N":30,"Side":120,"K":3,"Rounds":60,"InitialEnergy":5,"Lambdas":[1,2,4,8],"Seeds":[1,2,3]}}, \
+		{"kind":"fig3","protocols":["FCM"],"config":{"N":30,"Side":120,"K":3,"Rounds":60,"InitialEnergy":5,"Lambdas":[1,2,4,8],"Seeds":[1,2,3]}}, \
+		{"kind":"one","protocols":["QLEC"],"lambda":4,"seed":9,"config":{"N":30,"Side":120,"K":3,"Rounds":40,"InitialEnergy":5,"Lambdas":[4],"Seeds":[9]}} \
+	]}' | sed -n 's/.*"id": *"\(b[0-9]*\)".*/\1/p'); \
+	test -n "$$B" || { echo "fleet-e2e: batch submission failed" >&2; cat $$DATA/n1.log; exit 1; }; \
+	echo "fleet-e2e: batch $$B submitted (25 cells across 3 configs)"; \
+	STOLE=; for i in $$(seq 1 200); do \
+		if curl -s $$U3/metrics.json | grep -q '"cellsStolen": *[1-9]'; then STOLE=1; break; fi; sleep 0.1; \
+	done; \
+	test -n "$$STOLE" || { echo "fleet-e2e: peer 3 never stole a cell" >&2; cat $$DATA/n3.log; exit 1; }; \
+	echo "fleet-e2e: peer 3 stole work; killing it"; \
+	kill -9 $$P3; \
+	STATE=; for i in $$(seq 1 300); do \
+		STATE=$$(curl -s $$U1/v1/batches/$$B); \
+		echo "$$STATE" | grep -q '"state": *"done"' && break; \
+		sleep 0.2; \
+	done; \
+	echo "$$STATE" | grep -q '"state": *"done"' || { echo "fleet-e2e: batch never finished" >&2; cat $$DATA/n1.log; exit 1; }; \
+	echo "$$STATE" | grep -q '"failed": *0' || { echo "fleet-e2e: configs failed after peer kill" >&2; echo "$$STATE"; cat $$DATA/n1.log; exit 1; }; \
+	POOL=$$(curl -s $$U1/v1/fleet); \
+	echo "$$POOL" | grep -q '"cellsPending": *0' || { echo "fleet-e2e: cells left pending" >&2; echo "$$POOL"; exit 1; }; \
+	echo "$$POOL" | grep -q '"cellsLeased": *0' || { echo "fleet-e2e: cells left leased" >&2; echo "$$POOL"; exit 1; }; \
+	echo "fleet-e2e: batch $$B completed with no lost cells after the peer kill"
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -4,11 +4,19 @@
 // results content-addressed on disk — identical submissions never
 // simulate twice, across restarts included.
 //
+// With -self plus -peers or -join, daemons form a cooperating fleet:
+// sweep jobs split into content-addressed cells that idle peers steal
+// over HTTP (TTL leases re-pool a dead peer's cells), and the result
+// cache is shared via a consistent-hash ring, so a config computed
+// anywhere is a cache hit everywhere (see README "Running a fleet").
+//
 // Usage:
 //
 //	qlecd [-addr :8080] [-data-dir qlecd-data] [-workers 2]
 //	      [-sim-workers 0] [-queue 256] [-retries 1]
 //	      [-drain-timeout 30s] [-log-level info] [-log-format text]
+//	      [-self http://host:8080] [-peers url,url] [-join url]
+//	      [-cell-workers 0] [-lease-ttl 15s]
 //	      [-pprof] [-version] [-quiet]
 //
 // API (see README "Running as a service" for curl examples):
@@ -21,14 +29,25 @@
 //	GET    /v1/jobs/{id}/trace  Chrome trace_event JSON for the job
 //	GET    /v1/jobs/{id}/audit  flight-recorder artifact (single runs;
 //	                            inspect with cmd/qlecaudit)
+//	POST   /v1/batches          submit many configs as one batch
+//	GET    /v1/batches          list batches
+//	GET    /v1/batches/{id}     batch state (per-config table)
+//	GET    /v1/batches/{id}/events aggregate SSE stream for a batch
 //	GET    /v1/protocols        registered protocol roster (ids, aliases,
 //	                            paper refs, default params)
 //	GET    /v1/results/{hash}   content-addressed result download
-//	GET    /healthz             liveness (503 while draining)
+//	GET    /healthz             liveness (always 200 while the process
+//	                            serves; use /readyz for drain state)
+//	GET    /readyz              readiness (503 once draining begins)
+//	GET    /v1/fleet            peer roster + work-pool counters
 //	GET    /metrics             Prometheus text exposition
 //	GET    /metrics.json        legacy JSON counter snapshot
 //	GET    /version             build/VCS metadata
 //	GET    /debug/pprof/        profiling endpoints (with -pprof)
+//
+// The fleet-internal endpoints (POST /v1/fleet/join, /v1/fleet/steal,
+// /v1/fleet/complete, /v1/fleet/renew, GET/PUT /v1/fleet/cache/{hash})
+// are how peers exchange work and results; they are not client API.
 //
 // The first SIGINT/SIGTERM drains gracefully: submissions get 503,
 // in-flight jobs run to completion (bounded by -drain-timeout), queued
@@ -44,6 +63,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"qlec/internal/cli"
@@ -63,6 +83,12 @@ func main() {
 		enablePprof  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		version      = flag.Bool("version", false, "print build/VCS metadata and exit")
 		quiet        = flag.Bool("quiet", false, "suppress the operational log")
+
+		self        = flag.String("self", "", "this daemon's base URL as peers reach it (enables fleet mode)")
+		peersFlag   = flag.String("peers", "", "comma-separated peer base URLs to start the fleet roster with")
+		join        = flag.String("join", "", "existing fleet member to join through (adopts its roster)")
+		cellWorkers = flag.Int("cell-workers", 0, "fleet cell executors (0 = same as -workers)")
+		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "fleet work-lease TTL; a dead peer's cells re-pool after this")
 	)
 	logCfg := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
@@ -81,6 +107,12 @@ func main() {
 	logger.Info("qlecd starting",
 		"version", bi.Version, "go", bi.GoVersion, "revision", bi.Revision)
 
+	var peers []string
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
 	srv, err := service.New(service.Options{
 		DataDir:    *dataDir,
 		Workers:    *workers,
@@ -89,6 +121,13 @@ func main() {
 		MaxRetries: *retries,
 		Logger:     logger,
 		Pprof:      *enablePprof,
+		Fleet: service.FleetOptions{
+			Self:        *self,
+			Peers:       peers,
+			Join:        *join,
+			CellWorkers: *cellWorkers,
+			LeaseTTL:    *leaseTTL,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qlecd:", err)
@@ -100,6 +139,9 @@ func main() {
 	go func() { errCh <- hs.ListenAndServe() }()
 	logger.Info("listening",
 		"addr", *addr, "dataDir", *dataDir, "workers", *workers, "pprof", *enablePprof)
+	if *self != "" {
+		logger.Info("fleet mode", "self", *self, "peers", peers, "join", *join)
+	}
 
 	// First signal cancels ctx (drain), second force-quits — the same
 	// two-stage Ctrl-C contract as every other tool in the repo.

@@ -17,7 +17,6 @@ package experiment
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"qlec/internal/audit"
 	"qlec/internal/cluster"
@@ -362,9 +361,16 @@ type SweepResult struct {
 	Points   []SweepPoint
 }
 
-// cellResult holds one (protocol, λ, seed) replication pair.
-type cellResult struct {
-	pdr, energyJ, latency, access, lifespan float64
+// CellOutcome holds the measurements of one (protocol, λ, seed)
+// replication pair — the unit the sweep assembly functions aggregate
+// and the payload the qlecd fleet moves between peers, so the fields
+// serialize.
+type CellOutcome struct {
+	PDR      float64 `json:"pdr"`
+	EnergyJ  float64 `json:"energyJ"`
+	Latency  float64 `json:"latency"`
+	Access   float64 `json:"access"`
+	Lifespan float64 `json:"lifespan"`
 }
 
 // sweepOptions bundles the runner knobs a sweep threads through, and
@@ -389,85 +395,55 @@ func (c *Config) sweepOptions() runner.Options {
 // stops launching cells and returns ctx's error; every failed cell is
 // reported, not just the first.
 func (c Config) RunFig3(ctx context.Context, ids []ProtocolID) ([]SweepResult, error) {
-	if err := c.Validate(); err != nil {
-		return nil, err
-	}
-	opts := c.sweepOptions()
-	type job struct {
-		id     ProtocolID
-		lambda float64
-		seed   uint64
-	}
-	jobs := make([]job, 0, len(ids)*len(c.Lambdas)*len(c.Seeds))
-	for _, id := range ids {
-		for _, lambda := range c.Lambdas {
-			for _, seed := range c.Seeds {
-				jobs = append(jobs, job{id, lambda, seed})
-			}
-		}
-	}
-	cells, err := runner.Map(ctx, len(jobs), opts,
-		func(ctx context.Context, i int) (cellResult, error) {
-			j := jobs[i]
-			cell, err := c.runCell(ctx, j.id, j.lambda, j.seed)
-			if err != nil {
-				return cellResult{}, fmt.Errorf("%s λ=%v seed=%d: %w", j.id, j.lambda, j.seed, err)
-			}
-			return cell, nil
-		})
+	specs, err := c.Fig3Cells(ids)
 	if err != nil {
 		return nil, err
 	}
-
-	var out []SweepResult
-	for pi, id := range ids {
-		sr := SweepResult{Protocol: id}
-		for li, lambda := range c.Lambdas {
-			var pdrs, energies, lifespans, latencies, accesses []float64
-			for si := range c.Seeds {
-				cell := cells[(pi*len(c.Lambdas)+li)*len(c.Seeds)+si]
-				pdrs = append(pdrs, cell.pdr)
-				energies = append(energies, cell.energyJ)
-				latencies = append(latencies, cell.latency)
-				accesses = append(accesses, cell.access)
-				lifespans = append(lifespans, cell.lifespan)
-			}
-			sr.Points = append(sr.Points, SweepPoint{
-				Lambda:   lambda,
-				PDR:      stats.Summarize(pdrs),
-				EnergyJ:  stats.Summarize(energies),
-				Lifespan: stats.Summarize(lifespans),
-				Latency:  stats.Summarize(latencies),
-				Access:   stats.Summarize(accesses),
-			})
-		}
-		out = append(out, sr)
+	cells, err := c.runSpecs(ctx, specs)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return AssembleFig3(ids, c.Lambdas, c.Seeds, cells)
+}
+
+// runSpecs fans a cell list out through the bounded runner; it is the
+// in-process counterpart of the fleet's distributed cell execution, and
+// both feed the same Assemble* functions.
+func (c Config) runSpecs(ctx context.Context, specs []CellSpec) ([]CellOutcome, error) {
+	opts := c.sweepOptions()
+	return runner.Map(ctx, len(specs), opts,
+		func(ctx context.Context, i int) (CellOutcome, error) {
+			s := specs[i]
+			cell, err := s.Run(ctx)
+			if err != nil {
+				return CellOutcome{}, fmt.Errorf("%s λ=%v seed=%d: %w", s.Protocol, s.Lambda, s.Seed, err)
+			}
+			return cell, nil
+		})
 }
 
 // runCell executes one replication pair (fixed-round + lifespan run).
 // The configuration must already be validated (sweeps validate once up
 // front; see runOneValidated).
-func (c Config) runCell(ctx context.Context, id ProtocolID, lambda float64, seed uint64) (cellResult, error) {
+func (c Config) runCell(ctx context.Context, id ProtocolID, lambda float64, seed uint64) (CellOutcome, error) {
 	res, err := c.runOneValidated(ctx, id, lambda, seed, false)
 	if err != nil {
-		return cellResult{}, err
+		return CellOutcome{}, err
 	}
 	lres, err := c.runOneValidated(ctx, id, lambda, seed, true)
 	if err != nil {
-		return cellResult{}, err
+		return CellOutcome{}, err
 	}
 	ls := lres.Lifespan
 	if ls == 0 { // survived the cap
 		ls = lres.Rounds
 	}
-	return cellResult{
-		pdr:      res.PDR(),
-		energyJ:  float64(res.TotalEnergy),
-		latency:  res.Latency.Mean,
-		access:   res.Access.Mean,
-		lifespan: float64(ls),
+	return CellOutcome{
+		PDR:      res.PDR(),
+		EnergyJ:  float64(res.TotalEnergy),
+		Latency:  res.Latency.Mean,
+		Access:   res.Access.Mean,
+		Lifespan: float64(ls),
 	}, nil
 }
 
@@ -489,54 +465,15 @@ type KSweepPoint struct {
 // deterministic regardless of scheduling — and cancelling ctx stops the
 // sweep with ctx's error.
 func (c Config) RunKSweep(ctx context.Context, id ProtocolID, ks []int, lambda float64) ([]KSweepPoint, error) {
-	if err := c.Validate(); err != nil {
-		return nil, err
-	}
-	if len(ks) == 0 {
-		return nil, fmt.Errorf("experiment: no k values")
-	}
-	// Derive and validate every per-k configuration up front, so an
-	// invalid k (non-positive, or k > N) is reported once and
-	// immediately instead of len(Seeds) times from inside the sweep.
-	kcfgs := make([]Config, len(ks))
-	for i, k := range ks {
-		kcfg := c
-		kcfg.K = k
-		if err := kcfg.Validate(); err != nil {
-			return nil, fmt.Errorf("experiment: k=%d: %w", k, err)
-		}
-		kcfgs[i] = kcfg
-	}
-	opts := c.sweepOptions()
-	cells, err := runner.Map(ctx, len(ks)*len(c.Seeds), opts,
-		func(ctx context.Context, i int) (cellResult, error) {
-			k, seed := ks[i/len(c.Seeds)], c.Seeds[i%len(c.Seeds)]
-			cell, err := kcfgs[i/len(c.Seeds)].runCell(ctx, id, lambda, seed)
-			if err != nil {
-				return cellResult{}, fmt.Errorf("k=%d seed=%d: %w", k, seed, err)
-			}
-			return cell, nil
-		})
+	specs, err := c.KSweepCells(id, ks, lambda)
 	if err != nil {
 		return nil, err
 	}
-	var out []KSweepPoint
-	for ki, k := range ks {
-		var pdrs, energies, lifespans []float64
-		for si := range c.Seeds {
-			cell := cells[ki*len(c.Seeds)+si]
-			pdrs = append(pdrs, cell.pdr)
-			energies = append(energies, cell.energyJ)
-			lifespans = append(lifespans, cell.lifespan)
-		}
-		out = append(out, KSweepPoint{
-			K:        k,
-			PDR:      stats.Summarize(pdrs),
-			EnergyJ:  stats.Summarize(energies),
-			Lifespan: stats.Summarize(lifespans),
-		})
+	cells, err := c.runSpecs(ctx, specs)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return AssembleKSweep(ks, c.Seeds, cells)
 }
 
 // NSweepPoint is one network-size cell of the scalability sweep.
@@ -557,69 +494,15 @@ type NSweepPoint struct {
 // deterministic regardless of scheduling — and cancelling ctx stops the
 // sweep with ctx's error.
 func (c Config) RunNSweep(ctx context.Context, id ProtocolID, ns []int, lambda float64) ([]NSweepPoint, error) {
-	if err := c.Validate(); err != nil {
-		return nil, err
-	}
-	if len(ns) == 0 {
-		return nil, fmt.Errorf("experiment: no N values")
-	}
-	baseDensity := float64(c.N)
-	baseK := float64(c.K)
-	// Derive each size's scaled deployment up front and validate it
-	// once, so job functions stay pure lookups and an invalid size is
-	// reported immediately instead of len(Seeds) times from inside the
-	// sweep.
-	cfgs := make([]Config, len(ns))
-	for i, n := range ns {
-		if n <= 0 {
-			return nil, fmt.Errorf("experiment: N=%d not positive", n)
-		}
-		ncfg := c
-		ncfg.N = n
-		ncfg.Side = c.Side * math.Cbrt(float64(n)/baseDensity)
-		k := int(math.Round(baseK * float64(n) / baseDensity))
-		if k < 1 {
-			k = 1
-		}
-		if k > n {
-			k = n
-		}
-		ncfg.K = k
-		if err := ncfg.Validate(); err != nil {
-			return nil, fmt.Errorf("experiment: N=%d: %w", n, err)
-		}
-		cfgs[i] = ncfg
-	}
-	opts := c.sweepOptions()
-	cells, err := runner.Map(ctx, len(ns)*len(c.Seeds), opts,
-		func(ctx context.Context, i int) (cellResult, error) {
-			ni, seed := i/len(c.Seeds), c.Seeds[i%len(c.Seeds)]
-			cell, err := cfgs[ni].runCell(ctx, id, lambda, seed)
-			if err != nil {
-				return cellResult{}, fmt.Errorf("N=%d seed=%d: %w", ns[ni], seed, err)
-			}
-			return cell, nil
-		})
+	specs, err := c.NSweepCells(id, ns, lambda)
 	if err != nil {
 		return nil, err
 	}
-	var out []NSweepPoint
-	for ni, n := range ns {
-		var pdrs, perNode, lifespans []float64
-		for si := range c.Seeds {
-			cell := cells[ni*len(c.Seeds)+si]
-			pdrs = append(pdrs, cell.pdr)
-			perNode = append(perNode, cell.energyJ/float64(n))
-			lifespans = append(lifespans, cell.lifespan)
-		}
-		out = append(out, NSweepPoint{
-			N: n, K: cfgs[ni].K,
-			PDR:           stats.Summarize(pdrs),
-			EnergyPerNode: stats.Summarize(perNode),
-			Lifespan:      stats.Summarize(lifespans),
-		})
+	cells, err := c.runSpecs(ctx, specs)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return AssembleNSweep(ns, c.Seeds, specs, cells)
 }
 
 // Fig4Config parameterizes the large-scale dataset experiment (§5.3).

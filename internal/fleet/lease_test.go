@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func cell(i int) Cell {
+	return Cell{Hash: fmt.Sprintf("%064d", i), Spec: json.RawMessage(`{"i":` + fmt.Sprint(i) + `}`)}
+}
+
+func TestLeaseAcquireCompleteLifecycle(t *testing.T) {
+	tb := NewTable()
+	now := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		if !tb.Offer(cell(i)) {
+			t.Fatalf("offer %d rejected", i)
+		}
+	}
+	if tb.Offer(cell(2)) {
+		t.Fatal("duplicate offer accepted")
+	}
+	if p, l, _ := tb.Stats(); p != 5 || l != 0 {
+		t.Fatalf("stats = (%d,%d), want (5,0)", p, l)
+	}
+
+	leases := tb.Acquire("peerA", 3, time.Minute, now)
+	if len(leases) != 3 {
+		t.Fatalf("acquired %d, want 3", len(leases))
+	}
+	// FIFO: the first three offered cells, in order.
+	for i, l := range leases {
+		if l.Cell.Hash != cell(i).Hash {
+			t.Fatalf("lease %d is %s, want %s", i, l.Cell.Hash, cell(i).Hash)
+		}
+		if l.Holder != "peerA" {
+			t.Fatalf("holder = %q", l.Holder)
+		}
+	}
+	if p, l, _ := tb.Stats(); p != 2 || l != 3 {
+		t.Fatalf("stats = (%d,%d), want (2,3)", p, l)
+	}
+
+	if !tb.Complete(leases[0].Cell.Hash) {
+		t.Fatal("complete of leased cell failed")
+	}
+	if tb.Complete(leases[0].Cell.Hash) {
+		t.Fatal("duplicate complete reported true")
+	}
+	// Completing a still-pending cell (cache hit from elsewhere) works too.
+	if !tb.Complete(cell(4).Hash) {
+		t.Fatal("complete of pending cell failed")
+	}
+	if p, l, _ := tb.Stats(); p != 1 || l != 2 {
+		t.Fatalf("stats = (%d,%d), want (1,2)", p, l)
+	}
+	// The completed-while-pending hash must not resurface via Acquire.
+	rest := tb.Acquire("peerB", 10, time.Minute, now)
+	if len(rest) != 1 || rest[0].Cell.Hash != cell(3).Hash {
+		t.Fatalf("acquire after completes = %+v, want just %s", rest, cell(3).Hash)
+	}
+}
+
+// TestLeaseExpiry: a dead holder's cells return to the pool at TTL and
+// are re-leasable; a late completion from the "dead" peer still lands.
+func TestLeaseExpiry(t *testing.T) {
+	tb := NewTable()
+	now := time.Unix(0, 0)
+	for i := 0; i < 3; i++ {
+		tb.Offer(cell(i))
+	}
+	leases := tb.Acquire("doomed", 2, 10*time.Second, now)
+	if len(leases) != 2 {
+		t.Fatalf("acquired %d, want 2", len(leases))
+	}
+
+	if got := tb.ExpireDue(now.Add(9 * time.Second)); len(got) != 0 {
+		t.Fatalf("expired early: %v", got)
+	}
+	repooled := tb.ExpireDue(now.Add(10 * time.Second))
+	if len(repooled) != 2 {
+		t.Fatalf("repooled %d cells, want 2", len(repooled))
+	}
+	if p, l, exp := tb.Stats(); p != 3 || l != 0 || exp != 2 {
+		t.Fatalf("stats = (%d,%d,exp=%d), want (3,0,2)", p, l, exp)
+	}
+	// An expired lease can no longer renew.
+	if n := tb.Renew([]string{leases[0].ID}, time.Minute, now.Add(11*time.Second)); n != 0 {
+		t.Fatalf("renewed %d expired leases, want 0", n)
+	}
+	// Re-lease to a live peer.
+	again := tb.Acquire("alive", 10, time.Minute, now.Add(11*time.Second))
+	if len(again) != 3 {
+		t.Fatalf("re-acquired %d, want 3", len(again))
+	}
+	// The doomed peer finishes anyway and reports by hash: idempotent,
+	// still removes the cell so the live holder's completion is a no-op.
+	if !tb.Complete(leases[0].Cell.Hash) {
+		t.Fatal("late completion rejected")
+	}
+	if tb.Complete(leases[0].Cell.Hash) {
+		t.Fatal("second completion reported true")
+	}
+}
+
+func TestLeaseRenewKeepsAlive(t *testing.T) {
+	tb := NewTable()
+	now := time.Unix(0, 0)
+	tb.Offer(cell(1))
+	l := tb.Acquire("w", 1, 10*time.Second, now)[0]
+	if n := tb.Renew([]string{l.ID}, 10*time.Second, now.Add(8*time.Second)); n != 1 {
+		t.Fatalf("renew = %d, want 1", n)
+	}
+	// Original expiry has passed, renewed one has not.
+	if got := tb.ExpireDue(now.Add(12 * time.Second)); len(got) != 0 {
+		t.Fatalf("renewed lease expired: %v", got)
+	}
+	if got := tb.ExpireDue(now.Add(18 * time.Second)); len(got) != 1 {
+		t.Fatalf("renewed lease did not expire at its new deadline: %v", got)
+	}
+}
+
+func TestLeaseWithdraw(t *testing.T) {
+	tb := NewTable()
+	now := time.Unix(0, 0)
+	tb.Offer(cell(1))
+	tb.Offer(cell(2))
+	tb.Acquire("w", 1, time.Minute, now)
+	if tb.Withdraw(cell(1).Hash) {
+		t.Fatal("withdrew a leased cell")
+	}
+	if !tb.Withdraw(cell(2).Hash) {
+		t.Fatal("failed to withdraw a pending cell")
+	}
+	if got := tb.Acquire("w", 10, time.Minute, now); len(got) != 0 {
+		t.Fatalf("withdrawn cell still acquirable: %v", got)
+	}
+}

@@ -1,0 +1,44 @@
+package obs
+
+// FleetMetrics instruments the qlecd fleet runtime: work stealing,
+// cross-node cache proxying and lease lifecycle. Pool depth, roster
+// gauges and the lease-expiry counter are exported by the service layer
+// as callback collectors over its own state (the same pattern as
+// serverMetrics), so this struct holds only the event counters the
+// runtime increments inline.
+type FleetMetrics struct {
+	// CellsExecuted counts cells this daemon ran, by source: "local"
+	// (acquired from its own pool) or "stolen" (leased from a peer).
+	CellsExecuted *CounterVec
+	// CellsStolenOut counts cells this daemon granted to thieves.
+	CellsStolenOut *Counter
+	// CellsStolenIn counts cells this daemon stole from peers.
+	CellsStolenIn *Counter
+	// ProxyHitsServed counts cache lookups this daemon answered for
+	// peers as the hash's ring owner.
+	ProxyHitsServed *Counter
+	// ProxyHitsFetched counts results this daemon obtained from their
+	// ring owner instead of recomputing.
+	ProxyHitsFetched *Counter
+	// CacheReplications counts result envelopes pushed to their ring
+	// owner after execution.
+	CacheReplications *Counter
+}
+
+// NewFleetMetrics registers the fleet counters on r.
+func NewFleetMetrics(r *Registry) *FleetMetrics {
+	return &FleetMetrics{
+		CellsExecuted: r.CounterVec("qlecd_fleet_cells_executed_total",
+			"Sweep cells executed by this daemon, by work source.", "source"),
+		CellsStolenOut: r.Counter("qlecd_fleet_cells_stolen_out_total",
+			"Cells granted from this daemon's pool to stealing peers."),
+		CellsStolenIn: r.Counter("qlecd_fleet_cells_stolen_in_total",
+			"Cells this daemon stole from peers' pools."),
+		ProxyHitsServed: r.Counter("qlecd_fleet_proxy_hits_served_total",
+			"Cache lookups answered for peers as the hash's ring owner."),
+		ProxyHitsFetched: r.Counter("qlecd_fleet_proxy_hits_fetched_total",
+			"Results fetched from their ring owner instead of recomputing."),
+		CacheReplications: r.Counter("qlecd_fleet_cache_replications_total",
+			"Result envelopes replicated to their ring owner after execution."),
+	}
+}

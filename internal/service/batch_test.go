@@ -1,0 +1,208 @@
+package service_test
+
+// Batch API tests: POST /v1/batches end to end against the local cell
+// pool (fleet mode off — the scheduler is the same code either way),
+// covering cross-config dedupe, the aggregate SSE stream, validation,
+// and crash-resume.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qlec/internal/service"
+	"qlec/internal/service/client"
+)
+
+func batchRequest(rounds int) service.Request {
+	cfg := tinyCfg()
+	cfg.Rounds = rounds
+	return oneRequest(cfg)
+}
+
+// TestBatchDedupeAndEvents: a batch with duplicate configs executes
+// each distinct config once, answers already-cached configs without
+// scheduling anything, and rolls the whole run up on one SSE stream.
+func TestBatchDedupeAndEvents(t *testing.T) {
+	var runs atomic.Int64
+	_, cl := newTestServer(t, service.Options{
+		Workers: 2,
+		Run: func(ctx context.Context, req service.Request, publish func(service.Event)) (*service.ResultEnvelope, error) {
+			runs.Add(1)
+			return &service.ResultEnvelope{Kind: req.Kind}, nil
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Pre-compute one config through the job API so the batch sees it as
+	// a cache hit.
+	cached := batchRequest(9)
+	j, err := cl.Submit(ctx, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Wait(ctx, j.ID, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("pre-computation ran %d times, want 1", got)
+	}
+
+	// A, A, B, cached: four configs, two of them fresh work.
+	b, err := cl.SubmitBatch(ctx, []service.Request{
+		batchRequest(3), batchRequest(3), batchRequest(5), cached,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Configs) != 4 || b.State != service.StateRunning {
+		t.Fatalf("submitted batch = %+v, want 4 running configs", b)
+	}
+
+	var events []service.Event
+	if err := cl.BatchEvents(ctx, b.ID, func(e service.Event) bool {
+		events = append(events, e)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	last := events[len(events)-1]
+	if last.Type != service.EventState || last.State != service.StateDone {
+		t.Fatalf("last batch event = %+v, want terminal done", last)
+	}
+	configEvents := 0
+	for _, e := range events {
+		if e.Type == service.EventConfig {
+			configEvents++
+			if e.Config.State != service.StateDone {
+				t.Errorf("config %d finished %s (error %q), want done", e.Config.Index, e.Config.State, e.Config.Error)
+			}
+		}
+	}
+	if configEvents != 4 {
+		t.Errorf("stream carried %d config events, want 4", configEvents)
+	}
+
+	fin, err := cl.Batch(ctx, b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != service.StateDone || fin.ConfigsDone != 4 || fin.Failed != 0 {
+		t.Fatalf("batch = %+v, want done 4/0", fin)
+	}
+	if !fin.Configs[3].CacheHit {
+		t.Error("pre-computed config not marked as a cache hit")
+	}
+	// The duplicate pair shared one cell; the cached config scheduled
+	// nothing. Total fresh executions: A once + B once.
+	if got := runs.Load(); got != 3 {
+		t.Errorf("simulations ran %d times, want 3 (dedupe failed)", got)
+	}
+
+	list, err := cl.Batches(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != b.ID {
+		t.Fatalf("batch list = %+v, want exactly %s", list, b.ID)
+	}
+}
+
+// TestBatchValidation: one invalid config rejects the whole batch with
+// its index; an empty batch is rejected too.
+func TestBatchValidation(t *testing.T) {
+	_, cl := newTestServer(t, service.Options{Workers: 1})
+	ctx := context.Background()
+
+	bad := batchRequest(3)
+	bad.Lambda = 0 // KindOne requires a positive lambda
+	_, err := cl.SubmitBatch(ctx, []service.Request{batchRequest(2), bad})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("invalid batch = %v, want 400", err)
+	}
+	if !strings.Contains(apiErr.Message, "config 1") {
+		t.Errorf("error %q does not name the offending config index", apiErr.Message)
+	}
+
+	_, err = cl.SubmitBatch(ctx, nil)
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("empty batch = %v, want 400", err)
+	}
+}
+
+// TestBatchResume: a batch interrupted by shutdown persists as running
+// and completes on the next start from the same data directory.
+func TestBatchResume(t *testing.T) {
+	dir := t.TempDir()
+	started := make(chan struct{}, 4)
+	srv1, err := service.New(service.Options{
+		DataDir: dir,
+		Workers: 1,
+		Run: func(ctx context.Context, req service.Request, publish func(service.Event)) (*service.ResultEnvelope, error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-ctx.Done() // hold the cell until shutdown interrupts it
+			return nil, ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	cl1 := client.New(ts1.URL, client.WithRetries(0))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	b, err := cl1.SubmitBatch(ctx, []service.Request{batchRequest(3), batchRequest(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // an executor is holding a cell; the batch is mid-flight
+	srv1.Close()
+	ts1.Close()
+
+	// Second process, same directory, working run function: the batch
+	// must resume and finish.
+	var runs atomic.Int64
+	srv2, err := service.New(service.Options{
+		DataDir: dir,
+		Workers: 1,
+		Run: func(ctx context.Context, req service.Request, publish func(service.Event)) (*service.ResultEnvelope, error) {
+			runs.Add(1)
+			return &service.ResultEnvelope{Kind: req.Kind}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(func() {
+		srv2.Close()
+		ts2.Close()
+	})
+	cl2 := client.New(ts2.URL, client.WithRetries(0))
+
+	waitFor(t, func() bool {
+		fin, err := cl2.Batch(ctx, b.ID)
+		return err == nil && fin.State == service.StateDone
+	}, "interrupted batch never resumed to completion")
+	fin, err := cl2.Batch(ctx, b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.ConfigsDone != 2 || fin.Failed != 0 {
+		t.Fatalf("resumed batch = %+v, want 2 configs done, 0 failed", fin)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Errorf("resume ran %d simulations, want 2 (nothing finished pre-restart)", got)
+	}
+}

@@ -1,0 +1,135 @@
+package service
+
+import (
+	"testing"
+
+	"qlec/internal/experiment"
+)
+
+// TestPlanCellsFig3 checks the sweep decomposition: a fig3 request
+// yields protocols × lambdas × seeds cells, each a valid, normalized,
+// uniquely-hashed KindCell request.
+func TestPlanCellsFig3(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Lambdas = []float64{2, 4}
+	cfg.Seeds = []uint64{1, 2}
+	req := Request{
+		Kind:      KindFig3,
+		Config:    cfg,
+		Protocols: []experiment.ProtocolID{experiment.QLEC, experiment.LEACH},
+	}.Normalize()
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := planCells(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 2 * 2
+	if len(plan.cells) != want || len(plan.hashes) != want {
+		t.Fatalf("plan has %d cells / %d hashes, want %d", len(plan.cells), len(plan.hashes), want)
+	}
+	seen := make(map[string]bool, want)
+	for i, c := range plan.cells {
+		if c.Kind != KindCell {
+			t.Fatalf("cell %d kind = %q, want %q", i, c.Kind, KindCell)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("cell %d invalid: %v", i, err)
+		}
+		if seen[plan.hashes[i]] {
+			t.Fatalf("cell %d hash %s duplicated", i, plan.hashes[i][:12])
+		}
+		seen[plan.hashes[i]] = true
+	}
+}
+
+// TestPlanCellsSharedAcrossSweeps: the same (protocol, λ, seed) cell
+// reached from two different sweep submissions must hash identically —
+// that is what lets the fleet cache dedupe work across sweeps and
+// batches.
+func TestPlanCellsSharedAcrossSweeps(t *testing.T) {
+	wide := tinyConfig()
+	wide.Lambdas = []float64{1, 2, 4}
+	narrow := tinyConfig()
+	narrow.Lambdas = []float64{4}
+	protos := []experiment.ProtocolID{experiment.QLEC}
+
+	widePlan, err := planCells(Request{Kind: KindFig3, Config: wide, Protocols: protos}.Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrowPlan, err := planCells(Request{Kind: KindFig3, Config: narrow, Protocols: protos}.Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wideSet := make(map[string]bool, len(widePlan.hashes))
+	for _, h := range widePlan.hashes {
+		wideSet[h] = true
+	}
+	for i, h := range narrowPlan.hashes {
+		if !wideSet[h] {
+			t.Errorf("narrow sweep cell %d (hash %s) not shared with the wide sweep", i, h[:12])
+		}
+	}
+}
+
+// TestKindCellNormalization: a cell's identity is (config, protocol, λ,
+// seed) alone; leftovers from an enclosing sweep must not leak into the
+// hash.
+func TestKindCellNormalization(t *testing.T) {
+	clean := Request{
+		Kind:      KindCell,
+		Config:    tinyConfig(),
+		Protocols: []experiment.ProtocolID{experiment.QLEC},
+		Lambda:    4,
+		Seed:      1,
+	}
+	h, err := clean.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := clean
+	dirty.Config.Lambdas = []float64{1, 2, 4, 8}
+	dirty.Config.Seeds = []uint64{7, 8, 9}
+	dirty.Lifespan = true
+	dirty.Ks = []int{2, 3}
+	dirty.Ns = []int{16, 32}
+	if hd, _ := dirty.Hash(); hd != h {
+		t.Error("cell hash depends on enclosing-sweep leftovers")
+	}
+}
+
+// TestPlanCellsSingle: KindOne and KindCell requests are their own
+// one-cell plan whose assembly is the identity.
+func TestPlanCellsSingle(t *testing.T) {
+	req := Request{
+		Kind:      KindOne,
+		Config:    tinyConfig(),
+		Protocols: []experiment.ProtocolID{experiment.QLEC},
+		Lambda:    4,
+		Seed:      1,
+	}.Normalize()
+	plan, err := planCells(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.cells) != 1 {
+		t.Fatalf("single plan has %d cells, want 1", len(plan.cells))
+	}
+	hash, err := req.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.hashes[0] != hash {
+		t.Fatalf("single-cell hash %s != request hash %s", plan.hashes[0][:12], hash[:12])
+	}
+	env := &ResultEnvelope{Kind: KindOne}
+	out, err := plan.assemble([]*ResultEnvelope{env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != env {
+		t.Fatal("single-cell assembly is not the identity")
+	}
+}

@@ -1,9 +1,10 @@
 // Package client is the typed Go client for the qlecd daemon
-// (cmd/qlecd, internal/service): submit jobs, poll state, stream SSE
-// progress, download content-addressed results. All calls honour their
-// context; transport-level failures and 5xx responses retry with
-// exponential backoff — safe even for POST /v1/jobs, because
-// submissions are content-addressed and therefore idempotent.
+// (cmd/qlecd, internal/service): submit jobs and batches, poll state,
+// stream SSE progress, download content-addressed results. All calls
+// honour their context; transport-level failures and 5xx responses
+// retry with full-jitter exponential backoff — safe even for POST
+// /v1/jobs, because submissions are content-addressed and therefore
+// idempotent.
 package client
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"strings"
 	"time"
@@ -44,8 +46,10 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 // WithRetries sets how many times a failed call is retried (default 3).
 func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 
-// WithBackoff sets the initial retry backoff, doubled per attempt
-// (default 100ms).
+// WithBackoff sets the base retry backoff (default 100ms). Each retry
+// sleeps a uniformly random duration in [0, min(64·base, base·2^n)] —
+// "full jitter", so a fleet of clients retrying against one recovering
+// daemon spreads out instead of stampeding in lockstep.
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
 
 // WithLogger receives structured logs (retries, reconnects) tagged with
@@ -101,18 +105,16 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 	}
 	rid := requestID(ctx)
-	backoff := c.backoff
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			c.log.Debug("retrying request",
 				"method", method, "path", path, "attempt", attempt, "requestId", rid, "err", lastErr)
 			select {
-			case <-time.After(backoff):
+			case <-time.After(c.jitterBackoff(attempt - 1)):
 			case <-ctx.Done():
 				return errors.Join(ctx.Err(), lastErr)
 			}
-			backoff *= 2
 		}
 		lastErr = c.once(ctx, method, path, rid, body, out)
 		if lastErr == nil || !retryable(lastErr) {
@@ -120,6 +122,24 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 	}
 	return lastErr
+}
+
+// jitterBackoff is the full-jitter schedule (AWS-style): a uniform
+// draw from [0, ceil] where ceil doubles per attempt from the base,
+// capped at 64× base. Randomizing the whole interval — not just a
+// fraction of it — is what decorrelates simultaneous retriers.
+func (c *Client) jitterBackoff(attempt int) time.Duration {
+	if c.backoff <= 0 {
+		return 0
+	}
+	if attempt > 6 {
+		attempt = 6 // 2^6 = 64, the cap
+	}
+	ceil := c.backoff << uint(attempt)
+	if cap := 64 * c.backoff; ceil > cap {
+		ceil = cap
+	}
+	return time.Duration(rand.Int64N(int64(ceil) + 1))
 }
 
 // requestID prefers an ID already on the context (a caller correlating
@@ -235,9 +255,49 @@ func (c *Client) Metrics(ctx context.Context) (*service.Metrics, error) {
 	return &m, nil
 }
 
-// Health probes /healthz.
+// Health probes /healthz (process liveness; stays 200 while draining).
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Ready probes /readyz (drain-aware readiness; 503 once a graceful
+// shutdown begins).
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// SubmitBatch posts a config list to /v1/batches: every config is
+// validated and content-addressed up front, then executed through the
+// daemon's cell pool (fleet-wide when peers are configured) with one
+// aggregate event stream.
+func (c *Client) SubmitBatch(ctx context.Context, reqs []service.Request) (*service.Batch, error) {
+	in := struct {
+		Requests []service.Request `json:"requests"`
+	}{Requests: reqs}
+	var b service.Batch
+	if err := c.do(ctx, http.MethodPost, "/v1/batches", in, &b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// Batch fetches one batch record (with its per-config table).
+func (c *Client) Batch(ctx context.Context, id string) (*service.Batch, error) {
+	var b service.Batch
+	if err := c.do(ctx, http.MethodGet, "/v1/batches/"+id, nil, &b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// Batches lists every batch the daemon knows (summaries, no per-config
+// tables).
+func (c *Client) Batches(ctx context.Context) ([]*service.Batch, error) {
+	var bs []*service.Batch
+	if err := c.do(ctx, http.MethodGet, "/v1/batches", nil, &bs); err != nil {
+		return nil, err
+	}
+	return bs, nil
 }
 
 // Events streams a job's SSE progress, invoking fn per event until fn
@@ -245,34 +305,46 @@ func (c *Client) Health(ctx context.Context) error {
 // Dropped connections reconnect with Last-Event-ID, so no terminal
 // event is lost, up to the client's retry budget per gap.
 func (c *Client) Events(ctx context.Context, id string, fn func(service.Event) bool) error {
+	return c.stream(ctx, "/v1/jobs/"+id+"/events", fn)
+}
+
+// BatchEvents streams a batch's aggregate SSE progress: per-config
+// terminal events, rolled-up progress, and the final state event.
+func (c *Client) BatchEvents(ctx context.Context, id string, fn func(service.Event) bool) error {
+	return c.stream(ctx, "/v1/batches/"+id+"/events", fn)
+}
+
+// stream is the reconnecting SSE loop behind Events and BatchEvents.
+// Reconnects use the same full-jitter schedule as request retries.
+func (c *Client) stream(ctx context.Context, path string, fn func(service.Event) bool) error {
 	rid := requestID(ctx)
 	lastSeq := 0
 	attempts := 0
 	for {
-		terminal, err := c.streamOnce(ctx, id, rid, &lastSeq, fn)
+		terminal, err := c.streamOnce(ctx, path, rid, &lastSeq, fn)
 		if terminal || err == nil {
 			return err
 		}
 		if !retryable(err) || attempts >= c.retries {
 			return err
 		}
-		attempts++
 		c.log.Debug("reconnecting event stream",
-			"job", id, "attempt", attempts, "lastSeq", lastSeq, "requestId", rid, "err", err)
+			"path", path, "attempt", attempts+1, "lastSeq", lastSeq, "requestId", rid, "err", err)
 		select {
-		case <-time.After(c.backoff * time.Duration(1<<attempts)):
+		case <-time.After(c.jitterBackoff(attempts)):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
+		attempts++
 	}
 }
 
 // streamOnce consumes one SSE connection. terminal reports a clean end:
-// fn stopped the stream, or the job announced a terminal state and the
-// server closed it. rid is shared across a stream's reconnects so the
-// daemon's access logs show them as one logical subscription.
-func (c *Client) streamOnce(ctx context.Context, id, rid string, lastSeq *int, fn func(service.Event) bool) (terminal bool, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+// fn stopped the stream, or the stream announced a terminal state and
+// the server closed it. rid is shared across a stream's reconnects so
+// the daemon's access logs show them as one logical subscription.
+func (c *Client) streamOnce(ctx context.Context, path, rid string, lastSeq *int, fn func(service.Event) bool) (terminal bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return false, err
 	}

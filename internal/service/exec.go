@@ -7,6 +7,7 @@ import (
 
 	"qlec/internal/audit"
 	"qlec/internal/energy"
+	"qlec/internal/experiment"
 	"qlec/internal/obs"
 	"qlec/internal/sim"
 )
@@ -81,6 +82,23 @@ func Execute(ctx context.Context, req Request, publish func(Event)) (*ResultEnve
 			return nil, err
 		}
 		env.One = res
+	case KindCell:
+		// One sweep cell: the replication pair exactly as the in-process
+		// sweep path runs it (hooks are stripped by Normalize, matching
+		// the harness's sweepOptions), so a cell executed here — possibly
+		// on a different daemon — feeds the same Assemble step with the
+		// same bytes.
+		spec := experiment.CellSpec{
+			Protocol: req.Protocols[0],
+			Lambda:   req.Lambda,
+			Seed:     req.Seed,
+			Config:   cfg,
+		}
+		cell, err := spec.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		env.Cell = &cell
 	case KindFig3:
 		cfg.Progress = sweepProgress(publish, reg, rec)
 		out, err := cfg.RunFig3(ctx, req.Protocols)

@@ -1,0 +1,750 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"qlec/internal/fleet"
+	"qlec/internal/obs"
+)
+
+// FleetOptions configures a daemon's membership in a qlecd fleet
+// (DESIGN.md §14). The zero value runs standalone: the cell scheduler
+// still powers batches and sweep decomposition locally, but no peer
+// traffic happens.
+type FleetOptions struct {
+	// Self is this daemon's advertised base URL (http://host:port).
+	// Setting it enables fleet mode; required when Peers or Join is set.
+	Self string
+	// Peers lists peer base URLs known at startup.
+	Peers []string
+	// Join is an existing peer to join through: the daemon announces
+	// itself there and adopts the returned roster.
+	Join string
+	// CellWorkers sizes the cell-executor pool; default Workers.
+	CellWorkers int
+	// LeaseTTL is how long a granted cell may run between renewals
+	// before it returns to the pool; default 15s.
+	LeaseTTL time.Duration
+	// StealInterval is the idle executor's poll cadence; default 200ms.
+	StealInterval time.Duration
+	// ProbeInterval is the peer health-probe cadence; default 1s.
+	ProbeInterval time.Duration
+	// PeerTimeout bounds each peer HTTP call; default 10s.
+	PeerTimeout time.Duration
+}
+
+// fleetRuntime is the per-daemon fleet engine: the consistent-hash
+// membership, the coordinator-side cell pool, the executor pool that
+// drains it (and steals from peers when it runs dry), and the futures
+// that let sweep jobs and batches wait for cells wherever they run.
+type fleetRuntime struct {
+	s       *Server
+	self    string
+	enabled bool
+	members *fleet.Membership
+	table   *fleet.Table
+	peers   *fleet.Client
+
+	ttl         time.Duration
+	stealEvery  time.Duration
+	cellWorkers int
+	joinTarget  string
+
+	mu      sync.Mutex
+	futures map[string]*cellFuture
+
+	fm       *obs.FleetMetrics
+	stealIdx uint64 // round-robin cursor over ready peers; guarded by mu
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// cellFuture is one scheduled cell's pending result. done closes after
+// env/err are set; refs counts the jobs/batches waiting, so abandoned
+// cells (every waiter cancelled) can be withdrawn from the pool.
+type cellFuture struct {
+	hash string
+	done chan struct{}
+	env  *ResultEnvelope
+	err  error
+	refs int // guarded by runtime mu
+}
+
+func newFleetRuntime(s *Server, opt FleetOptions) (*fleetRuntime, error) {
+	if opt.Self == "" && (len(opt.Peers) > 0 || opt.Join != "") {
+		return nil, errors.New("service: fleet peers configured without a self URL (set -self)")
+	}
+	if opt.CellWorkers <= 0 {
+		opt.CellWorkers = s.opt.Workers
+	}
+	if opt.LeaseTTL <= 0 {
+		opt.LeaseTTL = 15 * time.Second
+	}
+	if opt.StealInterval <= 0 {
+		opt.StealInterval = 200 * time.Millisecond
+	}
+	if opt.ProbeInterval <= 0 {
+		opt.ProbeInterval = time.Second
+	}
+	self := opt.Self
+	if self == "" {
+		self = "local"
+	}
+	r := &fleetRuntime{
+		s:           s,
+		self:        self,
+		enabled:     opt.Self != "",
+		table:       fleet.NewTable(),
+		peers:       fleet.NewClient(opt.PeerTimeout),
+		ttl:         opt.LeaseTTL,
+		stealEvery:  opt.StealInterval,
+		cellWorkers: opt.CellWorkers,
+		joinTarget:  opt.Join,
+		futures:     make(map[string]*cellFuture),
+		fm:          obs.NewFleetMetrics(s.reg),
+		stop:        make(chan struct{}),
+	}
+	probe := fleet.ProbeFunc(nil)
+	if r.enabled {
+		probe = func(ctx context.Context, peer string) error {
+			return r.peers.Ready(ctx, peer)
+		}
+	}
+	r.members = fleet.NewMembership(self, probe, opt.ProbeInterval)
+	for _, p := range opt.Peers {
+		r.members.Add(p)
+	}
+	return r, nil
+}
+
+// start launches the executor pool, the lease-expiry sweeper and (in
+// fleet mode) the membership prober and the join announcement.
+func (r *fleetRuntime) start() {
+	for i := 0; i < r.cellWorkers; i++ {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			r.executorLoop()
+		}()
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.expiryLoop()
+	}()
+	if r.enabled {
+		r.members.Start()
+		if r.joinTarget != "" {
+			r.wg.Add(1)
+			go func() {
+				defer r.wg.Done()
+				r.join()
+			}()
+		}
+	}
+}
+
+// stopWork halts executors, the sweeper and the prober. The server
+// calls it after its own workers and batch goroutines have drained —
+// they are the executors' consumers, so this order can never strand a
+// waiter.
+func (r *fleetRuntime) stopWork() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.members.Stop()
+	r.wg.Wait()
+}
+
+// join announces self through the configured join target, adopts its
+// roster, and announces self to every adopted peer so the whole fleet
+// converges on one membership without a central registry. Retries for a
+// while — daemons in one fleet typically boot together.
+func (r *fleetRuntime) join() {
+	for attempt := 0; attempt < 30; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		st, err := r.peers.Join(ctx, r.joinTarget, r.self)
+		cancel()
+		if err == nil {
+			r.members.Add(r.joinTarget)
+			r.members.MarkReady(r.joinTarget, true, "")
+			for _, p := range st.Peers {
+				if p.ID == r.self || p.ID == r.joinTarget {
+					continue
+				}
+				r.members.Add(p.ID)
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				if _, err := r.peers.Join(ctx, p.ID, r.self); err != nil {
+					r.s.log.Warn("fleet: transitive join", "peer", p.ID, "err", err)
+				}
+				cancel()
+			}
+			r.s.log.Info("fleet: joined", "via", r.joinTarget, "peers", len(st.Peers))
+			return
+		}
+		r.s.log.Warn("fleet: join attempt failed", "via", r.joinTarget, "err", err)
+		select {
+		case <-r.stop:
+			return
+		case <-r.s.hardCtx.Done():
+			return
+		case <-time.After(time.Second):
+		}
+	}
+	r.s.log.Error("fleet: giving up joining", "via", r.joinTarget)
+}
+
+// schedule registers interest in a cell: an existing future gains a
+// waiter, otherwise the cell enters the pool and a future is created.
+func (r *fleetRuntime) schedule(req Request, hash string) (*cellFuture, error) {
+	r.mu.Lock()
+	if f := r.futures[hash]; f != nil {
+		f.refs++
+		r.mu.Unlock()
+		return f, nil
+	}
+	f := &cellFuture{hash: hash, done: make(chan struct{}), refs: 1}
+	r.futures[hash] = f
+	r.mu.Unlock()
+	spec, err := json.Marshal(req)
+	if err != nil {
+		r.mu.Lock()
+		delete(r.futures, hash)
+		r.mu.Unlock()
+		return nil, fmt.Errorf("service: encode cell spec: %w", err)
+	}
+	r.table.Offer(fleet.Cell{Hash: hash, Spec: spec})
+	return f, nil
+}
+
+// release drops one waiter from a future; when the last waiter leaves
+// before completion, the cell is withdrawn from the pool (a leased cell
+// stays out — its result is still worth caching).
+func (r *fleetRuntime) release(f *cellFuture) {
+	r.mu.Lock()
+	f.refs--
+	gone := f.refs <= 0 && r.futures[f.hash] == f
+	if gone {
+		delete(r.futures, f.hash)
+	}
+	r.mu.Unlock()
+	if gone {
+		r.table.Withdraw(f.hash)
+	}
+}
+
+// complete resolves a cell wherever it ran: the result is cached
+// (content-addressed, persisted), the pool entry removed, and every
+// waiter woken. errMsg reports execution failure; duplicate and
+// unsolicited completions are no-ops beyond the (idempotent) cache put.
+func (r *fleetRuntime) complete(hash string, env *ResultEnvelope, errMsg string) {
+	r.table.Complete(hash)
+	if env != nil && errMsg == "" {
+		env.Hash = hash
+		if err := r.s.cache.put(hash, env, true); err != nil {
+			r.s.log.Error("fleet: cache cell result", "hash", hash, "err", err)
+		}
+	}
+	r.mu.Lock()
+	f := r.futures[hash]
+	delete(r.futures, hash)
+	r.mu.Unlock()
+	if f == nil {
+		return
+	}
+	f.env = env
+	if errMsg != "" {
+		f.err = errors.New(errMsg)
+	}
+	close(f.done)
+}
+
+// executorLoop is one cell executor: drain the local pool, then steal
+// from ready peers, then idle briefly.
+func (r *fleetRuntime) executorLoop() {
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.s.hardCtx.Done():
+			return
+		default:
+		}
+		if r.runOneCell() {
+			continue
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-r.s.hardCtx.Done():
+			return
+		case <-time.After(r.stealEvery):
+		}
+	}
+}
+
+// runOneCell executes at most one cell (local first, stolen second) and
+// reports whether it found work.
+func (r *fleetRuntime) runOneCell() bool {
+	if leases := r.table.Acquire(r.self, 1, r.ttl, time.Now()); len(leases) > 0 {
+		r.fm.CellsExecuted.With("local").Inc()
+		r.executeLocal(leases[0])
+		return true
+	}
+	if !r.enabled || r.s.draining.Load() {
+		return false
+	}
+	peer := r.nextStealTarget()
+	if peer == "" {
+		return false
+	}
+	grants, err := r.peers.Steal(r.s.hardCtx, peer, r.self, 1)
+	if err != nil || len(grants) == 0 {
+		return false
+	}
+	for _, g := range grants {
+		r.fm.CellsStolenIn.Inc()
+		r.fm.CellsExecuted.With("stolen").Inc()
+		r.executeStolen(peer, g)
+	}
+	return true
+}
+
+// nextStealTarget round-robins over the ready peers.
+func (r *fleetRuntime) nextStealTarget() string {
+	ready := r.members.ReadyOthers()
+	if len(ready) == 0 {
+		return ""
+	}
+	r.mu.Lock()
+	i := r.stealIdx % uint64(len(ready))
+	r.stealIdx++
+	r.mu.Unlock()
+	return ready[i]
+}
+
+// executeLocal runs one locally leased cell end to end, renewing the
+// lease while it runs.
+func (r *fleetRuntime) executeLocal(l fleet.Lease) {
+	stopRenew := r.keepRenewed(func(now time.Time) bool {
+		return r.table.Renew([]string{l.ID}, r.ttl, now) > 0
+	})
+	defer stopRenew()
+	hash := l.Cell.Hash
+	env, err := r.resolveOrRun(l.Cell)
+	if err != nil {
+		if r.s.hardCtx.Err() != nil {
+			return // shutdown: leave the cell to expiry/restart, not failure
+		}
+		r.complete(hash, nil, err.Error())
+		return
+	}
+	r.complete(hash, env, "")
+	r.replicateToOwner(hash, env)
+}
+
+// executeStolen runs one cell leased from a peer and reports the result
+// back. The thief also adopts the result into its own cache and pushes
+// it to the ring owner, so the fleet converges on one copy per owner
+// regardless of where the cell ran.
+func (r *fleetRuntime) executeStolen(peer string, l fleet.Lease) {
+	stopRenew := r.keepRenewed(func(now time.Time) bool {
+		ctx, cancel := context.WithTimeout(r.s.hardCtx, r.ttl/2)
+		defer cancel()
+		n, err := r.peers.Renew(ctx, peer, fleet.RenewRequest{Worker: r.self, LeaseIDs: []string{l.ID}})
+		return err == nil && n > 0
+	})
+	defer stopRenew()
+	hash := l.Cell.Hash
+	env, err := r.resolveOrRun(l.Cell)
+	if err != nil && r.s.hardCtx.Err() != nil {
+		return // shutdown: the peer's lease expires and the cell re-pools
+	}
+	creq := fleet.CompleteRequest{Worker: r.self, LeaseID: l.ID, Hash: hash}
+	if err != nil {
+		creq.Error = err.Error()
+	} else {
+		raw, merr := json.Marshal(env)
+		if merr != nil {
+			creq.Error = fmt.Sprintf("encode result: %v", merr)
+		} else {
+			creq.Result = raw
+		}
+		// Adopt and replicate regardless of whether the report lands —
+		// the result is correct and content-addressed either way.
+		if cerr := r.s.cache.put(hash, env, true); cerr != nil {
+			r.s.log.Error("fleet: cache stolen cell", "hash", hash, "err", cerr)
+		}
+		r.replicateToOwner(hash, env)
+	}
+	for attempt, backoff := 0, 250*time.Millisecond; ; attempt++ {
+		if err := r.peers.Complete(r.s.hardCtx, peer, creq); err == nil {
+			return
+		} else if attempt >= 3 || r.s.hardCtx.Err() != nil {
+			r.s.log.Warn("fleet: report stolen cell", "peer", peer, "hash", hash, "err", err)
+			return // the peer's lease expires and the cell re-pools there
+		}
+		select {
+		case <-time.After(backoff):
+		case <-r.s.hardCtx.Done():
+			return
+		}
+		backoff *= 2
+	}
+}
+
+// resolveOrRun answers a cell from the local cache, the ring owner's
+// cache, or by executing it.
+func (r *fleetRuntime) resolveOrRun(c fleet.Cell) (*ResultEnvelope, error) {
+	if env, ok := r.s.cache.peek(c.Hash); ok {
+		return env, nil
+	}
+	if env, ok := r.proxyFetch(c.Hash); ok {
+		return env, nil
+	}
+	var req Request
+	if err := json.Unmarshal(c.Spec, &req); err != nil {
+		return nil, fmt.Errorf("decode cell spec: %w", err)
+	}
+	req = req.Normalize()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if r.s.opt.SimWorkers > 0 {
+		req.Config.Workers = r.s.opt.SimWorkers
+	}
+	ctx := obs.ContextWithMetrics(r.s.hardCtx, r.s.reg)
+	env, err := r.s.opt.Run(ctx, req, func(Event) {})
+	if err != nil {
+		return nil, err
+	}
+	if env == nil {
+		env = &ResultEnvelope{Kind: req.Kind}
+	}
+	env.Hash = c.Hash
+	return env, nil
+}
+
+// keepRenewed renews a lease at ttl/3 cadence until the returned stop
+// function runs; it stops early if a renewal reports the lease dead.
+func (r *fleetRuntime) keepRenewed(renew func(now time.Time) bool) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(r.ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-r.s.hardCtx.Done():
+				return
+			case now := <-t.C:
+				if !renew(now) {
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// expiryLoop re-pools cells whose holder went quiet — the "peer died
+// mid-cell" recovery path.
+func (r *fleetRuntime) expiryLoop() {
+	t := time.NewTicker(maxDuration(r.ttl/4, 50*time.Millisecond))
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.s.hardCtx.Done():
+			return
+		case now := <-t.C:
+			if cells := r.table.ExpireDue(now); len(cells) > 0 {
+				r.s.log.Warn("fleet: leases expired, cells re-pooled", "cells", len(cells))
+			}
+		}
+	}
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// proxyFetch asks the hash's ring owner for a cached result; a hit is
+// adopted into the local memory cache. Misses (including "we are the
+// owner" and standalone mode) report false.
+func (r *fleetRuntime) proxyFetch(hash string) (*ResultEnvelope, bool) {
+	if !r.enabled {
+		return nil, false
+	}
+	owner := r.members.Owner(hash)
+	if owner == "" || owner == r.self {
+		return nil, false
+	}
+	ctx, cancel := context.WithTimeout(r.s.hardCtx, 3*time.Second)
+	defer cancel()
+	raw, err := r.peers.CacheGet(ctx, owner, hash)
+	if err != nil {
+		if !errors.Is(err, fleet.ErrNotFound) {
+			r.s.log.Warn("fleet: proxy cache lookup", "owner", owner, "hash", hash, "err", err)
+		}
+		return nil, false
+	}
+	var env ResultEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		r.s.log.Warn("fleet: proxy cache decode", "owner", owner, "hash", hash, "err", err)
+		return nil, false
+	}
+	env.Hash = hash
+	r.fm.ProxyHitsFetched.Inc()
+	// Memory-only adoption: the owner holds the durable copy.
+	_ = r.s.cache.put(hash, &env, false)
+	return &env, true
+}
+
+// replicateToOwner pushes a result envelope to its ring owner so every
+// future lookup fleet-wide resolves in one proxy hop. Best-effort: the
+// local (persisted) copy is authoritative for this daemon either way.
+func (r *fleetRuntime) replicateToOwner(hash string, env *ResultEnvelope) {
+	if !r.enabled || env == nil {
+		return
+	}
+	owner := r.members.Owner(hash)
+	if owner == "" || owner == r.self {
+		return
+	}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.s.hardCtx, 5*time.Second)
+	defer cancel()
+	if err := r.peers.CachePut(ctx, owner, hash, raw); err != nil {
+		r.s.log.Warn("fleet: replicate result to owner", "owner", owner, "hash", hash, "err", err)
+		return
+	}
+	r.fm.CacheReplications.Inc()
+}
+
+// runSweep executes a sweep request through the cell pool: decompose,
+// resolve-or-schedule every cell, wait in assembly order while
+// publishing per-cell progress, then fold. The plan and the fold are
+// the same code the in-process path runs, so the result is
+// byte-identical to a single-daemon execution no matter where the
+// cells ran.
+func (r *fleetRuntime) runSweep(ctx context.Context, req Request, publish func(Event)) (*ResultEnvelope, error) {
+	plan, err := planCells(req)
+	if err != nil {
+		return nil, err
+	}
+	total := len(plan.cells)
+	outcomes := make([]*ResultEnvelope, total)
+	futures := make(map[int]*cellFuture)
+	released := false
+	releaseAll := func() {
+		if released {
+			return
+		}
+		released = true
+		for _, f := range futures {
+			r.release(f)
+		}
+	}
+	defer releaseAll()
+
+	done := 0
+	progress := func() {
+		publish(Event{Type: EventSweep, Sweep: &SweepProgress{Done: done, Total: total}})
+	}
+	for i, hash := range plan.hashes {
+		if env, ok := r.s.cache.peek(hash); ok {
+			outcomes[i] = env
+			done++
+			continue
+		}
+		f, err := r.schedule(plan.cells[i], hash)
+		if err != nil {
+			return nil, err
+		}
+		futures[i] = f
+	}
+	progress()
+	for i := 0; i < total; i++ {
+		f := futures[i]
+		if f == nil {
+			continue // cache hit
+		}
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if f.err != nil {
+			return nil, fmt.Errorf("service: cell %s: %w", f.hash[:12], f.err)
+		}
+		outcomes[i] = f.env
+		done++
+		progress()
+	}
+	releaseAll()
+	return plan.assemble(outcomes)
+}
+
+// distributable reports whether a request should route through the cell
+// pool instead of the monolithic RunFunc. Sweeps distribute when fleet
+// mode is on; KindOne keeps the direct path (round streaming, audit
+// recorder and trace hooks are single-run features).
+func (r *fleetRuntime) distributable(kind JobKind) bool {
+	if !r.enabled {
+		return false
+	}
+	switch kind {
+	case KindFig3, KindKSweep, KindNSweep:
+		return true
+	}
+	return false
+}
+
+// --- HTTP handlers (mounted by Server.Handler under /v1/fleet) ---
+
+func (s *Server) fleetStatus() fleet.Status {
+	pending, leased, expired := s.fleet.table.Stats()
+	return fleet.Status{
+		Self:         s.fleet.self,
+		Peers:        s.fleet.members.Peers(),
+		CellsPending: pending,
+		CellsLeased:  leased,
+		LeaseExpiry:  expired,
+		OpenBatches:  s.openBatches(),
+	}
+}
+
+func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.fleetStatus())
+}
+
+func (s *Server) handleFleetJoin(w http.ResponseWriter, r *http.Request) {
+	var req fleet.JoinRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode join: %v", err)
+		return
+	}
+	if req.Peer == "" {
+		writeErr(w, http.StatusBadRequest, "join: empty peer URL")
+		return
+	}
+	if s.fleet.members.Add(req.Peer) {
+		s.log.Info("fleet: peer joined", "peer", req.Peer)
+	}
+	// It reached us, so it is reachable; the prober keeps this honest.
+	s.fleet.members.MarkReady(req.Peer, true, "")
+	writeJSON(w, http.StatusOK, s.fleetStatus())
+}
+
+func (s *Server) handleFleetSteal(w http.ResponseWriter, r *http.Request) {
+	var req fleet.StealRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode steal: %v", err)
+		return
+	}
+	if req.Worker == "" {
+		writeErr(w, http.StatusBadRequest, "steal: empty worker")
+		return
+	}
+	if req.Max <= 0 {
+		req.Max = 1
+	} else if req.Max > 32 {
+		req.Max = 32
+	}
+	var leases []fleet.Lease
+	if !s.draining.Load() { // a draining daemon grants nothing new
+		leases = s.fleet.table.Acquire(req.Worker, req.Max, s.fleet.ttl, time.Now())
+	}
+	if n := len(leases); n > 0 {
+		s.fleet.fm.CellsStolenOut.Add(float64(n))
+	}
+	writeJSON(w, http.StatusOK, fleet.StealResponse{Leases: leases})
+}
+
+func (s *Server) handleFleetComplete(w http.ResponseWriter, r *http.Request) {
+	var req fleet.CompleteRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode complete: %v", err)
+		return
+	}
+	if !validHash(req.Hash) {
+		writeErr(w, http.StatusBadRequest, "complete: bad hash %q", req.Hash)
+		return
+	}
+	if req.Error != "" {
+		s.fleet.complete(req.Hash, nil, req.Error)
+	} else {
+		var env ResultEnvelope
+		if err := json.Unmarshal(req.Result, &env); err != nil {
+			writeErr(w, http.StatusBadRequest, "complete: decode result: %v", err)
+			return
+		}
+		s.fleet.complete(req.Hash, &env, "")
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleFleetRenew(w http.ResponseWriter, r *http.Request) {
+	var req fleet.RenewRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode renew: %v", err)
+		return
+	}
+	n := s.fleet.table.Renew(req.LeaseIDs, s.fleet.ttl, time.Now())
+	writeJSON(w, http.StatusOK, fleet.RenewResponse{Renewed: n})
+}
+
+func (s *Server) handleFleetCacheGet(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !validHash(hash) {
+		writeErr(w, http.StatusBadRequest, "bad hash %q", hash)
+		return
+	}
+	env, ok := s.cache.peek(hash)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no result %q", hash)
+		return
+	}
+	s.fleet.fm.ProxyHitsServed.Inc()
+	writeJSON(w, http.StatusOK, env)
+}
+
+func (s *Server) handleFleetCachePut(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !validHash(hash) {
+		writeErr(w, http.StatusBadRequest, "bad hash %q", hash)
+		return
+	}
+	var env ResultEnvelope
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&env); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode envelope: %v", err)
+		return
+	}
+	env.Hash = hash
+	// The owner is the hash's durability authority: persist.
+	if err := s.cache.put(hash, &env, true); err != nil {
+		s.log.Error("fleet: persist replicated result", "hash", hash, "err", err)
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

@@ -77,6 +77,30 @@ func newServerMetrics(r *obs.Registry, s *Server) *serverMetrics {
 	return m
 }
 
+// newFleetCollectors exports the fleet pool and roster as callback
+// collectors over the runtime's own state, mirroring serverMetrics'
+// pattern (the event counters live in obs.FleetMetrics).
+func newFleetCollectors(r *obs.Registry, s *Server) {
+	r.GaugeFunc("qlecd_fleet_cells_pending", "Cells awaiting a lease in the local pool.",
+		func() float64 { p, _, _ := s.fleet.table.Stats(); return float64(p) })
+	r.GaugeFunc("qlecd_fleet_cells_leased", "Cells currently out on lease from the local pool.",
+		func() float64 { _, l, _ := s.fleet.table.Stats(); return float64(l) })
+	r.CounterFunc("qlecd_fleet_lease_expiries_total", "Leases that expired and returned their cell to the pool.",
+		func() float64 { _, _, e := s.fleet.table.Stats(); return float64(e) })
+	r.GaugeFunc("qlecd_fleet_peers_ready", "Fleet peers currently passing readiness probes (self included).",
+		func() float64 {
+			n := 0
+			for _, p := range s.fleet.members.Peers() {
+				if p.Ready {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	r.GaugeFunc("qlecd_batches_open", "Batches not yet in a terminal state.",
+		func() float64 { return float64(s.openBatches()) })
+}
+
 // maxTraces bounds how many per-job trace recorders the server keeps;
 // older traces age out FIFO once their job is terminal.
 const maxTraces = 64

@@ -45,6 +45,9 @@ type Options struct {
 	Metrics *obs.Registry
 	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
 	Pprof bool
+	// Fleet configures peer-to-peer work stealing and the shared result
+	// cache (DESIGN.md §14). The zero value runs standalone.
+	Fleet FleetOptions
 }
 
 // Server is the qlecd core: job table, queue, worker pool, cache,
@@ -56,12 +59,17 @@ type Server struct {
 	cache *resultCache
 	queue *jobQueue
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	hubs     map[string]*eventHub
-	cancels  map[string]context.CancelFunc
-	inflight map[string]string // request hash → queued/running job ID
-	nextID   int
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	hubs        map[string]*eventHub
+	cancels     map[string]context.CancelFunc
+	inflight    map[string]string // request hash → queued/running job ID
+	nextID      int
+	batches     map[string]*Batch
+	batchHubs   map[string]*eventHub
+	nextBatchID int
+
+	fleet *fleetRuntime
 
 	start    time.Time
 	simsRun  atomic.Int64
@@ -104,18 +112,21 @@ func New(opt Options) (*Server, error) {
 		opt.Metrics = obs.NewRegistry()
 	}
 	s := &Server{
-		opt:      opt,
-		queue:    newJobQueue(),
-		jobs:     make(map[string]*Job),
-		hubs:     make(map[string]*eventHub),
-		cancels:  make(map[string]context.CancelFunc),
-		inflight: make(map[string]string),
-		nextID:   1,
-		start:    time.Now(),
-		log:      opt.Logger,
-		reg:      opt.Metrics,
-		traces:   newTraceTable(),
-		audits:   newAuditTable(),
+		opt:         opt,
+		queue:       newJobQueue(),
+		jobs:        make(map[string]*Job),
+		hubs:        make(map[string]*eventHub),
+		cancels:     make(map[string]context.CancelFunc),
+		inflight:    make(map[string]string),
+		nextID:      1,
+		batches:     make(map[string]*Batch),
+		batchHubs:   make(map[string]*eventHub),
+		nextBatchID: 1,
+		start:       time.Now(),
+		log:         opt.Logger,
+		reg:         opt.Metrics,
+		traces:      newTraceTable(),
+		audits:      newAuditTable(),
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	if opt.DataDir != "" {
@@ -132,9 +143,16 @@ func New(opt Options) (*Server, error) {
 	s.cache = cache
 	s.om = newServerMetrics(s.reg, s)
 	s.httpm = obs.NewHTTPMetrics(s.reg)
+	fr, err := newFleetRuntime(s, opt.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	s.fleet = fr
+	newFleetCollectors(s.reg, s)
 	if err := s.reload(); err != nil {
 		return nil, err
 	}
+	s.resumeBatches()
 	for i := 0; i < opt.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -142,6 +160,7 @@ func New(opt Options) (*Server, error) {
 			s.workerLoop()
 		}()
 	}
+	s.fleet.start()
 	return s, nil
 }
 
@@ -204,7 +223,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/audit", s.handleAudit)
 	mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
+	mux.HandleFunc("POST /v1/batches", s.handleBatchSubmit)
+	mux.HandleFunc("GET /v1/batches", s.handleBatchList)
+	mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchGet)
+	mux.HandleFunc("GET /v1/batches/{id}/events", s.handleBatchEvents)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleetStatus)
+	mux.HandleFunc("POST /v1/fleet/join", s.handleFleetJoin)
+	mux.HandleFunc("POST /v1/fleet/steal", s.handleFleetSteal)
+	mux.HandleFunc("POST /v1/fleet/complete", s.handleFleetComplete)
+	mux.HandleFunc("POST /v1/fleet/renew", s.handleFleetRenew)
+	mux.HandleFunc("GET /v1/fleet/cache/{hash}", s.handleFleetCacheGet)
+	mux.HandleFunc("PUT /v1/fleet/cache/{hash}", s.handleFleetCachePut)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", s.reg)
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /version", s.handleVersion)
@@ -409,12 +440,25 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	hub := s.hubs[id]
-	_, known := s.jobs[id]
+	j, known := s.jobs[id]
+	var terminal Event
+	if known {
+		terminal = Event{Seq: 1, Type: EventState, State: j.State, Error: j.Error}
+	}
 	s.mu.Unlock()
 	if !known {
 		writeErr(w, http.StatusNotFound, "no job %q", id)
 		return
 	}
+	s.serveSSE(w, r, hub, terminal)
+}
+
+// serveSSE streams a hub over Server-Sent Events: history replays first
+// (or from Last-Event-ID on reconnect), then live events until the hub
+// closes. A nil hub means the record was terminal before any stream
+// existed (cache hit, reloaded history): the one fallback event the
+// client needs is emitted instead. Shared by job and batch streams.
+func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, hub *eventHub, terminal Event) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
@@ -445,12 +489,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if hub == nil {
-		// Terminal before any stream existed (cache hit, reloaded
-		// history): emit the one state event the client needs.
-		s.mu.Lock()
-		j := s.jobs[id].clone()
-		s.mu.Unlock()
-		writeEvent(Event{Seq: 1, Type: EventState, State: j.State, Error: j.Error})
+		writeEvent(terminal)
 		return
 	}
 
@@ -503,9 +542,19 @@ func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, protocol.Infos())
 }
 
+// handleHealthz is pure liveness: 200 as long as the process serves
+// HTTP, draining or not. Use /readyz for load-balancing and fleet
+// routing decisions.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReadyz is drain-aware readiness: 503 from the moment a graceful
+// shutdown begins, so peers stop routing new work here while in-flight
+// jobs finish. The fleet prober keys off this endpoint.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
-	body := map[string]any{"status": "ok"}
+	body := map[string]any{"status": "ready"}
 	if s.draining.Load() {
 		status = http.StatusServiceUnavailable
 		body["status"] = "draining"
@@ -582,7 +631,34 @@ func (s *Server) Metrics() Metrics {
 	for _, j := range s.jobs {
 		m.Jobs[j.State]++
 	}
+	if len(s.batches) > 0 {
+		m.Batches = make(map[JobState]int)
+		for _, b := range s.batches {
+			m.Batches[b.State]++
+		}
+	}
 	s.mu.Unlock()
+	if fr := s.fleet; fr != nil && fr.enabled {
+		pending, leased, expired := fr.table.Stats()
+		ready, total := 0, 0
+		for _, p := range fr.members.Peers() {
+			total++
+			if p.Ready {
+				ready++
+			}
+		}
+		m.Fleet = &FleetSnapshot{
+			Self:          fr.self,
+			PeersReady:    ready,
+			PeersTotal:    total,
+			CellsPending:  pending,
+			CellsLeased:   leased,
+			LeaseExpiries: expired,
+			CellsExecuted: int64(fr.fm.CellsExecuted.With("local").Value() + fr.fm.CellsExecuted.With("stolen").Value()),
+			CellsStolen:   int64(fr.fm.CellsStolenIn.Value()),
+			ProxyHits:     int64(fr.fm.ProxyHitsFetched.Value()),
+		}
+	}
 	return m
 }
 
@@ -596,7 +672,7 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 // closes. If ctx expires first, the remaining jobs are hard-cancelled
 // and Drain returns ctx's error after they unwind.
 func (s *Server) Drain(ctx context.Context) error {
-	s.draining.Store(true)
+	s.draining.Store(true) // /readyz flips to 503; steal grants stop
 	s.queue.close()
 	done := make(chan struct{})
 	go func() {
@@ -611,6 +687,10 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.hardCancel() // cancel in-flight jobs; workers exit promptly
 		<-done
 	}
+	// Cell executors stop only after every consumer (workers, batch
+	// goroutines) has drained — they are what completes the futures
+	// those consumers wait on.
+	s.fleet.stopWork()
 	s.closeHubs()
 	return err
 }
@@ -623,13 +703,17 @@ func (s *Server) Close() {
 	s.queue.close()
 	s.hardCancel()
 	s.wg.Wait()
+	s.fleet.stopWork()
 	s.closeHubs()
 }
 
 func (s *Server) closeHubs() {
 	s.mu.Lock()
-	hubs := make([]*eventHub, 0, len(s.hubs))
+	hubs := make([]*eventHub, 0, len(s.hubs)+len(s.batchHubs))
 	for _, h := range s.hubs {
+		hubs = append(hubs, h)
+	}
+	for _, h := range s.batchHubs {
 		hubs = append(hubs, h)
 	}
 	s.mu.Unlock()

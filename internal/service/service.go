@@ -45,6 +45,14 @@ const (
 	KindKSweep JobKind = "ksweep"
 	// KindNSweep is the constant-density scalability sweep.
 	KindNSweep JobKind = "nsweep"
+	// KindCell is one sweep cell — a single (protocol, λ, seed)
+	// replication pair with its fully derived configuration. Cells are
+	// the fleet's unit of work distribution (DESIGN.md §14): sweeps
+	// decompose into cells, idle peers steal them, and the coordinator
+	// reassembles the outcomes. Cells are ordinary content-addressed
+	// requests, so identical cells dedupe across sweeps, batches and
+	// peers through the same cache as whole jobs.
+	KindCell JobKind = "cell"
 )
 
 // JobState is a node of the job lifecycle state machine.
@@ -98,6 +106,15 @@ func (r Request) Normalize() Request {
 	case KindOne:
 		n.Config.Lambdas = []float64{r.Lambda}
 		n.Config.Seeds = []uint64{r.Seed}
+		n.Ks, n.Ns = nil, nil
+	case KindCell:
+		// A cell's identity is (config, protocol, λ, seed) alone — the
+		// enclosing sweep's λ/seed lists must not leak into the hash, or
+		// the same cell submitted from two different sweeps would never
+		// dedupe.
+		n.Config.Lambdas = []float64{r.Lambda}
+		n.Config.Seeds = []uint64{r.Seed}
+		n.Lifespan = false
 		n.Ks, n.Ns = nil, nil
 	case KindFig3:
 		n.Lambda, n.Seed, n.Lifespan = 0, 0, false
@@ -158,7 +175,7 @@ func (r Request) Normalize() Request {
 // form — the server does.
 func (r Request) Validate() error {
 	switch r.Kind {
-	case KindOne, KindKSweep, KindNSweep:
+	case KindOne, KindCell, KindKSweep, KindNSweep:
 		if len(r.Protocols) != 1 {
 			return fmt.Errorf("service: kind %q takes exactly one protocol, got %d", r.Kind, len(r.Protocols))
 		}
@@ -289,6 +306,8 @@ type ResultEnvelope struct {
 	KSweep []experiment.KSweepPoint `json:"ksweep,omitempty"`
 	// NSweep is the KindNSweep payload.
 	NSweep []experiment.NSweepPoint `json:"nsweep,omitempty"`
+	// Cell is the KindCell payload: one replication pair's outcome.
+	Cell *experiment.CellOutcome `json:"cell,omitempty"`
 }
 
 // EventType tags an SSE progress event.
@@ -306,6 +325,12 @@ const (
 	// GET /v1/jobs/{id}/audit, with its headline figures inline. Emitted
 	// once per executed KindOne job, just before the terminal state event.
 	EventAudit EventType = "audit"
+	// EventConfig announces one config of a batch reaching a terminal
+	// state (batch streams only).
+	EventConfig EventType = "config"
+	// EventBatch streams a batch's rolled-up progress (batch streams
+	// only): configs and cells done out of their totals.
+	EventBatch EventType = "batch"
 )
 
 // RoundProgress is the payload of an EventRound.
@@ -334,17 +359,28 @@ type AuditSummary struct {
 	Anomalies  uint64 `json:"anomalies"`
 }
 
-// Event is one entry of a job's progress stream.
+// BatchProgress is the payload of an EventBatch.
+type BatchProgress struct {
+	ConfigsDone  int `json:"configsDone"`
+	ConfigsTotal int `json:"configsTotal"`
+	CellsDone    int `json:"cellsDone"`
+	CellsTotal   int `json:"cellsTotal"`
+	Failed       int `json:"failed,omitempty"`
+}
+
+// Event is one entry of a job's (or batch's) progress stream.
 type Event struct {
 	// Seq numbers events from 1 within a job; SSE ids carry it so
 	// clients resume streams with Last-Event-ID.
-	Seq   int            `json:"seq"`
-	Type  EventType      `json:"type"`
-	Round *RoundProgress `json:"round,omitempty"`
-	Sweep *SweepProgress `json:"sweep,omitempty"`
-	Audit *AuditSummary  `json:"audit,omitempty"`
-	State JobState       `json:"state,omitempty"`
-	Error string         `json:"error,omitempty"`
+	Seq    int            `json:"seq"`
+	Type   EventType      `json:"type"`
+	Round  *RoundProgress `json:"round,omitempty"`
+	Sweep  *SweepProgress `json:"sweep,omitempty"`
+	Audit  *AuditSummary  `json:"audit,omitempty"`
+	Config *BatchConfig   `json:"config,omitempty"`
+	Batch  *BatchProgress `json:"batch,omitempty"`
+	State  JobState       `json:"state,omitempty"`
+	Error  string         `json:"error,omitempty"`
 }
 
 // ErrTransient marks an error as retryable: a job failing with it goes
@@ -375,4 +411,22 @@ type Metrics struct {
 	// NOT grow when a duplicate submission hits the cache.
 	SimulationsRun int64 `json:"simulationsRun"`
 	Draining       bool  `json:"draining"`
+	// Batches counts batch records by lifecycle state.
+	Batches map[JobState]int `json:"batches,omitempty"`
+	// Fleet summarizes the cell pool and peer roster (present when the
+	// daemon runs in fleet mode).
+	Fleet *FleetSnapshot `json:"fleet,omitempty"`
+}
+
+// FleetSnapshot is the fleet slice of /metrics.json.
+type FleetSnapshot struct {
+	Self          string `json:"self"`
+	PeersReady    int    `json:"peersReady"`
+	PeersTotal    int    `json:"peersTotal"`
+	CellsPending  int    `json:"cellsPending"`
+	CellsLeased   int    `json:"cellsLeased"`
+	LeaseExpiries uint64 `json:"leaseExpiries"`
+	CellsExecuted int64  `json:"cellsExecuted"`
+	CellsStolen   int64  `json:"cellsStolen"`
+	ProxyHits     int64  `json:"proxyHits"`
 }

@@ -397,7 +397,8 @@ func TestRetryBudgetExhausted(t *testing.T) {
 }
 
 // TestDrainWaitsForInFlight: Drain lets the running job finish, refuses
-// new submissions, and flips /healthz to 503.
+// new submissions, and flips /readyz to 503 while /healthz stays 200
+// (liveness vs readiness).
 func TestDrainWaitsForInFlight(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
@@ -423,12 +424,16 @@ func TestDrainWaitsForInFlight(t *testing.T) {
 	drainErr := make(chan error, 1)
 	go func() { drainErr <- srv.Drain(context.Background()) }()
 
-	// Draining is observable: health 503, submissions refused.
+	// Draining is observable: readiness 503, submissions refused — but
+	// liveness stays green (the process is healthy, just finishing up).
 	waitFor(t, func() bool {
 		var apiErr *client.APIError
-		err := cl.Health(ctx)
+		err := cl.Ready(ctx)
 		return errors.As(err, &apiErr) && apiErr.Status == http.StatusServiceUnavailable
-	}, "healthz did not report draining")
+	}, "readyz did not report draining")
+	if err := cl.Health(ctx); err != nil {
+		t.Fatalf("healthz during drain = %v, want 200 (pure liveness)", err)
+	}
 	_, err = cl.Submit(ctx, oneRequest(func() experiment.Config { c := tinyCfg(); c.Rounds = 7; return c }()))
 	var apiErr *client.APIError
 	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {

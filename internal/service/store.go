@@ -25,7 +25,7 @@ type Store struct {
 
 // OpenStore creates (if needed) and opens a data directory.
 func OpenStore(dir string) (*Store, error) {
-	for _, d := range []string{dir, filepath.Join(dir, "jobs"), filepath.Join(dir, "results")} {
+	for _, d := range []string{dir, filepath.Join(dir, "jobs"), filepath.Join(dir, "results"), filepath.Join(dir, "batches")} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("service: open store: %w", err)
 		}
@@ -151,6 +151,65 @@ func (s *Store) ResultHashes() ([]string, error) {
 		}
 	}
 	return hashes, nil
+}
+
+// SaveBatch persists one batch record (requests included, so an
+// interrupted batch can resume after a restart).
+func (s *Store) SaveBatch(b *Batch) error {
+	if !validBatchID(b.ID) {
+		return fmt.Errorf("service: refusing to persist batch with unsafe id %q", b.ID)
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		return fmt.Errorf("service: marshal batch %s: %w", b.ID, err)
+	}
+	if err := writeAtomic(filepath.Join(s.dir, "batches", b.ID+".json"), data); err != nil {
+		return fmt.Errorf("service: save batch %s: %w", b.ID, err)
+	}
+	return nil
+}
+
+// LoadBatches reads every batch record, sorted by ID (submission
+// order). Unreadable records are skipped, not fatal.
+func (s *Store) LoadBatches() ([]*Batch, []error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "batches"))
+	if err != nil {
+		return nil, []error{fmt.Errorf("service: load batches: %w", err)}
+	}
+	var batches []*Batch
+	var warns []error
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, "batches", name))
+		if err != nil {
+			warns = append(warns, err)
+			continue
+		}
+		var b Batch
+		if err := json.Unmarshal(data, &b); err != nil {
+			warns = append(warns, fmt.Errorf("service: batch record %s: %w", name, err))
+			continue
+		}
+		batches = append(batches, &b)
+	}
+	sort.Slice(batches, func(i, k int) bool { return batches[i].ID < batches[k].ID })
+	return batches, warns
+}
+
+// validBatchID accepts the server's own "b"-prefixed decimal batch IDs.
+func validBatchID(id string) bool {
+	if len(id) < 2 || len(id) > 32 || id[0] != 'b' {
+		return false
+	}
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // validHash accepts exactly the SHA-256 hex digests Request.Hash emits;

@@ -31,6 +31,23 @@ func (s *Server) runJob(id string) {
 		s.mu.Unlock()
 		return
 	}
+	if s.fleet.enabled {
+		// Fleet dedupe: the hash's ring owner may already hold this
+		// result (computed by any peer). Fetching it installs it in the
+		// local cache, so the late-dedupe check below answers the job
+		// without recomputing. Network happens outside the server lock.
+		hash := j.Hash
+		s.mu.Unlock()
+		if _, ok := s.cache.peek(hash); !ok {
+			s.fleet.proxyFetch(hash)
+		}
+		s.mu.Lock()
+		j = s.jobs[id]
+		if j == nil || j.State != StateQueued { // cancelled while unlocked
+			s.mu.Unlock()
+			return
+		}
+	}
 	hub := s.hubs[id]
 	if hub == nil {
 		hub = newEventHub()
@@ -97,7 +114,16 @@ func (s *Server) runJob(id string) {
 	s.om.busyWorkers.Inc()
 	hub.publish(Event{Type: EventState, State: StateRunning})
 	runStart := time.Now()
-	env, err := s.opt.Run(ctx, req, hub.publish)
+	var env *ResultEnvelope
+	var err error
+	if s.fleet.distributable(req.Kind) {
+		// Fleet mode: sweeps decompose into content-addressed cells that
+		// local executors and stealing peers drain in parallel; the
+		// reassembled result is byte-identical to a local run.
+		env, err = s.fleet.runSweep(ctx, req, hub.publish)
+	} else {
+		env, err = s.opt.Run(ctx, req, hub.publish)
+	}
 	elapsed := time.Since(runStart)
 	s.om.busyWorkers.Dec()
 	interrupted := ctx.Err() != nil
@@ -173,8 +199,15 @@ func (s *Server) runJob(id string) {
 		log.Error("job failed", "err", err)
 	}
 	s.persistLocked(j)
-	state, errMsg := j.State, j.Error
+	state, errMsg, hash := j.State, j.Error, j.Hash
 	s.mu.Unlock()
+
+	if state == StateDone && env != nil {
+		// Make the finished result proxy-visible fleet-wide (a no-op in
+		// standalone mode or when this daemon owns the hash). Outside the
+		// server lock: this is a network call.
+		s.fleet.replicateToOwner(hash, env)
+	}
 
 	rec.Span("job "+id, "job", runStart, runStart.Add(elapsed),
 		map[string]any{"kind": string(req.Kind), "state": string(state), "requestId": rid})
