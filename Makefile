@@ -145,7 +145,13 @@ tournament-demo:
 # stolen work, and require the batch to finish with zero failed configs
 # and an empty cell pool — the lease-expiry path must re-pool the dead
 # peer's cells. Any data race crashes a daemon and fails the target.
-# See README "Running a fleet" and DESIGN.md §14.
+# Before the kill, the observability surface is checked mid-batch: the
+# federated /metrics/federate scrape must pass the exposition linter
+# (qlecstat -check), and the batch's merged Chrome trace — saved to
+# figs/fleet-trace.json and uploaded as a CI artifact — must span at
+# least two daemon lanes (qlectrace -chrome), proving cross-peer trace
+# propagation through a real steal. See README "Observing a fleet" and
+# DESIGN.md §14-§15.
 FLEET_HOST ?= 127.0.0.1
 FLEET_P1 ?= 8181
 FLEET_P2 ?= 8182
@@ -153,6 +159,8 @@ FLEET_P3 ?= 8183
 fleet-e2e:
 	mkdir -p figs
 	$(GO) build -race -o figs/.qlecd-fleet ./cmd/qlecd
+	$(GO) build -o figs/.qlecstat-fleet ./cmd/qlecstat
+	$(GO) build -o figs/.qlectrace-fleet ./cmd/qlectrace
 	@set -e; \
 	DATA=$$(mktemp -d); trap 'kill $$P1 $$P2 $$P3 2>/dev/null || true; rm -rf $$DATA' EXIT INT TERM; \
 	U1=http://$(FLEET_HOST):$(FLEET_P1); U2=http://$(FLEET_HOST):$(FLEET_P2); U3=http://$(FLEET_HOST):$(FLEET_P3); \
@@ -173,10 +181,18 @@ fleet-e2e:
 		if curl -s $$U3/metrics.json | grep -q '"cellsStolen": *[1-9]'; then STOLE=1; break; fi; sleep 0.1; \
 	done; \
 	test -n "$$STOLE" || { echo "fleet-e2e: peer 3 never stole a cell" >&2; cat $$DATA/n3.log; exit 1; }; \
-	echo "fleet-e2e: peer 3 stole work; killing it"; \
+	echo "fleet-e2e: peer 3 stole work; checking observability mid-batch"; \
+	figs/.qlecstat-fleet -addr $$U1 -check || { echo "fleet-e2e: federated scrape failed lint" >&2; exit 1; }; \
+	TRACE_OK=; for i in $$(seq 1 150); do \
+		curl -s $$U1/v1/batches/$$B/trace > figs/fleet-trace.json; \
+		if figs/.qlectrace-fleet -chrome figs/fleet-trace.json 2>/dev/null | grep -Eq '^lanes: ([2-9]|[1-9][0-9]+)$$'; then TRACE_OK=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	test -n "$$TRACE_OK" || { echo "fleet-e2e: merged batch trace never spanned 2 daemons" >&2; figs/.qlectrace-fleet -chrome figs/fleet-trace.json || true; exit 1; }; \
+	echo "fleet-e2e: merged trace spans >=2 daemon lanes (figs/fleet-trace.json); killing peer 3"; \
 	kill -9 $$P3; \
 	STATE=; for i in $$(seq 1 300); do \
-		STATE=$$(curl -s $$U1/v1/batches/$$B); \
+		STATE=$$(curl -s $$U1/v1/batches); \
 		echo "$$STATE" | grep -q '"state": *"done"' && break; \
 		sleep 0.2; \
 	done; \

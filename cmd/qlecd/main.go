@@ -17,6 +17,9 @@
 //	      [-drain-timeout 30s] [-log-level info] [-log-format text]
 //	      [-self http://host:8080] [-peers url,url] [-join url]
 //	      [-cell-workers 0] [-lease-ttl 15s]
+//	      [-trace-history 64] [-audit-history 64]
+//	      [-scale-slo 0] [-scale-fast-window 1m] [-scale-slow-window 5m]
+//	      [-scale-hysteresis 30s] [-scale-hook CMD]
 //	      [-pprof] [-version] [-quiet]
 //
 // API (see README "Running as a service" for curl examples):
@@ -39,8 +42,12 @@
 //	GET    /healthz             liveness (always 200 while the process
 //	                            serves; use /readyz for drain state)
 //	GET    /readyz              readiness (503 once draining begins)
-//	GET    /v1/fleet            peer roster + work-pool counters
+//	GET    /v1/fleet            peer roster + work-pool counters (+ the
+//	                            autoscale advisor's advice with -scale-slo)
+//	GET    /v1/batches/{id}/trace fleet-merged Chrome trace of a batch
 //	GET    /metrics             Prometheus text exposition
+//	GET    /metrics/federate    fleet-merged exposition (all ready peers;
+//	                            watch it live with cmd/qlecstat)
 //	GET    /metrics.json        legacy JSON counter snapshot
 //	GET    /version             build/VCS metadata
 //	GET    /debug/pprof/        profiling endpoints (with -pprof)
@@ -67,6 +74,7 @@ import (
 	"time"
 
 	"qlec/internal/cli"
+	"qlec/internal/fleet"
 	"qlec/internal/obs"
 	"qlec/internal/service"
 )
@@ -89,6 +97,15 @@ func main() {
 		join        = flag.String("join", "", "existing fleet member to join through (adopts its roster)")
 		cellWorkers = flag.Int("cell-workers", 0, "fleet cell executors (0 = same as -workers)")
 		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "fleet work-lease TTL; a dead peer's cells re-pool after this")
+
+		traceHistory = flag.Int("trace-history", 64, "per-job trace recorders retained (FIFO eviction)")
+		auditHistory = flag.Int("audit-history", 64, "per-job audit artifacts retained (FIFO eviction)")
+
+		scaleSLO        = flag.Duration("scale-slo", 0, "queue-wait SLO driving the autoscale advisor (0 = advisor off)")
+		scaleFastWindow = flag.Duration("scale-fast-window", time.Minute, "advisor fast burn-rate window")
+		scaleSlowWindow = flag.Duration("scale-slow-window", 5*time.Minute, "advisor slow burn-rate window")
+		scaleHysteresis = flag.Duration("scale-hysteresis", 30*time.Second, "how long a lower recommendation must hold before publishing")
+		scaleHook       = flag.String("scale-hook", "", "shell command run when the recommendation changes to a non-zero delta (QLECD_SCALE_DELTA/QLECD_SCALE_REASON exported)")
 	)
 	logCfg := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
@@ -114,19 +131,28 @@ func main() {
 		}
 	}
 	srv, err := service.New(service.Options{
-		DataDir:    *dataDir,
-		Workers:    *workers,
-		SimWorkers: *simWorkers,
-		QueueLimit: *queueLimit,
-		MaxRetries: *retries,
-		Logger:     logger,
-		Pprof:      *enablePprof,
+		DataDir:      *dataDir,
+		Workers:      *workers,
+		SimWorkers:   *simWorkers,
+		QueueLimit:   *queueLimit,
+		MaxRetries:   *retries,
+		Logger:       logger,
+		Pprof:        *enablePprof,
+		TraceHistory: *traceHistory,
+		AuditHistory: *auditHistory,
 		Fleet: service.FleetOptions{
 			Self:        *self,
 			Peers:       peers,
 			Join:        *join,
 			CellWorkers: *cellWorkers,
 			LeaseTTL:    *leaseTTL,
+			ScaleHook:   *scaleHook,
+			Advisor: fleet.AdvisorConfig{
+				SLO:        *scaleSLO,
+				FastWindow: *scaleFastWindow,
+				SlowWindow: *scaleSlowWindow,
+				Hysteresis: *scaleHysteresis,
+			},
 		},
 	})
 	if err != nil {

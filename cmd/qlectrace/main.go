@@ -16,15 +16,28 @@
 // stream — useful for drilling into a single node's traffic that
 // qlecaudit flagged.
 //
+// With -chrome the input is instead a Chrome trace_event JSON document —
+// a fleet-merged distributed trace downloaded from qlecd
+// (GET /v1/jobs/{id}/trace or /v1/batches/{id}/trace). qlectrace then
+// renders one lane per daemon (the trace's process_name metadata) and a
+// chronological span listing, so a multi-peer execution reads as one
+// timeline without opening a browser:
+//
+//	curl -s $BASE/v1/jobs/j00000001/trace > trace.json
+//	qlectrace -chrome trace.json
+//	qlectrace -chrome -limit 20 trace.json
+//
 // Ctrl-C (or an elapsed -timeout) aborts a stalled read — useful when
 // analyzing a pipe that stops producing.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"qlec/internal/cli"
 	"qlec/internal/network"
@@ -37,12 +50,14 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort reading after this long (0 = no limit)")
 	nodeF := flag.Int("node", -1, "only events where this node is the actor or target (-1 = all)")
 	roundF := flag.Int("round", -1, "only events from this round (-1 = all)")
+	chrome := flag.Bool("chrome", false, "input is Chrome trace_event JSON (a qlecd distributed trace), not a packet JSONL")
+	limit := flag.Int("limit", 40, "with -chrome: span listing rows (0 = all)")
 	prof := cli.ProfileFlags(flag.CommandLine)
 	logCfg := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
 	logCfg.MustSetup(os.Stderr)
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: qlectrace [-timeout 30s] [-node N] [-round R] <trace.jsonl | ->")
+		fmt.Fprintln(os.Stderr, "usage: qlectrace [-timeout 30s] [-node N] [-round R] [-chrome [-limit N]] <trace.jsonl | ->")
 		os.Exit(2)
 	}
 	if err := prof.Start(); err != nil {
@@ -62,6 +77,12 @@ func main() {
 		}
 		defer fh.Close()
 		src = fh
+	}
+	if *chrome {
+		if err := analyzeChrome(cli.Reader(ctx, src), *limit); err != nil {
+			fail(err)
+		}
+		return
 	}
 	events, err := traceio.ParseJSONL(cli.Reader(ctx, src))
 	if err != nil {
@@ -125,6 +146,92 @@ func main() {
 		})
 	}
 	fmt.Println(plot.Table([]string{"round", "generated", "delivered", "dropped"}, roundRows))
+}
+
+// chromeEvent is the subset of the trace_event schema the lane view
+// needs; qlecd's merged traces (obs.WriteChromeTrace) emit exactly it.
+type chromeEvent struct {
+	Name  string          `json:"name"`
+	Cat   string          `json:"cat"`
+	Phase string          `json:"ph"`
+	TS    int64           `json:"ts"`  // µs, rebased to the trace start
+	Dur   int64           `json:"dur"` // µs
+	PID   int             `json:"pid"`
+	Args  json.RawMessage `json:"args,omitempty"`
+}
+
+// analyzeChrome renders a fleet-merged Chrome trace as text: the daemon
+// lanes (process_name metadata), then the spans in start order. The
+// "lanes: N" line is the greppable contract CI uses to assert a trace
+// crossed peers.
+func analyzeChrome(src io.Reader, limit int) error {
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(src).Decode(&doc); err != nil {
+		return fmt.Errorf("parse chrome trace: %w", err)
+	}
+
+	lanes := map[int]string{}
+	perLane := map[int]int{}
+	var spans []chromeEvent
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "M":
+			if e.Name == "process_name" {
+				var args struct {
+					Name string `json:"name"`
+				}
+				_ = json.Unmarshal(e.Args, &args)
+				lanes[e.PID] = args.Name
+			}
+		case "X", "i", "I":
+			perLane[e.PID]++
+			spans = append(spans, e)
+		}
+	}
+	for pid := range perLane {
+		if _, ok := lanes[pid]; !ok {
+			lanes[pid] = fmt.Sprintf("pid %d", pid)
+		}
+	}
+
+	fmt.Printf("lanes: %d\n", len(lanes))
+	pids := make([]int, 0, len(lanes))
+	for pid := range lanes {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	var laneRows [][]string
+	for _, pid := range pids {
+		laneRows = append(laneRows, []string{lanes[pid], fmt.Sprintf("%d", perLane[pid])})
+	}
+	fmt.Println(plot.Table([]string{"lane (daemon)", "events"}, laneRows))
+
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].TS < spans[j].TS })
+	total := len(spans)
+	if limit > 0 && len(spans) > limit {
+		spans = spans[:limit]
+	}
+	var rows [][]string
+	for _, e := range spans {
+		dur := "-"
+		if e.Phase == "X" {
+			dur = fmt.Sprintf("%.3f", float64(e.Dur)/1000)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.3f", float64(e.TS)/1000),
+			dur,
+			lanes[e.PID],
+			e.Name,
+		})
+	}
+	fmt.Println()
+	fmt.Println(plot.Table([]string{"t (ms)", "dur (ms)", "lane", "span"}, rows))
+	if total > len(spans) {
+		fmt.Printf("(%d of %d spans shown; raise -limit for more)\n", len(spans), total)
+	}
+	return nil
 }
 
 func fail(err error) {

@@ -1,0 +1,246 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AdvisorConfig tunes the autoscale advisor. The zero value (SLO == 0)
+// disables it entirely.
+type AdvisorConfig struct {
+	// SLO is the target bound on queue wait (jobs and cells alike): an
+	// observation is "bad" when it waited longer than this. <= 0
+	// disables the advisor.
+	SLO time.Duration
+	// FastWindow / SlowWindow are the two burn-rate windows, SRE-style:
+	// scaling up requires the over-SLO fraction to exceed FastBurn over
+	// the fast window AND SlowBurn over the slow window, so a brief
+	// spike (fast only) or a long-ago incident still draining out of a
+	// single long window (slow only) cannot trigger alone.
+	FastWindow time.Duration // default 1m
+	SlowWindow time.Duration // default 5m
+	FastBurn   float64       // default 0.5  (half of recent waits over SLO)
+	SlowBurn   float64       // default 0.25
+	// Hysteresis is how long a *lower* raw target must hold before the
+	// published recommendation drops to it. Scale-up is immediate (react
+	// fast to pain), scale-down and return-to-zero are damped (relax
+	// slowly) so the recommendation cannot flap with the queue.
+	Hysteresis time.Duration // default 30s
+	// MaxStep caps |delta| per recommendation. Default 4.
+	MaxStep int
+}
+
+func (c AdvisorConfig) withDefaults() AdvisorConfig {
+	if c.FastWindow <= 0 {
+		c.FastWindow = time.Minute
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = 5 * time.Minute
+	}
+	if c.FastBurn <= 0 {
+		c.FastBurn = 0.5
+	}
+	if c.SlowBurn <= 0 {
+		c.SlowBurn = 0.25
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 30 * time.Second
+	}
+	if c.MaxStep <= 0 {
+		c.MaxStep = 4
+	}
+	return c
+}
+
+// Sample is one observation of the daemon's load, fed to the advisor on
+// a fixed cadence. WaitCount/WaitOverSLO/Starved are cumulative
+// counters (histogram count and over-SLO count summed over the job
+// queue-wait and fleet cell-wait histograms); the advisor differences
+// them across its windows.
+type Sample struct {
+	At          time.Time
+	WaitCount   uint64 // cumulative queue-wait observations (jobs + cells)
+	WaitOverSLO uint64 // cumulative observations above the SLO
+	Starved     uint64 // cumulative empty-handed executor polls
+	Backlog     int    // queued jobs + pending cells right now
+	ReadyPeers  int    // ready fleet members, self included
+	Workers     int    // this daemon's job + cell workers
+	BusyWorkers int
+}
+
+// Advice is the advisor's current recommendation: Delta peers to add
+// (positive) or remove (negative), with the reasoning and the burn
+// rates that produced it.
+type Advice struct {
+	Delta      int       `json:"delta"`
+	Reason     string    `json:"reason"`
+	FastBurn   float64   `json:"fastBurn"`
+	SlowBurn   float64   `json:"slowBurn"`
+	SLOSeconds float64   `json:"sloSeconds"`
+	At         time.Time `json:"at"`
+}
+
+// Advisor turns queue-wait burn rates and steal starvation into a
+// scale recommendation. It is deliberately pure state-machine: callers
+// feed Samples (with their own clock) and read Advice, so every
+// transition is unit-testable with synthetic time.
+type Advisor struct {
+	cfg AdvisorConfig
+
+	mu           sync.Mutex
+	hist         []Sample
+	current      Advice
+	pendingDelta int
+	pendingSince time.Time
+	hasPending   bool
+}
+
+// NewAdvisor builds an advisor; if cfg.SLO <= 0 every Observe returns
+// the zero Advice and the advisor is effectively off.
+func NewAdvisor(cfg AdvisorConfig) *Advisor {
+	return &Advisor{cfg: cfg.withDefaults()}
+}
+
+// Enabled reports whether an SLO is configured.
+func (a *Advisor) Enabled() bool { return a != nil && a.cfg.SLO > 0 }
+
+// SLO returns the configured wait-time SLO (0 when disabled).
+func (a *Advisor) SLO() time.Duration {
+	if a == nil {
+		return 0
+	}
+	return a.cfg.SLO
+}
+
+// Current returns the latest published advice.
+func (a *Advisor) Current() Advice {
+	if a == nil {
+		return Advice{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.current
+}
+
+// Observe feeds one load sample and returns the (possibly updated)
+// published advice.
+func (a *Advisor) Observe(s Sample) Advice {
+	if !a.Enabled() {
+		return Advice{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	a.hist = append(a.hist, s)
+	a.prune(s.At)
+
+	fast := a.burn(s, a.cfg.FastWindow)
+	slow := a.burn(s, a.cfg.SlowWindow)
+	raw, reason := a.rawTarget(s, fast, slow)
+
+	// Upward moves publish immediately; downward moves (including back
+	// to zero) must hold for the hysteresis window first.
+	publish := raw > a.current.Delta
+	if raw < a.current.Delta {
+		if !a.hasPending || a.pendingDelta != raw {
+			a.pendingDelta, a.pendingSince, a.hasPending = raw, s.At, true
+		} else if s.At.Sub(a.pendingSince) >= a.cfg.Hysteresis {
+			publish = true
+		}
+	}
+	if raw == a.current.Delta || publish {
+		a.hasPending = false
+	}
+	if publish || raw == a.current.Delta {
+		a.current = Advice{
+			Delta: raw, Reason: reason,
+			FastBurn: fast, SlowBurn: slow,
+			SLOSeconds: a.cfg.SLO.Seconds(), At: s.At,
+		}
+	} else {
+		// Keep the published delta but refresh the observed burn rates.
+		a.current.FastBurn, a.current.SlowBurn, a.current.At = fast, slow, s.At
+	}
+	return a.current
+}
+
+// prune drops samples that have aged out of the slow window, always
+// keeping at least one older sample as the window baseline.
+func (a *Advisor) prune(now time.Time) {
+	cutoff := now.Add(-a.cfg.SlowWindow)
+	i := 0
+	for i < len(a.hist)-1 && !a.hist[i+1].At.After(cutoff) {
+		i++
+	}
+	if i > 0 {
+		a.hist = append(a.hist[:0], a.hist[i:]...)
+	}
+}
+
+// burn computes the over-SLO fraction of wait observations across the
+// trailing window: Δover / Δcount against the newest sample at least
+// window old (or the oldest held).
+func (a *Advisor) burn(cur Sample, window time.Duration) float64 {
+	base := a.hist[0]
+	cutoff := cur.At.Add(-window)
+	for _, s := range a.hist {
+		if s.At.After(cutoff) {
+			break
+		}
+		base = s
+	}
+	dCount := cur.WaitCount - base.WaitCount
+	if dCount == 0 {
+		return 0
+	}
+	return float64(cur.WaitOverSLO-base.WaitOverSLO) / float64(dCount)
+}
+
+// rawTarget is the undamped recommendation for the current sample.
+func (a *Advisor) rawTarget(s Sample, fast, slow float64) (int, string) {
+	slo := a.cfg.SLO
+	if fast >= a.cfg.FastBurn && slow >= a.cfg.SlowBurn {
+		// Size the step by how outnumbered the workers are, capped.
+		delta := 1
+		if s.Workers > 0 {
+			delta = (s.Backlog + s.Workers - 1) / s.Workers
+		}
+		if delta < 1 {
+			delta = 1
+		}
+		if delta > a.cfg.MaxStep {
+			delta = a.cfg.MaxStep
+		}
+		return delta, fmt.Sprintf(
+			"queue wait over the %s SLO: burn %.2f/%.2f across %s/%s windows, backlog %d on %d workers — add %d peer(s)",
+			slo, fast, slow, a.cfg.FastWindow, a.cfg.SlowWindow, s.Backlog, s.Workers, delta)
+	}
+	// Scale down only when the whole slow window was clean, executors
+	// are starving for work, nothing is backlogged, and there is a peer
+	// to spare.
+	if s.Backlog == 0 && slow == 0 && s.ReadyPeers > 1 && a.starvedOver(s, a.cfg.SlowWindow) {
+		return -1, fmt.Sprintf(
+			"no waits over the %s SLO in %s, empty backlog and starving executors across %d ready peers — remove 1 peer",
+			slo, a.cfg.SlowWindow, s.ReadyPeers)
+	}
+	return 0, fmt.Sprintf("queue wait within the %s SLO (burn %.2f/%.2f)", slo, fast, slow)
+}
+
+// starvedOver reports whether executors went empty-handed during the
+// trailing window (the starvation counter rose) with a baseline old
+// enough to cover it.
+func (a *Advisor) starvedOver(cur Sample, window time.Duration) bool {
+	base := a.hist[0]
+	if cur.At.Sub(base.At) < window {
+		return false // not enough history to judge idleness yet
+	}
+	cutoff := cur.At.Add(-window)
+	for _, s := range a.hist {
+		if s.At.After(cutoff) {
+			break
+		}
+		base = s
+	}
+	return cur.Starved > base.Starved
+}

@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// advisorTestConfig keeps the windows small and round so sample times
+// are easy to reason about: fast 10s, slow 30s, hysteresis 20s.
+func advisorTestConfig() AdvisorConfig {
+	return AdvisorConfig{
+		SLO:        100 * time.Millisecond,
+		FastWindow: 10 * time.Second,
+		SlowWindow: 30 * time.Second,
+		FastBurn:   0.5,
+		SlowBurn:   0.25,
+		Hysteresis: 20 * time.Second,
+		MaxStep:    4,
+	}
+}
+
+func TestAdvisorDisabledWithoutSLO(t *testing.T) {
+	a := NewAdvisor(AdvisorConfig{})
+	if a.Enabled() {
+		t.Fatal("zero-config advisor reports enabled")
+	}
+	adv := a.Observe(Sample{At: time.Unix(1000, 0), WaitCount: 10, WaitOverSLO: 10})
+	if adv.Delta != 0 || adv.Reason != "" {
+		t.Fatalf("disabled advisor advised %+v, want zero", adv)
+	}
+}
+
+// TestAdvisorScaleUpImmediate: both burn windows over threshold flips
+// the recommendation positive on the very sample that crosses — no
+// hysteresis on the way up.
+func TestAdvisorScaleUpImmediate(t *testing.T) {
+	a := NewAdvisor(advisorTestConfig())
+	t0 := time.Unix(1000, 0)
+
+	// 40s of clean baseline so both windows have history.
+	for i := 0; i <= 40; i += 5 {
+		adv := a.Observe(Sample{At: t0.Add(time.Duration(i) * time.Second), WaitCount: uint64(10 + i), Workers: 2})
+		if adv.Delta != 0 {
+			t.Fatalf("clean sample at +%ds advised delta %d, want 0", i, adv.Delta)
+		}
+	}
+	// Then every new wait is over the SLO: 60 new observations, all bad,
+	// so fast burn = slow burn = 1.0 over their windows.
+	adv := a.Observe(Sample{
+		At:          t0.Add(45 * time.Second),
+		WaitCount:   110,
+		WaitOverSLO: 60,
+		Backlog:     7,
+		Workers:     2,
+		ReadyPeers:  1,
+	})
+	if adv.Delta <= 0 {
+		t.Fatalf("over-SLO sample advised delta %d, want positive (reason %q)", adv.Delta, adv.Reason)
+	}
+	// ceil(7/2) = 4, exactly MaxStep.
+	if adv.Delta != 4 {
+		t.Errorf("delta = %d, want ceil(backlog/workers) = 4", adv.Delta)
+	}
+	if !strings.Contains(adv.Reason, "add") {
+		t.Errorf("reason %q does not explain the scale-up", adv.Reason)
+	}
+	if adv.FastBurn < 0.5 || adv.SlowBurn < 0.25 {
+		t.Errorf("burn rates %.2f/%.2f, want both over their thresholds", adv.FastBurn, adv.SlowBurn)
+	}
+}
+
+// TestAdvisorMaxStepCapsDelta: a huge backlog cannot recommend more
+// than MaxStep peers at once.
+func TestAdvisorMaxStepCapsDelta(t *testing.T) {
+	cfg := advisorTestConfig()
+	cfg.MaxStep = 2
+	a := NewAdvisor(cfg)
+	t0 := time.Unix(1000, 0)
+	a.Observe(Sample{At: t0, WaitCount: 10, Workers: 1})
+	adv := a.Observe(Sample{
+		At: t0.Add(31 * time.Second), WaitCount: 100, WaitOverSLO: 90,
+		Backlog: 500, Workers: 1,
+	})
+	if adv.Delta != 2 {
+		t.Fatalf("delta = %d, want capped at MaxStep 2", adv.Delta)
+	}
+}
+
+// TestAdvisorFastSpikeAloneDoesNotScale: a burst that only trips the
+// fast window (slow window still mostly clean) stays at zero — the
+// two-window AND is the flap guard.
+func TestAdvisorFastSpikeAloneDoesNotScale(t *testing.T) {
+	a := NewAdvisor(advisorTestConfig())
+	t0 := time.Unix(1000, 0)
+	// 30s of heavy clean traffic: 1000 good observations.
+	for i := 0; i <= 30; i += 5 {
+		a.Observe(Sample{At: t0.Add(time.Duration(i) * time.Second), WaitCount: uint64(200 * (i/5 + 1)), Workers: 2})
+	}
+	// A spike of 200 bad waits on top: fast window holds 200 good + 200
+	// bad (burn 0.5, at threshold), slow window 1000 good + 200 bad
+	// (burn 0.17, under its 0.25 threshold).
+	adv := a.Observe(Sample{
+		At: t0.Add(35 * time.Second), WaitCount: 1600, WaitOverSLO: 200,
+		Backlog: 4, Workers: 2,
+	})
+	if adv.Delta != 0 {
+		t.Fatalf("fast-only spike advised delta %d, want 0 (burn %.2f/%.2f)", adv.Delta, adv.FastBurn, adv.SlowBurn)
+	}
+}
+
+// TestAdvisorScaleDownNeedsHysteresis: after a scale-up, recovery does
+// not drop the recommendation until the lower target has held for the
+// hysteresis window; and the drop lands at the pending target.
+func TestAdvisorScaleDownNeedsHysteresis(t *testing.T) {
+	a := NewAdvisor(advisorTestConfig())
+	t0 := time.Unix(1000, 0)
+	a.Observe(Sample{At: t0, WaitCount: 10, Workers: 2})
+	adv := a.Observe(Sample{
+		At: t0.Add(31 * time.Second), WaitCount: 70, WaitOverSLO: 40,
+		Backlog: 2, Workers: 2,
+	})
+	if adv.Delta != 1 {
+		t.Fatalf("setup: delta = %d, want 1", adv.Delta)
+	}
+
+	// Recovery: no new over-SLO waits from here on. The bad burst ages
+	// out of the fast window by recov+10, which is when the raw target
+	// first returns to 0 and the hysteresis clock starts; the published
+	// delta must hold for 20s beyond that, i.e. until recov+30.
+	recov := t0.Add(31 * time.Second)
+	for i := 5; i <= 25; i += 5 {
+		adv = a.Observe(Sample{
+			At: recov.Add(time.Duration(i) * time.Second), WaitCount: 70 + uint64(i), WaitOverSLO: 40,
+			Workers: 2,
+		})
+		if adv.Delta != 1 {
+			t.Fatalf("recommendation dropped to %d only %ds into recovery, want 1 until hysteresis elapses", adv.Delta, i)
+		}
+	}
+	adv = a.Observe(Sample{At: recov.Add(30 * time.Second), WaitCount: 100, WaitOverSLO: 40, Workers: 2})
+	if adv.Delta != 0 {
+		t.Fatalf("delta = %d after hysteresis elapsed, want 0 (reason %q)", adv.Delta, adv.Reason)
+	}
+}
+
+// TestAdvisorScaleDownOnStarvation: a clean slow window with starving
+// executors and spare peers recommends removing one — after holding
+// through hysteresis.
+func TestAdvisorScaleDownOnStarvation(t *testing.T) {
+	a := NewAdvisor(advisorTestConfig())
+	t0 := time.Unix(1000, 0)
+	// 60s of idle fleet: no waits at all, starvation counter climbing.
+	var adv Advice
+	for i := 0; i <= 60; i += 5 {
+		adv = a.Observe(Sample{
+			At:         t0.Add(time.Duration(i) * time.Second),
+			WaitCount:  5, // stale history, nothing new
+			Starved:    uint64(100 + i*10),
+			ReadyPeers: 3,
+			Workers:    2,
+		})
+	}
+	if adv.Delta != -1 {
+		t.Fatalf("idle fleet advised delta %d, want -1 (reason %q)", adv.Delta, adv.Reason)
+	}
+	if !strings.Contains(adv.Reason, "remove") {
+		t.Errorf("reason %q does not explain the scale-down", adv.Reason)
+	}
+}
+
+// TestAdvisorNoScaleDownWithoutSparePeer: starving executors on the
+// last daemon standing never recommend going below one.
+func TestAdvisorNoScaleDownWithoutSparePeer(t *testing.T) {
+	a := NewAdvisor(advisorTestConfig())
+	t0 := time.Unix(1000, 0)
+	var adv Advice
+	for i := 0; i <= 60; i += 5 {
+		adv = a.Observe(Sample{
+			At:         t0.Add(time.Duration(i) * time.Second),
+			WaitCount:  5,
+			Starved:    uint64(100 + i*10),
+			ReadyPeers: 1,
+			Workers:    2,
+		})
+	}
+	if adv.Delta != 0 {
+		t.Fatalf("single-peer fleet advised delta %d, want 0", adv.Delta)
+	}
+}
+
+// TestAdvisorCurrentMatchesObserve: Current returns what the last
+// Observe published, including for a nil advisor.
+func TestAdvisorCurrentMatchesObserve(t *testing.T) {
+	var nilAdv *Advisor
+	if nilAdv.Current().Delta != 0 || nilAdv.Enabled() {
+		t.Fatal("nil advisor is not inert")
+	}
+	a := NewAdvisor(advisorTestConfig())
+	t0 := time.Unix(1000, 0)
+	a.Observe(Sample{At: t0, WaitCount: 1, Workers: 1})
+	got := a.Observe(Sample{At: t0.Add(31 * time.Second), WaitCount: 50, WaitOverSLO: 40, Backlog: 1, Workers: 1})
+	if cur := a.Current(); cur != got {
+		t.Fatalf("Current() = %+v, Observe returned %+v", cur, got)
+	}
+	if a.SLO() != 100*time.Millisecond {
+		t.Fatalf("SLO() = %v, want 100ms", a.SLO())
+	}
+}

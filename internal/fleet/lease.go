@@ -13,6 +13,10 @@ import (
 type Cell struct {
 	Hash string          `json:"hash"`
 	Spec json.RawMessage `json:"spec"`
+	// Trace is the scheduling job's W3C traceparent, carried with the
+	// cell so whoever executes it — the coordinator or a stealing peer —
+	// records its spans into the same distributed trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Lease is one granted cell: execute it and report completion before
@@ -26,16 +30,21 @@ type Lease struct {
 	Holder  string    `json:"holder"`
 	Cell    Cell      `json:"cell"`
 	Expires time.Time `json:"expires"`
+	// Waited is how long the cell sat in the pending pool before this
+	// lease — the queue-wait signal the coordinator feeds its cell-wait
+	// histogram (and through it the autoscale advisor).
+	Waited time.Duration `json:"waited,omitempty"`
 }
 
 // Table is the coordinator-side cell pool: pending cells FIFO, leased
 // cells under TTL. All methods are safe for concurrent use.
 type Table struct {
 	mu      sync.Mutex
-	pending []string         // FIFO of hashes
-	cells   map[string]Cell  // every live cell (pending or leased)
-	leases  map[string]lease // lease ID → grant
+	pending []string             // FIFO of hashes
+	cells   map[string]Cell      // every live cell (pending or leased)
+	leases  map[string]lease     // lease ID → grant
 	byHash  map[string]string
+	offered map[string]time.Time // when each cell last entered the pending pool
 	nextID  int
 	expired uint64 // cumulative lease expiries (metrics)
 }
@@ -49,9 +58,10 @@ type lease struct {
 // NewTable builds an empty pool.
 func NewTable() *Table {
 	return &Table{
-		cells:  make(map[string]Cell),
-		leases: make(map[string]lease),
-		byHash: make(map[string]string),
+		cells:   make(map[string]Cell),
+		leases:  make(map[string]lease),
+		byHash:  make(map[string]string),
+		offered: make(map[string]time.Time),
 	}
 }
 
@@ -65,6 +75,7 @@ func (t *Table) Offer(c Cell) bool {
 	}
 	t.cells[c.Hash] = c
 	t.pending = append(t.pending, c.Hash)
+	t.offered[c.Hash] = time.Now()
 	return true
 }
 
@@ -81,11 +92,18 @@ func (t *Table) Acquire(holder string, max int, ttl time.Duration, now time.Time
 			continue // completed or withdrawn while pending
 		}
 		t.nextID++
+		var waited time.Duration
+		if at, ok := t.offered[hash]; ok {
+			if w := now.Sub(at); w > 0 {
+				waited = w
+			}
+		}
 		l := Lease{
 			ID:      fmt.Sprintf("l%08d", t.nextID),
 			Holder:  holder,
 			Cell:    cell,
 			Expires: now.Add(ttl),
+			Waited:  waited,
 		}
 		t.leases[l.ID] = lease{hash: hash, holder: holder, expires: l.Expires}
 		t.byHash[hash] = l.ID
@@ -121,6 +139,7 @@ func (t *Table) Complete(hash string) bool {
 		return false
 	}
 	delete(t.cells, hash)
+	delete(t.offered, hash)
 	if id, ok := t.byHash[hash]; ok {
 		delete(t.leases, id)
 		delete(t.byHash, hash)
@@ -142,6 +161,7 @@ func (t *Table) Withdraw(hash string) bool {
 		return false
 	}
 	delete(t.cells, hash)
+	delete(t.offered, hash)
 	return true
 }
 
@@ -159,6 +179,9 @@ func (t *Table) ExpireDue(now time.Time) []Cell {
 		delete(t.byHash, l.hash)
 		if cell, ok := t.cells[l.hash]; ok {
 			t.pending = append(t.pending, l.hash)
+			// Restart the wait clock: the histogram measures current
+			// starvation, not cumulative time across expired leases.
+			t.offered[l.hash] = now
 			out = append(out, cell)
 			t.expired++
 		}

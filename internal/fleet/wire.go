@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"qlec/internal/obs"
 )
 
 // Wire types of the peer-to-peer cell protocol, mounted by
@@ -64,6 +66,9 @@ type Status struct {
 	CellsLeased  int         `json:"cellsLeased"`
 	LeaseExpiry  uint64      `json:"leaseExpiries"`
 	OpenBatches  int         `json:"openBatches"`
+	// Advice is the autoscale advisor's current recommendation; absent
+	// when no SLO is configured.
+	Advice *Advice `json:"advice,omitempty"`
 }
 
 // Client is the thin HTTP client daemons use to talk to each other. It
@@ -101,6 +106,13 @@ func (c *Client) do(ctx context.Context, method, peer, path string, in, out any)
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Every peer call joins the caller's distributed trace, if any: the
+	// receiving daemon's middleware extracts this header, so steals,
+	// renewals, completions and cache proxying thread one trace ID
+	// across the fleet.
+	if sc := obs.SpanFromContext(ctx); sc.Valid() {
+		req.Header.Set(obs.TraceParentHeader, sc.TraceParent())
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -186,4 +198,34 @@ func (c *Client) CacheGet(ctx context.Context, peer, hash string) (json.RawMessa
 // future lookups anywhere in the fleet resolve with one proxy hop.
 func (c *Client) CachePut(ctx context.Context, peer, hash string, env json.RawMessage) error {
 	return c.do(ctx, http.MethodPut, peer, "/v1/fleet/cache/"+hash, env, nil)
+}
+
+// TraceSpans fetches the spans a peer recorded for one trace ID, for
+// stitching a fleet-wide timeline.
+func (c *Client) TraceSpans(ctx context.Context, peer, traceID string) ([]obs.SpanRecord, error) {
+	var spans []obs.SpanRecord
+	if err := c.do(ctx, http.MethodGet, peer, "/v1/fleet/trace/"+traceID, nil, &spans); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}
+
+// MetricsText fetches a peer's raw Prometheus exposition for the
+// federation endpoint. The body is capped at 8 MiB — far above any real
+// qlecd exposition, low enough to bound a misbehaving peer.
+func (c *Client) MetricsText(ctx context.Context, peer string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(peer, "/")+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("fleet: GET %s/metrics: %d", peer, resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 8<<20))
 }

@@ -8,6 +8,7 @@ const (
 	ctxKeyRequestID ctxKey = iota
 	ctxKeyMetrics
 	ctxKeyTrace
+	ctxKeySpan
 )
 
 // ContextWithRequestID attaches a correlation ID to ctx.

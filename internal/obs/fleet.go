@@ -23,7 +23,24 @@ type FleetMetrics struct {
 	// CacheReplications counts result envelopes pushed to their ring
 	// owner after execution.
 	CacheReplications *Counter
+	// CellsCompleted counts cells whose results this daemon accepted as
+	// coordinator (first completion per cell; late duplicates from lease
+	// races are not counted). Summing it across a federated scrape gives
+	// the fleet's total completed cells exactly once.
+	CellsCompleted *Counter
+	// StealStarvation counts executor polls that found no work anywhere:
+	// the local pool was empty and the steal round came back empty-handed.
+	// Its rate is the advisor's scale-down signal.
+	StealStarvation *Counter
+	// CellWait observes how long each cell sat pooled before an executor
+	// acquired it — the fleet-level analogue of the job queue-wait
+	// histogram, and the advisor's scale-up signal for batch work.
+	CellWait *Histogram
 }
+
+// CellWaitBuckets match the job queue-wait buckets so one SLO bound
+// addresses both histograms.
+var CellWaitBuckets = []float64{0.001, 0.01, 0.1, 1, 10, 60, 600}
 
 // NewFleetMetrics registers the fleet counters on r.
 func NewFleetMetrics(r *Registry) *FleetMetrics {
@@ -40,5 +57,12 @@ func NewFleetMetrics(r *Registry) *FleetMetrics {
 			"Results fetched from their ring owner instead of recomputing."),
 		CacheReplications: r.Counter("qlecd_fleet_cache_replications_total",
 			"Result envelopes replicated to their ring owner after execution."),
+		CellsCompleted: r.Counter("qlecd_fleet_cells_completed_total",
+			"Cells completed under this daemon's coordination (first completion per cell)."),
+		StealStarvation: r.Counter("qlecd_fleet_steal_starvation_total",
+			"Executor polls that found no local work and no stealable peer work."),
+		CellWait: r.Histogram("qlecd_fleet_cell_wait_seconds",
+			"Seconds each cell waited in the pool before an executor acquired it.",
+			CellWaitBuckets),
 	}
 }

@@ -44,7 +44,11 @@ func Middleware(logger *slog.Logger, m *HTTPMetrics, next http.Handler) http.Han
 			rid = NewRequestID()
 		}
 		w.Header().Set(RequestIDHeader, rid)
-		req = req.WithContext(ContextWithRequestID(req.Context(), rid))
+		ctx := ContextWithRequestID(req.Context(), rid)
+		if sc, ok := ParseTraceParent(req.Header.Get(TraceParentHeader)); ok {
+			ctx = ContextWithSpan(ctx, sc)
+		}
+		req = req.WithContext(ctx)
 
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()

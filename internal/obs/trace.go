@@ -92,6 +92,33 @@ func (t *TraceRecorder) Len() int {
 	return len(t.events)
 }
 
+// Export converts the recorder's events into SpanRecords with absolute
+// wall-clock timestamps, attributed to the given trace ID and instance,
+// so they can be merged with spans recorded on other peers.
+func (t *TraceRecorder) Export(traceID, instance string) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	events := append([]traceEvent(nil), t.events...)
+	base := t.start
+	t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(events))
+	for _, ev := range events {
+		out = append(out, SpanRecord{
+			TraceID:  traceID,
+			Name:     ev.Name,
+			Cat:      ev.Cat,
+			Instance: instance,
+			Phase:    ev.Phase,
+			StartUS:  base.UnixMicro() + ev.TS,
+			DurUS:    ev.Dur,
+			Args:     ev.Args,
+		})
+	}
+	return out
+}
+
 // WriteJSON emits the Chrome trace_event envelope.
 func (t *TraceRecorder) WriteJSON(w io.Writer) error {
 	t.mu.Lock()

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one span (or instant) of a distributed trace in a
+// peer-neutral form: absolute unix-microsecond timestamps plus the
+// instance that recorded it. Peers exchange []SpanRecord over
+// GET /v1/fleet/trace/{traceID}; WriteChromeTrace stitches records from
+// many peers into one timeline with a lane per instance.
+type SpanRecord struct {
+	TraceID  string         `json:"traceId"`
+	SpanID   string         `json:"spanId,omitempty"`
+	Parent   string         `json:"parent,omitempty"`
+	Name     string         `json:"name"`
+	Cat      string         `json:"cat,omitempty"`
+	Instance string         `json:"instance"`
+	Phase    string         `json:"phase"`   // "X" complete span, "i" instant
+	StartUS  int64          `json:"startUs"` // unix microseconds
+	DurUS    int64          `json:"durUs,omitempty"`
+	Args     map[string]any `json:"args,omitempty"`
+}
+
+// Default TraceStore bounds: traces are evicted FIFO past MaxStoreTraces
+// and each trace keeps at most MaxStoreSpans records.
+const (
+	DefaultStoreTraces = 256
+	DefaultStoreSpans  = 4096
+)
+
+// TraceStore holds the spans this instance recorded, grouped by trace
+// ID, bounded in both directions (trace count FIFO, spans per trace).
+// It is the per-daemon half of cross-peer tracing: every peer keeps its
+// own store, and whoever serves the merged view fans out to collect.
+type TraceStore struct {
+	instance  string
+	mu        sync.Mutex
+	byTrace   map[string][]SpanRecord
+	order     []string
+	maxTraces int
+	maxSpans  int
+	dropped   uint64
+}
+
+// NewTraceStore returns a store labelling every span with instance.
+// maxTraces/maxSpans <= 0 use the defaults.
+func NewTraceStore(instance string, maxTraces, maxSpans int) *TraceStore {
+	if maxTraces <= 0 {
+		maxTraces = DefaultStoreTraces
+	}
+	if maxSpans <= 0 {
+		maxSpans = DefaultStoreSpans
+	}
+	return &TraceStore{
+		instance:  instance,
+		byTrace:   make(map[string][]SpanRecord),
+		maxTraces: maxTraces,
+		maxSpans:  maxSpans,
+	}
+}
+
+// Span records a complete span under sc's trace. No-op on an invalid
+// context or nil store, so callers never need to guard.
+func (s *TraceStore) Span(sc SpanContext, name, cat string, start, end time.Time, args map[string]any) {
+	if s == nil || sc.TraceID == "" {
+		return
+	}
+	dur := end.Sub(start).Microseconds()
+	if dur < 1 {
+		dur = 1
+	}
+	s.add(SpanRecord{
+		TraceID: sc.TraceID, SpanID: sc.SpanID, Parent: sc.Parent,
+		Name: name, Cat: cat, Instance: s.instance, Phase: "X",
+		StartUS: start.UnixMicro(), DurUS: dur, Args: args,
+	})
+}
+
+// Instant records a point event under sc's trace at time now.
+func (s *TraceStore) Instant(sc SpanContext, name, cat string, args map[string]any) {
+	if s == nil || sc.TraceID == "" {
+		return
+	}
+	s.add(SpanRecord{
+		TraceID: sc.TraceID, SpanID: sc.SpanID, Parent: sc.Parent,
+		Name: name, Cat: cat, Instance: s.instance, Phase: "i",
+		StartUS: time.Now().UnixMicro(), Args: args,
+	})
+}
+
+func (s *TraceStore) add(r SpanRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	spans, ok := s.byTrace[r.TraceID]
+	if !ok {
+		for len(s.order) >= s.maxTraces {
+			delete(s.byTrace, s.order[0])
+			s.order = s.order[1:]
+		}
+		s.order = append(s.order, r.TraceID)
+	}
+	if len(spans) >= s.maxSpans {
+		s.dropped++
+		return
+	}
+	s.byTrace[r.TraceID] = append(spans, r)
+}
+
+// Spans returns a copy of the records held for one trace.
+func (s *TraceStore) Spans(traceID string) []SpanRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SpanRecord(nil), s.byTrace[traceID]...)
+}
+
+// Traces returns the number of distinct traces currently held.
+func (s *TraceStore) Traces() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byTrace)
+}
+
+// WriteChromeTrace merges span records — typically gathered from
+// several peers — into one Chrome trace_event JSON document. Each
+// instance becomes its own process lane (pid) named via process_name
+// metadata; timestamps are rebased to the earliest span so the timeline
+// starts at zero.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	instances := make([]string, 0, 4)
+	seen := make(map[string]bool)
+	base := int64(0)
+	for i, r := range spans {
+		if !seen[r.Instance] {
+			seen[r.Instance] = true
+			instances = append(instances, r.Instance)
+		}
+		if i == 0 || r.StartUS < base {
+			base = r.StartUS
+		}
+	}
+	sort.Strings(instances)
+	pid := make(map[string]int, len(instances))
+	events := make([]traceEvent, 0, len(spans)+len(instances))
+	for i, inst := range instances {
+		pid[inst] = i + 1
+		events = append(events, traceEvent{
+			Name: "process_name", Cat: "__metadata", Phase: "M",
+			PID: i + 1, TID: 1,
+			Args: map[string]any{"name": inst},
+		})
+	}
+	ordered := append([]SpanRecord(nil), spans...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].StartUS < ordered[j].StartUS })
+	for _, r := range ordered {
+		ev := traceEvent{
+			Name: r.Name, Cat: r.Cat, Phase: r.Phase,
+			TS: r.StartUS - base, Dur: r.DurUS,
+			PID: pid[r.Instance], TID: 1,
+		}
+		if ev.Phase == "" {
+			ev.Phase = "X"
+		}
+		if ev.Phase == "i" {
+			ev.Scope = "t"
+		}
+		if r.SpanID != "" || r.Parent != "" || r.TraceID != "" {
+			ev.Args = map[string]any{}
+			for k, v := range r.Args {
+				ev.Args[k] = v
+			}
+			if r.TraceID != "" {
+				ev.Args["trace"] = r.TraceID
+			}
+			if r.SpanID != "" {
+				ev.Args["span"] = r.SpanID
+			}
+			if r.Parent != "" {
+				ev.Args["parentSpan"] = r.Parent
+			}
+		} else {
+			ev.Args = r.Args
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{events, "ms"})
+}

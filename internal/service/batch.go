@@ -36,6 +36,10 @@ type Batch struct {
 	ID        string   `json:"id"`
 	State     JobState `json:"state"`
 	RequestID string   `json:"requestId,omitempty"`
+	// TraceID is the distributed trace the batch's cells record under
+	// wherever they execute (persisted so a resumed batch stays on its
+	// original trace).
+	TraceID string `json:"traceId,omitempty"`
 	// Configs tracks per-config progress, in submission order.
 	Configs     []BatchConfig `json:"configs"`
 	ConfigsDone int           `json:"configsDone"`
@@ -109,12 +113,19 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 		configs[i] = BatchConfig{Index: i, Kind: req.Kind, Hash: hash, State: StateQueued}
 	}
 	rid := obs.RequestIDFromContext(r.Context())
+	// Join the submitter's distributed trace, or root a fresh one: every
+	// cell of the batch records its spans under this trace ID.
+	sc := obs.SpanFromContext(r.Context())
+	if !sc.Valid() {
+		sc = obs.NewSpanContext()
+	}
 
 	s.mu.Lock()
 	b := &Batch{
 		ID:        fmt.Sprintf("b%08d", s.nextBatchID),
 		State:     StateRunning,
 		RequestID: rid,
+		TraceID:   sc.TraceID,
 		Configs:   configs,
 		Requests:  reqs,
 		CreatedAt: time.Now().UTC(),
@@ -229,6 +240,14 @@ func (s *Server) runBatch(id string) {
 		return
 	}
 	reqs := b.Requests
+	// The batch's spans (fan-out, proxy fetches, replications, and every
+	// cell wherever it runs) record under the trace minted at submission.
+	var batchSC obs.SpanContext
+	if b.TraceID != "" {
+		batchSC = obs.SpanContext{TraceID: b.TraceID, SpanID: obs.NewSpanID()}
+		ctx = obs.ContextWithSpan(ctx, batchSC)
+	}
+	trace := batchSC.TraceParent()
 	// Recompute rollups from the config table: on resume the previous
 	// process's cell counts are meaningless (its futures died with it).
 	b.CellsTotal, b.CellsDone, b.ConfigsDone, b.Failed = 0, 0, 0, 0
@@ -283,6 +302,7 @@ func (s *Server) runBatch(id string) {
 
 	// Phase 1: resolve every config against the shared cache (local,
 	// then ring owner), or decompose it and pool its cells.
+	fanStart := time.Now()
 	var entries []*batchEntry
 	for i := range reqs {
 		s.mu.Lock()
@@ -298,7 +318,7 @@ func (s *Server) runBatch(id string) {
 		env, hit := s.cache.peek(hash)
 		proxied := false
 		if !hit && s.fleet != nil {
-			env, hit = s.fleet.proxyFetch(hash)
+			env, hit = s.fleet.proxyFetch(ctx, hash)
 			proxied = hit
 		}
 		if hit && env != nil {
@@ -323,7 +343,7 @@ func (s *Server) runBatch(id string) {
 				resolved++
 				continue
 			}
-			f, serr := s.fleet.schedule(plan.cells[ci], cellHash)
+			f, serr := s.fleet.schedule(plan.cells[ci], cellHash, trace)
 			if serr != nil {
 				err = serr
 				break
@@ -342,6 +362,14 @@ func (s *Server) runBatch(id string) {
 		b.CellsDone += resolved
 		s.mu.Unlock()
 		entries = append(entries, e)
+	}
+	if batchSC.Valid() {
+		scheduled := 0
+		for _, e := range entries {
+			scheduled += len(e.futures)
+		}
+		s.fleet.spans.Span(batchSC.Child(), "batch fan-out", "batch", fanStart, time.Now(),
+			map[string]any{"batch": id, "configs": len(reqs), "pooled": scheduled})
 	}
 	hub.publish(progressEvent())
 
@@ -393,7 +421,7 @@ func (s *Server) runBatch(id string) {
 			s.log.Error("batch: cache config result", "batch", id, "hash", hash, "err", perr)
 		}
 		if s.fleet != nil {
-			s.fleet.replicateToOwner(hash, env)
+			s.fleet.replicateToOwner(ctx, hash, env)
 		}
 		finishConfig(e.idx, StateDone, false, false, "")
 	}

@@ -19,6 +19,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"qlec/internal/metrics"
@@ -34,6 +35,47 @@ type Client struct {
 	retries int
 	backoff time.Duration
 	log     *slog.Logger
+
+	stats clientStats
+}
+
+// clientStats holds the client's telemetry counters (atomics: clients
+// are used concurrently).
+type clientStats struct {
+	requests         atomic.Int64
+	retries          atomic.Int64
+	streamConnects   atomic.Int64
+	streamReconnects atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of a client's transport telemetry.
+type Stats struct {
+	// Requests counts HTTP attempts, first tries and retries alike
+	// (SSE connections excluded — see StreamConnects).
+	Requests int64 `json:"requests"`
+	// Retries counts re-attempts after a retryable failure; a nonzero
+	// rate against a healthy daemon means the transport or the daemon is
+	// struggling.
+	Retries int64 `json:"retries"`
+	// StreamConnects counts SSE connections opened (including
+	// reconnects).
+	StreamConnects int64 `json:"streamConnects"`
+	// StreamReconnects counts SSE connections that had to be resumed
+	// with Last-Event-ID after a dropped stream.
+	StreamReconnects int64 `json:"streamReconnects"`
+}
+
+// Stats snapshots the client's cumulative transport telemetry: how many
+// requests it sent, how often it had to retry, and how often event
+// streams dropped and resumed. Logged fields on WithLogger debug lines
+// carry the same counters as they change.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Requests:         c.stats.requests.Load(),
+		Retries:          c.stats.retries.Load(),
+		StreamConnects:   c.stats.streamConnects.Load(),
+		StreamReconnects: c.stats.streamReconnects.Load(),
+	}
 }
 
 // Option customizes a Client.
@@ -108,14 +150,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
+			c.stats.retries.Add(1)
 			c.log.Debug("retrying request",
-				"method", method, "path", path, "attempt", attempt, "requestId", rid, "err", lastErr)
+				"method", method, "path", path, "attempt", attempt, "requestId", rid,
+				"totalRetries", c.stats.retries.Load(), "err", lastErr)
 			select {
 			case <-time.After(c.jitterBackoff(attempt - 1)):
 			case <-ctx.Done():
 				return errors.Join(ctx.Err(), lastErr)
 			}
 		}
+		c.stats.requests.Add(1)
 		lastErr = c.once(ctx, method, path, rid, body, out)
 		if lastErr == nil || !retryable(lastErr) {
 			return lastErr
@@ -321,15 +366,25 @@ func (c *Client) stream(ctx context.Context, path string, fn func(service.Event)
 	lastSeq := 0
 	attempts := 0
 	for {
+		c.stats.streamConnects.Add(1)
+		if attempts > 0 {
+			c.stats.streamReconnects.Add(1)
+		}
 		terminal, err := c.streamOnce(ctx, path, rid, &lastSeq, fn)
-		if terminal || err == nil {
+		if terminal {
 			return err
+		}
+		if err == nil {
+			// Clean EOF without a terminal state: the server (or a proxy)
+			// closed a live stream — resume it, don't report success.
+			err = io.ErrUnexpectedEOF
 		}
 		if !retryable(err) || attempts >= c.retries {
 			return err
 		}
 		c.log.Debug("reconnecting event stream",
-			"path", path, "attempt", attempts+1, "lastSeq", lastSeq, "requestId", rid, "err", err)
+			"path", path, "attempt", attempts+1, "lastSeq", lastSeq, "requestId", rid,
+			"totalReconnects", c.stats.streamReconnects.Load()+1, "err", err)
 		select {
 		case <-time.After(c.jitterBackoff(attempts)):
 		case <-ctx.Done():

@@ -1,0 +1,103 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qlec/internal/service"
+)
+
+// TestStatsCountRetries: two 500s before a success leave exactly three
+// request attempts and two retries on the counters.
+func TestStatsCountRetries(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, `{"error":"flaky"}`, http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(3), WithBackoff(time.Millisecond))
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health after recovery: %v", err)
+	}
+	st := c.Stats()
+	if st.Requests != 3 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 3 requests / 2 retries", st)
+	}
+	if st.StreamConnects != 0 || st.StreamReconnects != 0 {
+		t.Fatalf("stream counters moved on plain requests: %+v", st)
+	}
+}
+
+// TestStatsFinalFailure: exhausting the retry budget still counts every
+// attempt.
+func TestStatsFinalFailure(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond))
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("Health succeeded against a dead server")
+	}
+	if st := c.Stats(); st.Requests != 3 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 3 requests / 2 retries", st)
+	}
+}
+
+// TestStatsCountStreamReconnects: an SSE stream dropped mid-flight and
+// resumed with Last-Event-ID counts one reconnect across two connects —
+// and the resumed stream picks up after the last delivered event.
+func TestStatsCountStreamReconnects(t *testing.T) {
+	writeEvent := func(w http.ResponseWriter, e service.Event) {
+		data, _ := json.Marshal(e)
+		fmt.Fprintf(w, "id: %d\ndata: %s\n\n", e.Seq, data)
+		w.(http.Flusher).Flush()
+	}
+	var conns atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		if conns.Add(1) == 1 {
+			if r.Header.Get("Last-Event-ID") != "" {
+				t.Error("first connection carried a Last-Event-ID")
+			}
+			// One progress event, then drop the connection without a
+			// terminal state: the client must resume.
+			writeEvent(w, service.Event{Seq: 1, Type: service.EventState, State: service.StateRunning})
+			return
+		}
+		if got := r.Header.Get("Last-Event-ID"); got != "1" {
+			t.Errorf("reconnect Last-Event-ID = %q, want \"1\"", got)
+		}
+		writeEvent(w, service.Event{Seq: 2, Type: service.EventState, State: service.StateDone})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(3), WithBackoff(time.Millisecond))
+	var seqs []int
+	err := c.Events(context.Background(), "j1", func(e service.Event) bool {
+		seqs = append(seqs, e.Seq)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 2 {
+		t.Fatalf("delivered seqs = %v, want [1 2]", seqs)
+	}
+	st := c.Stats()
+	if st.StreamConnects != 2 || st.StreamReconnects != 1 {
+		t.Fatalf("stats = %+v, want 2 connects / 1 reconnect", st)
+	}
+}

@@ -6,6 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
 	"sync"
 	"time"
 
@@ -37,6 +40,16 @@ type FleetOptions struct {
 	ProbeInterval time.Duration
 	// PeerTimeout bounds each peer HTTP call; default 10s.
 	PeerTimeout time.Duration
+	// Advisor configures the autoscale advisor (zero SLO = disabled).
+	Advisor fleet.AdvisorConfig
+	// AdvisorInterval is the advisor's sampling cadence; default 1s.
+	AdvisorInterval time.Duration
+	// ScaleHook, when set, is a shell command run (via `sh -c`) whenever
+	// the advisor's recommendation changes to a non-zero delta. The
+	// recommendation is exported in QLECD_SCALE_DELTA / QLECD_SCALE_REASON
+	// environment variables; booting or retiring peers stays the hook's
+	// business.
+	ScaleHook string
 }
 
 // fleetRuntime is the per-daemon fleet engine: the consistent-hash
@@ -61,6 +74,15 @@ type fleetRuntime struct {
 
 	fm       *obs.FleetMetrics
 	stealIdx uint64 // round-robin cursor over ready peers; guarded by mu
+
+	// spans holds the spans this daemon recorded into distributed
+	// traces; peers collect them via GET /v1/fleet/trace/{traceID}.
+	spans *obs.TraceStore
+
+	advisor       *fleet.Advisor
+	advisorEvery  time.Duration
+	scaleHook     string
+	lastHookDelta int // guarded by mu
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -98,19 +120,26 @@ func newFleetRuntime(s *Server, opt FleetOptions) (*fleetRuntime, error) {
 	if self == "" {
 		self = "local"
 	}
+	if opt.AdvisorInterval <= 0 {
+		opt.AdvisorInterval = time.Second
+	}
 	r := &fleetRuntime{
-		s:           s,
-		self:        self,
-		enabled:     opt.Self != "",
-		table:       fleet.NewTable(),
-		peers:       fleet.NewClient(opt.PeerTimeout),
-		ttl:         opt.LeaseTTL,
-		stealEvery:  opt.StealInterval,
-		cellWorkers: opt.CellWorkers,
-		joinTarget:  opt.Join,
-		futures:     make(map[string]*cellFuture),
-		fm:          obs.NewFleetMetrics(s.reg),
-		stop:        make(chan struct{}),
+		s:            s,
+		self:         self,
+		enabled:      opt.Self != "",
+		table:        fleet.NewTable(),
+		peers:        fleet.NewClient(opt.PeerTimeout),
+		ttl:          opt.LeaseTTL,
+		stealEvery:   opt.StealInterval,
+		cellWorkers:  opt.CellWorkers,
+		joinTarget:   opt.Join,
+		futures:      make(map[string]*cellFuture),
+		fm:           obs.NewFleetMetrics(s.reg),
+		spans:        obs.NewTraceStore(self, 0, 0),
+		advisor:      fleet.NewAdvisor(opt.Advisor),
+		advisorEvery: opt.AdvisorInterval,
+		scaleHook:    opt.ScaleHook,
+		stop:         make(chan struct{}),
 	}
 	probe := fleet.ProbeFunc(nil)
 	if r.enabled {
@@ -140,6 +169,13 @@ func (r *fleetRuntime) start() {
 		defer r.wg.Done()
 		r.expiryLoop()
 	}()
+	if r.advisor.Enabled() {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			r.advisorLoop()
+		}()
+	}
 	if r.enabled {
 		r.members.Start()
 		if r.joinTarget != "" {
@@ -202,7 +238,9 @@ func (r *fleetRuntime) join() {
 
 // schedule registers interest in a cell: an existing future gains a
 // waiter, otherwise the cell enters the pool and a future is created.
-func (r *fleetRuntime) schedule(req Request, hash string) (*cellFuture, error) {
+// trace is the scheduling job's traceparent, carried with the cell so
+// its executor joins the same distributed trace ("" for untraced work).
+func (r *fleetRuntime) schedule(req Request, hash, trace string) (*cellFuture, error) {
 	r.mu.Lock()
 	if f := r.futures[hash]; f != nil {
 		f.refs++
@@ -219,8 +257,20 @@ func (r *fleetRuntime) schedule(req Request, hash string) (*cellFuture, error) {
 		r.mu.Unlock()
 		return nil, fmt.Errorf("service: encode cell spec: %w", err)
 	}
-	r.table.Offer(fleet.Cell{Hash: hash, Spec: spec})
+	if r.table.Offer(fleet.Cell{Hash: hash, Spec: spec, Trace: trace}) {
+		if sc, ok := obs.ParseTraceParent(trace); ok {
+			r.spans.Instant(sc, "cell pooled "+shortHash(hash), "pool", map[string]any{"hash": hash})
+		}
+	}
 	return f, nil
+}
+
+// shortHash abbreviates a content hash for span names.
+func shortHash(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
 }
 
 // release drops one waiter from a future; when the last waiter leaves
@@ -244,7 +294,11 @@ func (r *fleetRuntime) release(f *cellFuture) {
 // waiter woken. errMsg reports execution failure; duplicate and
 // unsolicited completions are no-ops beyond the (idempotent) cache put.
 func (r *fleetRuntime) complete(hash string, env *ResultEnvelope, errMsg string) {
-	r.table.Complete(hash)
+	if r.table.Complete(hash) {
+		// First completion of a live cell under this coordinator: the
+		// federated sum of this counter is the fleet's exact total.
+		r.fm.CellsCompleted.Inc()
+	}
 	if env != nil && errMsg == "" {
 		env.Hash = hash
 		if err := r.s.cache.put(hash, env, true); err != nil {
@@ -294,18 +348,22 @@ func (r *fleetRuntime) executorLoop() {
 func (r *fleetRuntime) runOneCell() bool {
 	if leases := r.table.Acquire(r.self, 1, r.ttl, time.Now()); len(leases) > 0 {
 		r.fm.CellsExecuted.With("local").Inc()
+		r.fm.CellWait.Observe(leases[0].Waited.Seconds())
 		r.executeLocal(leases[0])
 		return true
 	}
 	if !r.enabled || r.s.draining.Load() {
+		r.fm.StealStarvation.Inc()
 		return false
 	}
 	peer := r.nextStealTarget()
 	if peer == "" {
+		r.fm.StealStarvation.Inc()
 		return false
 	}
 	grants, err := r.peers.Steal(r.s.hardCtx, peer, r.self, 1)
 	if err != nil || len(grants) == 0 {
+		r.fm.StealStarvation.Inc()
 		return false
 	}
 	for _, g := range grants {
@@ -329,6 +387,15 @@ func (r *fleetRuntime) nextStealTarget() string {
 	return ready[i]
 }
 
+// cellSpan derives an executor-side span context from the cell's
+// carried traceparent (zero context when the cell is untraced).
+func cellSpan(c fleet.Cell) obs.SpanContext {
+	if sc, ok := obs.ParseTraceParent(c.Trace); ok {
+		return sc.Child()
+	}
+	return obs.SpanContext{}
+}
+
 // executeLocal runs one locally leased cell end to end, renewing the
 // lease while it runs.
 func (r *fleetRuntime) executeLocal(l fleet.Lease) {
@@ -337,7 +404,16 @@ func (r *fleetRuntime) executeLocal(l fleet.Lease) {
 	})
 	defer stopRenew()
 	hash := l.Cell.Hash
-	env, err := r.resolveOrRun(l.Cell)
+	sc := cellSpan(l.Cell)
+	ctx := obs.ContextWithSpan(r.s.hardCtx, sc)
+	start := time.Now()
+	env, err := r.resolveOrRun(ctx, l.Cell)
+	state := "done"
+	if err != nil {
+		state = "failed"
+	}
+	r.spans.Span(sc, "cell "+shortHash(hash), "cell", start, time.Now(),
+		map[string]any{"source": "local", "state": state})
 	if err != nil {
 		if r.s.hardCtx.Err() != nil {
 			return // shutdown: leave the cell to expiry/restart, not failure
@@ -346,7 +422,7 @@ func (r *fleetRuntime) executeLocal(l fleet.Lease) {
 		return
 	}
 	r.complete(hash, env, "")
-	r.replicateToOwner(hash, env)
+	r.replicateToOwner(ctx, hash, env)
 }
 
 // executeStolen runs one cell leased from a peer and reports the result
@@ -354,15 +430,28 @@ func (r *fleetRuntime) executeLocal(l fleet.Lease) {
 // it to the ring owner, so the fleet converges on one copy per owner
 // regardless of where the cell ran.
 func (r *fleetRuntime) executeStolen(peer string, l fleet.Lease) {
+	sc := cellSpan(l.Cell)
+	spanCtx := obs.ContextWithSpan(r.s.hardCtx, sc)
 	stopRenew := r.keepRenewed(func(now time.Time) bool {
-		ctx, cancel := context.WithTimeout(r.s.hardCtx, r.ttl/2)
+		ctx, cancel := context.WithTimeout(spanCtx, r.ttl/2)
 		defer cancel()
 		n, err := r.peers.Renew(ctx, peer, fleet.RenewRequest{Worker: r.self, LeaseIDs: []string{l.ID}})
-		return err == nil && n > 0
+		if err == nil && n > 0 {
+			r.spans.Instant(sc, "lease renew", "lease", map[string]any{"coordinator": peer})
+			return true
+		}
+		return false
 	})
 	defer stopRenew()
 	hash := l.Cell.Hash
-	env, err := r.resolveOrRun(l.Cell)
+	start := time.Now()
+	env, err := r.resolveOrRun(spanCtx, l.Cell)
+	state := "done"
+	if err != nil {
+		state = "failed"
+	}
+	r.spans.Span(sc, "cell "+shortHash(hash), "cell", start, time.Now(),
+		map[string]any{"source": "stolen", "coordinator": peer, "state": state})
 	if err != nil && r.s.hardCtx.Err() != nil {
 		return // shutdown: the peer's lease expires and the cell re-pools
 	}
@@ -381,10 +470,10 @@ func (r *fleetRuntime) executeStolen(peer string, l fleet.Lease) {
 		if cerr := r.s.cache.put(hash, env, true); cerr != nil {
 			r.s.log.Error("fleet: cache stolen cell", "hash", hash, "err", cerr)
 		}
-		r.replicateToOwner(hash, env)
+		r.replicateToOwner(spanCtx, hash, env)
 	}
 	for attempt, backoff := 0, 250*time.Millisecond; ; attempt++ {
-		if err := r.peers.Complete(r.s.hardCtx, peer, creq); err == nil {
+		if err := r.peers.Complete(spanCtx, peer, creq); err == nil {
 			return
 		} else if attempt >= 3 || r.s.hardCtx.Err() != nil {
 			r.s.log.Warn("fleet: report stolen cell", "peer", peer, "hash", hash, "err", err)
@@ -400,12 +489,13 @@ func (r *fleetRuntime) executeStolen(peer string, l fleet.Lease) {
 }
 
 // resolveOrRun answers a cell from the local cache, the ring owner's
-// cache, or by executing it.
-func (r *fleetRuntime) resolveOrRun(c fleet.Cell) (*ResultEnvelope, error) {
+// cache, or by executing it. ctx carries the cell's span context so
+// downstream peer calls (proxy fetch, replication) stay on-trace.
+func (r *fleetRuntime) resolveOrRun(ctx context.Context, c fleet.Cell) (*ResultEnvelope, error) {
 	if env, ok := r.s.cache.peek(c.Hash); ok {
 		return env, nil
 	}
-	if env, ok := r.proxyFetch(c.Hash); ok {
+	if env, ok := r.proxyFetch(ctx, c.Hash); ok {
 		return env, nil
 	}
 	var req Request
@@ -419,8 +509,7 @@ func (r *fleetRuntime) resolveOrRun(c fleet.Cell) (*ResultEnvelope, error) {
 	if r.s.opt.SimWorkers > 0 {
 		req.Config.Workers = r.s.opt.SimWorkers
 	}
-	ctx := obs.ContextWithMetrics(r.s.hardCtx, r.s.reg)
-	env, err := r.s.opt.Run(ctx, req, func(Event) {})
+	env, err := r.s.opt.Run(obs.ContextWithMetrics(ctx, r.s.reg), req, func(Event) {})
 	if err != nil {
 		return nil, err
 	}
@@ -486,10 +575,92 @@ func maxDuration(a, b time.Duration) time.Duration {
 	return b
 }
 
+// advisorLoop samples the daemon's load on a fixed cadence and feeds
+// the autoscale advisor; recommendation changes to a non-zero delta
+// fire the scale hook.
+func (r *fleetRuntime) advisorLoop() {
+	t := time.NewTicker(r.advisorEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.s.hardCtx.Done():
+			return
+		case now := <-t.C:
+			r.observeAdvisor(now)
+		}
+	}
+}
+
+// observeAdvisor takes one load sample: over-SLO counts come from the
+// job queue-wait and fleet cell-wait histograms (an observation is over
+// the SLO when it fell in a bucket above the SLO bound — SLOs between
+// bucket bounds are conservatively rounded down).
+func (r *fleetRuntime) observeAdvisor(now time.Time) {
+	sloSec := r.advisor.SLO().Seconds()
+	qw := r.s.om.queueWait.Snapshot()
+	cw := r.fm.CellWait.Snapshot()
+	pending, _, _ := r.table.Stats()
+	ready := 1 // self
+	if r.enabled {
+		ready += len(r.members.ReadyOthers())
+	}
+	sample := fleet.Sample{
+		At:          now,
+		WaitCount:   qw.Count + cw.Count,
+		WaitOverSLO: (qw.Count - qw.CountAtMost(sloSec)) + (cw.Count - cw.CountAtMost(sloSec)),
+		Starved:     uint64(r.fm.StealStarvation.Value()),
+		Backlog:     r.s.queue.depth() + pending,
+		ReadyPeers:  ready,
+		Workers:     r.s.opt.Workers + r.cellWorkers,
+		BusyWorkers: int(r.s.om.busyWorkers.Value()),
+	}
+	prev := r.advisor.Current().Delta
+	adv := r.advisor.Observe(sample)
+	if adv.Delta != prev {
+		r.s.log.Info("fleet: scale recommendation changed",
+			"delta", adv.Delta, "reason", adv.Reason,
+			"fastBurn", adv.FastBurn, "slowBurn", adv.SlowBurn)
+		r.fireScaleHook(adv)
+	}
+}
+
+// fireScaleHook runs the configured -scale-hook command asynchronously
+// with the recommendation in its environment. Only non-zero deltas
+// fire: returning to zero means "stop scaling", which needs no action.
+func (r *fleetRuntime) fireScaleHook(adv fleet.Advice) {
+	r.mu.Lock()
+	fire := r.scaleHook != "" && adv.Delta != 0 && adv.Delta != r.lastHookDelta
+	r.lastHookDelta = adv.Delta
+	r.mu.Unlock()
+	if !fire {
+		return
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		ctx, cancel := context.WithTimeout(r.s.hardCtx, 30*time.Second)
+		defer cancel()
+		cmd := exec.CommandContext(ctx, "/bin/sh", "-c", r.scaleHook)
+		cmd.Env = append(os.Environ(),
+			"QLECD_SCALE_DELTA="+strconv.Itoa(adv.Delta),
+			"QLECD_SCALE_REASON="+adv.Reason,
+			"QLECD_SELF="+r.self,
+		)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			r.s.log.Warn("fleet: scale hook failed", "err", err, "output", string(out))
+			return
+		}
+		r.s.log.Info("fleet: scale hook ran", "delta", adv.Delta)
+	}()
+}
+
 // proxyFetch asks the hash's ring owner for a cached result; a hit is
 // adopted into the local memory cache. Misses (including "we are the
 // owner" and standalone mode) report false.
-func (r *fleetRuntime) proxyFetch(hash string) (*ResultEnvelope, bool) {
+func (r *fleetRuntime) proxyFetch(ctx context.Context, hash string) (*ResultEnvelope, bool) {
 	if !r.enabled {
 		return nil, false
 	}
@@ -497,14 +668,19 @@ func (r *fleetRuntime) proxyFetch(hash string) (*ResultEnvelope, bool) {
 	if owner == "" || owner == r.self {
 		return nil, false
 	}
-	ctx, cancel := context.WithTimeout(r.s.hardCtx, 3*time.Second)
+	callCtx, cancel := context.WithTimeout(ctx, 3*time.Second)
 	defer cancel()
-	raw, err := r.peers.CacheGet(ctx, owner, hash)
+	start := time.Now()
+	raw, err := r.peers.CacheGet(callCtx, owner, hash)
 	if err != nil {
 		if !errors.Is(err, fleet.ErrNotFound) {
 			r.s.log.Warn("fleet: proxy cache lookup", "owner", owner, "hash", hash, "err", err)
 		}
 		return nil, false
+	}
+	if sc := obs.SpanFromContext(ctx); sc.Valid() {
+		r.spans.Span(sc.Child(), "owner cache get "+shortHash(hash), "cache", start, time.Now(),
+			map[string]any{"owner": owner})
 	}
 	var env ResultEnvelope
 	if err := json.Unmarshal(raw, &env); err != nil {
@@ -521,7 +697,7 @@ func (r *fleetRuntime) proxyFetch(hash string) (*ResultEnvelope, bool) {
 // replicateToOwner pushes a result envelope to its ring owner so every
 // future lookup fleet-wide resolves in one proxy hop. Best-effort: the
 // local (persisted) copy is authoritative for this daemon either way.
-func (r *fleetRuntime) replicateToOwner(hash string, env *ResultEnvelope) {
+func (r *fleetRuntime) replicateToOwner(ctx context.Context, hash string, env *ResultEnvelope) {
 	if !r.enabled || env == nil {
 		return
 	}
@@ -533,11 +709,16 @@ func (r *fleetRuntime) replicateToOwner(hash string, env *ResultEnvelope) {
 	if err != nil {
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.s.hardCtx, 5*time.Second)
+	callCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
-	if err := r.peers.CachePut(ctx, owner, hash, raw); err != nil {
+	start := time.Now()
+	if err := r.peers.CachePut(callCtx, owner, hash, raw); err != nil {
 		r.s.log.Warn("fleet: replicate result to owner", "owner", owner, "hash", hash, "err", err)
 		return
+	}
+	if sc := obs.SpanFromContext(ctx); sc.Valid() {
+		r.spans.Span(sc.Child(), "owner cache put "+shortHash(hash), "cache", start, time.Now(),
+			map[string]any{"owner": owner})
 	}
 	r.fm.CacheReplications.Inc()
 }
@@ -572,17 +753,26 @@ func (r *fleetRuntime) runSweep(ctx context.Context, req Request, publish func(E
 	progress := func() {
 		publish(Event{Type: EventSweep, Sweep: &SweepProgress{Done: done, Total: total}})
 	}
+	// Cells inherit the sweep's trace: every executor (local or thief)
+	// parses this traceparent and records its spans under one trace ID.
+	sweepSC := obs.SpanFromContext(ctx)
+	trace := sweepSC.TraceParent()
+	fanStart := time.Now()
 	for i, hash := range plan.hashes {
 		if env, ok := r.s.cache.peek(hash); ok {
 			outcomes[i] = env
 			done++
 			continue
 		}
-		f, err := r.schedule(plan.cells[i], hash)
+		f, err := r.schedule(plan.cells[i], hash, trace)
 		if err != nil {
 			return nil, err
 		}
 		futures[i] = f
+	}
+	if sweepSC.Valid() {
+		r.spans.Span(sweepSC.Child(), "sweep fan-out", "sweep", fanStart, time.Now(),
+			map[string]any{"cells": total, "pooled": len(futures)})
 	}
 	progress()
 	for i := 0; i < total; i++ {
@@ -625,7 +815,7 @@ func (r *fleetRuntime) distributable(kind JobKind) bool {
 
 func (s *Server) fleetStatus() fleet.Status {
 	pending, leased, expired := s.fleet.table.Stats()
-	return fleet.Status{
+	st := fleet.Status{
 		Self:         s.fleet.self,
 		Peers:        s.fleet.members.Peers(),
 		CellsPending: pending,
@@ -633,6 +823,11 @@ func (s *Server) fleetStatus() fleet.Status {
 		LeaseExpiry:  expired,
 		OpenBatches:  s.openBatches(),
 	}
+	if s.fleet.advisor.Enabled() {
+		adv := s.fleet.advisor.Current()
+		st.Advice = &adv
+	}
+	return st
 }
 
 func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
@@ -675,6 +870,13 @@ func (s *Server) handleFleetSteal(w http.ResponseWriter, r *http.Request) {
 	var leases []fleet.Lease
 	if !s.draining.Load() { // a draining daemon grants nothing new
 		leases = s.fleet.table.Acquire(req.Worker, req.Max, s.fleet.ttl, time.Now())
+	}
+	for _, l := range leases {
+		s.fleet.fm.CellWait.Observe(l.Waited.Seconds())
+		if sc, ok := obs.ParseTraceParent(l.Cell.Trace); ok {
+			s.fleet.spans.Instant(sc.Child(), "steal grant "+shortHash(l.Cell.Hash), "steal",
+				map[string]any{"thief": req.Worker, "waitedMs": float64(l.Waited.Microseconds()) / 1000})
+		}
 	}
 	if n := len(leases); n > 0 {
 		s.fleet.fm.CellsStolenOut.Add(float64(n))
@@ -727,6 +929,11 @@ func (s *Server) handleFleetCacheGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.fleet.fm.ProxyHitsServed.Inc()
+	// The requester's traceparent (extracted by the middleware) puts
+	// this owner-side serve on the same trace.
+	if sc := obs.SpanFromContext(r.Context()); sc.Valid() {
+		s.fleet.spans.Instant(sc.Child(), "owner cache serve "+shortHash(hash), "cache", nil)
+	}
 	writeJSON(w, http.StatusOK, env)
 }
 
@@ -746,5 +953,19 @@ func (s *Server) handleFleetCachePut(w http.ResponseWriter, r *http.Request) {
 	if err := s.cache.put(hash, &env, true); err != nil {
 		s.log.Error("fleet: persist replicated result", "hash", hash, "err", err)
 	}
+	if sc := obs.SpanFromContext(r.Context()); sc.Valid() {
+		s.fleet.spans.Instant(sc.Child(), "owner cache adopt "+shortHash(hash), "cache", nil)
+	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleFleetTrace serves the spans this daemon recorded for one trace
+// ID — the peer-side half of the merged trace view.
+func (s *Server) handleFleetTrace(w http.ResponseWriter, r *http.Request) {
+	traceID := r.PathValue("trace")
+	spans := s.fleet.spans.Spans(traceID)
+	if spans == nil {
+		spans = []obs.SpanRecord{}
+	}
+	writeJSON(w, http.StatusOK, spans)
 }

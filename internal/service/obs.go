@@ -59,6 +59,10 @@ func newServerMetrics(r *obs.Registry, s *Server) *serverMetrics {
 		func() float64 { _, m := s.cache.stats(); return float64(m) })
 	r.CounterFunc("qlecd_simulations_total", "Simulations actually executed (cache hits excluded).",
 		func() float64 { return float64(s.simsRun.Load()) })
+	r.GaugeFunc("qlecd_traces_held", "Per-job trace recorders currently retained (FIFO-capped by -trace-history).",
+		func() float64 { return float64(s.traces.len()) })
+	r.GaugeFunc("qlecd_audits_held", "Per-job audit artifacts currently retained (FIFO-capped by -audit-history).",
+		func() float64 { return float64(s.audits.len()) })
 	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
 		st := st
 		r.GaugeFunc("qlecd_jobs", "Jobs in the table, by lifecycle state.",
@@ -99,22 +103,31 @@ func newFleetCollectors(r *obs.Registry, s *Server) {
 		})
 	r.GaugeFunc("qlecd_batches_open", "Batches not yet in a terminal state.",
 		func() float64 { return float64(s.openBatches()) })
+	r.GaugeFunc("qlecd_fleet_scale_recommendation",
+		"Autoscale advisor recommendation: peers to add (positive) or remove (negative); 0 when satisfied or disabled.",
+		func() float64 { return float64(s.fleet.advisor.Current().Delta) })
 }
 
-// maxTraces bounds how many per-job trace recorders the server keeps;
-// older traces age out FIFO once their job is terminal.
-const maxTraces = 64
+// defaultHistory is the default FIFO cap on retained per-job trace
+// recorders and audit artifacts; Options.TraceHistory/AuditHistory
+// raise or lower it per deployment.
+const defaultHistory = 64
 
 // traceTable is the bounded per-job trace store behind
-// GET /v1/jobs/{id}/trace.
+// GET /v1/jobs/{id}/trace; older traces age out FIFO once their cap is
+// reached.
 type traceTable struct {
 	mu    sync.Mutex
 	byJob map[string]*obs.TraceRecorder
 	order []string
+	max   int
 }
 
-func newTraceTable() *traceTable {
-	return &traceTable{byJob: make(map[string]*obs.TraceRecorder)}
+func newTraceTable(max int) *traceTable {
+	if max <= 0 {
+		max = defaultHistory
+	}
+	return &traceTable{byJob: make(map[string]*obs.TraceRecorder), max: max}
 }
 
 func (t *traceTable) put(id string, rec *obs.TraceRecorder) {
@@ -124,7 +137,7 @@ func (t *traceTable) put(id string, rec *obs.TraceRecorder) {
 		t.order = append(t.order, id)
 	}
 	t.byJob[id] = rec
-	for len(t.order) > maxTraces {
+	for len(t.order) > t.max {
 		delete(t.byJob, t.order[0])
 		t.order = t.order[1:]
 	}
@@ -136,12 +149,14 @@ func (t *traceTable) get(id string) *obs.TraceRecorder {
 	return t.byJob[id]
 }
 
-// maxAudits bounds how many per-job flight-recorder artifacts the
-// server keeps; like traces, older artifacts age out FIFO.
-const maxAudits = 64
+func (t *traceTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byJob)
+}
 
 // serviceAuditEntries/serviceAuditDecisions size the per-job recorder
-// rings below the package defaults: up to maxAudits artifacts can be
+// rings below the package defaults: every retained artifact can be
 // resident at once, so each is kept to a few megabytes. The summary
 // report still reflects every entry — only the raw streams truncate.
 const (
@@ -150,15 +165,19 @@ const (
 )
 
 // auditTable is the bounded per-job artifact store behind
-// GET /v1/jobs/{id}/audit.
+// GET /v1/jobs/{id}/audit; like traces, older artifacts age out FIFO.
 type auditTable struct {
 	mu    sync.Mutex
 	byJob map[string]*audit.Artifact
 	order []string
+	max   int
 }
 
-func newAuditTable() *auditTable {
-	return &auditTable{byJob: make(map[string]*audit.Artifact)}
+func newAuditTable(max int) *auditTable {
+	if max <= 0 {
+		max = defaultHistory
+	}
+	return &auditTable{byJob: make(map[string]*audit.Artifact), max: max}
 }
 
 func (t *auditTable) put(id string, a *audit.Artifact) {
@@ -168,7 +187,7 @@ func (t *auditTable) put(id string, a *audit.Artifact) {
 		t.order = append(t.order, id)
 	}
 	t.byJob[id] = a
-	for len(t.order) > maxAudits {
+	for len(t.order) > t.max {
 		delete(t.byJob, t.order[0])
 		t.order = t.order[1:]
 	}
@@ -178,4 +197,10 @@ func (t *auditTable) get(id string) *audit.Artifact {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.byJob[id]
+}
+
+func (t *auditTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byJob)
 }

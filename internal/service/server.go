@@ -45,6 +45,11 @@ type Options struct {
 	Metrics *obs.Registry
 	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
 	Pprof bool
+	// TraceHistory bounds retained per-job trace recorders (FIFO
+	// eviction); default 64.
+	TraceHistory int
+	// AuditHistory bounds retained per-job audit artifacts; default 64.
+	AuditHistory int
 	// Fleet configures peer-to-peer work stealing and the shared result
 	// cache (DESIGN.md §14). The zero value runs standalone.
 	Fleet FleetOptions
@@ -125,8 +130,8 @@ func New(opt Options) (*Server, error) {
 		start:       time.Now(),
 		log:         opt.Logger,
 		reg:         opt.Metrics,
-		traces:      newTraceTable(),
-		audits:      newAuditTable(),
+		traces:      newTraceTable(opt.TraceHistory),
+		audits:      newAuditTable(opt.AuditHistory),
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	if opt.DataDir != "" {
@@ -227,6 +232,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/batches", s.handleBatchList)
 	mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchGet)
 	mux.HandleFunc("GET /v1/batches/{id}/events", s.handleBatchEvents)
+	mux.HandleFunc("GET /v1/batches/{id}/trace", s.handleBatchTrace)
 	mux.HandleFunc("GET /v1/fleet", s.handleFleetStatus)
 	mux.HandleFunc("POST /v1/fleet/join", s.handleFleetJoin)
 	mux.HandleFunc("POST /v1/fleet/steal", s.handleFleetSteal)
@@ -234,9 +240,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/fleet/renew", s.handleFleetRenew)
 	mux.HandleFunc("GET /v1/fleet/cache/{hash}", s.handleFleetCacheGet)
 	mux.HandleFunc("PUT /v1/fleet/cache/{hash}", s.handleFleetCachePut)
+	mux.HandleFunc("GET /v1/fleet/trace/{trace}", s.handleFleetTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", s.reg)
+	mux.HandleFunc("GET /metrics/federate", s.handleFederate)
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /version", s.handleVersion)
 	if s.opt.Pprof {
@@ -291,6 +299,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	rid := obs.RequestIDFromContext(r.Context())
+	// Join the submitter's distributed trace (traceparent extracted by
+	// the middleware) or root a fresh one; either way the job's spans —
+	// here and on every peer that touches its cells — share one trace ID.
+	sc := obs.SpanFromContext(r.Context())
+	if !sc.Valid() {
+		sc = obs.NewSpanContext()
+	}
 
 	if _, ok := s.cache.peek(hash); ok {
 		// Identical experiment already simulated: answer without
@@ -300,6 +315,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		j := s.newJobLocked(req, hash)
 		j.RequestID = rid
+		j.TraceID = sc.TraceID
 		j.State = StateDone
 		j.CacheHit = true
 		j.StartedAt = j.CreatedAt
@@ -307,6 +323,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.persistLocked(j)
 		view := j.clone()
 		s.mu.Unlock()
+		s.fleet.spans.Instant(sc, "submit "+j.ID, "submit",
+			map[string]any{"job": j.ID, "cacheHit": true})
 		writeJSON(w, http.StatusOK, view)
 		return
 	}
@@ -330,12 +348,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j := s.newJobLocked(req, hash)
 	j.RequestID = rid
+	j.TraceID = sc.TraceID
 	j.State = StateQueued
 	s.hubs[j.ID] = newEventHub()
 	s.inflight[hash] = j.ID
 	s.persistLocked(j)
 	view := j.clone()
 	s.mu.Unlock()
+	s.fleet.spans.Instant(sc, "submit "+j.ID, "submit", map[string]any{"job": j.ID})
 	s.queue.push(j.ID)
 	s.log.Info("job queued", "job", j.ID, "kind", string(req.Kind), "hash", hash, "requestId", rid)
 	writeJSON(w, http.StatusCreated, view)
@@ -564,24 +584,87 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // handleTrace implements GET /v1/jobs/{id}/trace: the job's span
 // recording as Chrome trace_event JSON (load in chrome://tracing or
-// Perfetto). Traces exist for executed jobs only (not cache hits) and
-// age out FIFO after maxTraces jobs.
+// Perfetto). The view is fleet-merged: the local recorder's spans plus
+// every span any peer recorded under the job's trace ID, one lane per
+// daemon. Traces exist for executed jobs only (not cache hits) and age
+// out FIFO after Options.TraceHistory jobs.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	_, known := s.jobs[id]
+	j, known := s.jobs[id]
+	var traceID string
+	if known {
+		traceID = j.TraceID
+	}
 	s.mu.Unlock()
 	if !known {
 		writeErr(w, http.StatusNotFound, "no job %q", id)
 		return
 	}
 	rec := s.traces.get(id)
-	if rec == nil {
+	var spans []obs.SpanRecord
+	if rec != nil {
+		spans = rec.Export(traceID, s.fleet.self)
+	}
+	if traceID != "" {
+		spans = append(spans, s.collectFleetSpans(traceID)...)
+	}
+	if len(spans) == 0 {
 		writeErr(w, http.StatusNotFound, "no trace for job %q (not executed yet, or aged out)", id)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = rec.WriteJSON(w)
+	_ = obs.WriteChromeTrace(w, spans)
+}
+
+// handleBatchTrace implements GET /v1/batches/{id}/trace: the merged
+// fleet-wide Chrome trace of a batch — fan-out, pooling, steals and
+// every cell execution wherever it ran.
+func (s *Server) handleBatchTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	b, known := s.batches[id]
+	var traceID string
+	if known {
+		traceID = b.TraceID
+	}
+	s.mu.Unlock()
+	if !known {
+		writeErr(w, http.StatusNotFound, "no batch %q", id)
+		return
+	}
+	var spans []obs.SpanRecord
+	if traceID != "" {
+		spans = s.collectFleetSpans(traceID)
+	}
+	if len(spans) == 0 {
+		writeErr(w, http.StatusNotFound, "no trace for batch %q (pre-trace record, or spans aged out)", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteChromeTrace(w, spans)
+}
+
+// collectFleetSpans gathers every span recorded under one trace ID:
+// this daemon's fleet span store plus each ready peer's, so the caller
+// can stitch a multi-daemon timeline. Peer failures degrade to a
+// partial trace, never an error.
+func (s *Server) collectFleetSpans(traceID string) []obs.SpanRecord {
+	spans := s.fleet.spans.Spans(traceID)
+	if !s.fleet.enabled {
+		return spans
+	}
+	for _, peer := range s.fleet.members.ReadyOthers() {
+		ctx, cancel := context.WithTimeout(s.hardCtx, 2*time.Second)
+		ps, err := s.fleet.peers.TraceSpans(ctx, peer, traceID)
+		cancel()
+		if err != nil {
+			s.log.Warn("trace: collect peer spans", "peer", peer, "trace", traceID, "err", err)
+			continue
+		}
+		spans = append(spans, ps...)
+	}
+	return spans
 }
 
 // handleAudit implements GET /v1/jobs/{id}/audit: the flight-recorder

@@ -278,6 +278,10 @@ type Job struct {
 	// record, correlating server logs with the client's. It is not part
 	// of the job's identity (the content hash ignores it).
 	RequestID string `json:"requestId,omitempty"`
+	// TraceID is the distributed trace this job's spans record under —
+	// extracted from the submission's traceparent header, or minted at
+	// submission. Like RequestID it is not part of the job's identity.
+	TraceID string `json:"traceId,omitempty"`
 	// CancelRequested is set once DELETE has been observed; the job
 	// reaches StateCancelled at the next round boundary.
 	CancelRequested bool      `json:"cancelRequested,omitempty"`

@@ -36,10 +36,15 @@ func (s *Server) runJob(id string) {
 		// result (computed by any peer). Fetching it installs it in the
 		// local cache, so the late-dedupe check below answers the job
 		// without recomputing. Network happens outside the server lock.
-		hash := j.Hash
+		hash, traceID := j.Hash, j.TraceID
 		s.mu.Unlock()
 		if _, ok := s.cache.peek(hash); !ok {
-			s.fleet.proxyFetch(hash)
+			fetchCtx := s.hardCtx
+			if traceID != "" {
+				fetchCtx = obs.ContextWithSpan(fetchCtx,
+					obs.SpanContext{TraceID: traceID, SpanID: obs.NewSpanID()})
+			}
+			s.fleet.proxyFetch(fetchCtx, hash)
 		}
 		s.mu.Lock()
 		j = s.jobs[id]
@@ -68,10 +73,17 @@ func (s *Server) runJob(id string) {
 		hub.close()
 		return
 	}
+	// jobSC anchors every span this job produces — locally and on any
+	// peer that steals its cells — to the trace ID minted at submission.
+	var jobSC obs.SpanContext
+	if j.TraceID != "" {
+		jobSC = obs.SpanContext{TraceID: j.TraceID, SpanID: obs.NewSpanID()}
+	}
 	if j.Attempts == 0 {
 		// First execution attempt: the submit→dequeue gap is the queue
 		// wait (retries would double-count their failed run time).
 		s.om.queueWait.Observe(time.Since(j.CreatedAt).Seconds())
+		s.fleet.spans.Span(jobSC, "queue wait", "queue", j.CreatedAt, time.Now(), nil)
 	}
 	j.State = StateRunning
 	j.Attempts++
@@ -98,6 +110,9 @@ func (s *Server) runJob(id string) {
 	ctx = obs.ContextWithRequestID(ctx, rid)
 	ctx = obs.ContextWithMetrics(ctx, s.reg)
 	ctx = obs.ContextWithTrace(ctx, rec)
+	if jobSC.Valid() {
+		ctx = obs.ContextWithSpan(ctx, jobSC)
+	}
 	var arec *audit.Recorder
 	if req.Kind == KindOne {
 		// Single simulations get a flight recorder (sweeps strip hooks per
@@ -205,8 +220,13 @@ func (s *Server) runJob(id string) {
 	if state == StateDone && env != nil {
 		// Make the finished result proxy-visible fleet-wide (a no-op in
 		// standalone mode or when this daemon owns the hash). Outside the
-		// server lock: this is a network call.
-		s.fleet.replicateToOwner(hash, env)
+		// server lock: this is a network call. The job ctx is cancelled by
+		// now, so the replication span rides on hardCtx.
+		repCtx := s.hardCtx
+		if jobSC.Valid() {
+			repCtx = obs.ContextWithSpan(repCtx, jobSC)
+		}
+		s.fleet.replicateToOwner(repCtx, hash, env)
 	}
 
 	rec.Span("job "+id, "job", runStart, runStart.Add(elapsed),
