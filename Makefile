@@ -147,11 +147,14 @@ tournament-demo:
 # peer's cells. Any data race crashes a daemon and fails the target.
 # Before the kill, the observability surface is checked mid-batch: the
 # federated /metrics/federate scrape must pass the exposition linter
-# (qlecstat -check), and the batch's merged Chrome trace — saved to
-# figs/fleet-trace.json and uploaded as a CI artifact — must span at
-# least two daemon lanes (qlectrace -chrome), proving cross-peer trace
-# propagation through a real steal. See README "Observing a fleet" and
-# DESIGN.md §14-§15.
+# (qlecstat -check), a fleet-wide CPU capture through qlecprof must
+# return non-empty profiles from at least two peers (the newest is
+# saved to figs/fleet-profile.pprof and uploaded as a CI artifact), and
+# the batch's merged Chrome trace — saved to figs/fleet-trace.json and
+# uploaded as a CI artifact — must span at least two daemon lanes
+# (qlectrace -chrome), proving cross-peer trace propagation through a
+# real steal. See README "Observing a fleet"/"Profiling a fleet" and
+# DESIGN.md §14-§16.
 FLEET_HOST ?= 127.0.0.1
 FLEET_P1 ?= 8181
 FLEET_P2 ?= 8182
@@ -161,6 +164,7 @@ fleet-e2e:
 	$(GO) build -race -o figs/.qlecd-fleet ./cmd/qlecd
 	$(GO) build -o figs/.qlecstat-fleet ./cmd/qlecstat
 	$(GO) build -o figs/.qlectrace-fleet ./cmd/qlectrace
+	$(GO) build -o figs/.qlecprof-fleet ./cmd/qlecprof
 	@set -e; \
 	DATA=$$(mktemp -d); trap 'kill $$P1 $$P2 $$P3 2>/dev/null || true; rm -rf $$DATA' EXIT INT TERM; \
 	U1=http://$(FLEET_HOST):$(FLEET_P1); U2=http://$(FLEET_HOST):$(FLEET_P2); U3=http://$(FLEET_HOST):$(FLEET_P3); \
@@ -183,6 +187,12 @@ fleet-e2e:
 	test -n "$$STOLE" || { echo "fleet-e2e: peer 3 never stole a cell" >&2; cat $$DATA/n3.log; exit 1; }; \
 	echo "fleet-e2e: peer 3 stole work; checking observability mid-batch"; \
 	figs/.qlecstat-fleet -addr $$U1 -check || { echo "fleet-e2e: federated scrape failed lint" >&2; exit 1; }; \
+	figs/.qlecprof-fleet capture -addr $$U1 -fleet -kind cpu -seconds 1 -min 2 \
+		|| { echo "fleet-e2e: fleet CPU capture did not cover 2 peers" >&2; exit 1; }; \
+	figs/.qlecprof-fleet fetch -addr $$U1 -id latest -o figs/fleet-profile.pprof \
+		|| { echo "fleet-e2e: profile fetch failed" >&2; exit 1; }; \
+	test -s figs/fleet-profile.pprof || { echo "fleet-e2e: fetched profile is empty" >&2; exit 1; }; \
+	echo "fleet-e2e: mid-batch CPU profiles captured on >=2 peers (figs/fleet-profile.pprof)"; \
 	TRACE_OK=; for i in $$(seq 1 150); do \
 		curl -s $$U1/v1/batches/$$B/trace > figs/fleet-trace.json; \
 		if figs/.qlectrace-fleet -chrome figs/fleet-trace.json 2>/dev/null | grep -Eq '^lanes: ([2-9]|[1-9][0-9]+)$$'; then TRACE_OK=1; break; fi; \

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"qlec/internal/audit"
+	"qlec/internal/cli"
 	"qlec/internal/plot"
 )
 
@@ -78,8 +79,13 @@ func load(path string) *audit.Artifact {
 
 func cmdReport(args []string) {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	prof := cli.ProfileFlags(fs)
 	top := fs.Int("top", 10, "show the N highest-consumption nodes (0 = all)")
 	fs.Parse(args)
+	if err := prof.Start(); err != nil {
+		fail(err)
+	}
+	defer prof.Stop()
 	if fs.NArg() != 1 {
 		usage()
 	}
@@ -164,9 +170,14 @@ func anomalyTotal(rep audit.Report) uint64 {
 
 func cmdExplain(args []string) {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	prof := cli.ProfileFlags(fs)
 	node := fs.Int("node", -1, "node whose decisions to replay (required)")
 	round := fs.Int("round", -1, "restrict to one round (-1 = all)")
 	fs.Parse(args)
+	if err := prof.Start(); err != nil {
+		fail(err)
+	}
+	defer prof.Stop()
 	if fs.NArg() != 1 || *node < 0 {
 		usage()
 	}
@@ -243,7 +254,12 @@ func rewardString(d audit.DecisionRecord) string {
 
 func cmdDiff(args []string) {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	prof := cli.ProfileFlags(fs)
 	fs.Parse(args)
+	if err := prof.Start(); err != nil {
+		fail(err)
+	}
+	defer prof.Stop()
 	if fs.NArg() != 2 {
 		usage()
 	}

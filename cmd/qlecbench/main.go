@@ -36,6 +36,7 @@ import (
 	"strconv"
 	"strings"
 
+	"qlec/internal/cli"
 	"qlec/internal/obs"
 )
 
@@ -65,7 +66,13 @@ func main() {
 	against := flag.String("against", "", "baseline JSON to compare against; exit non-zero on regression")
 	match := flag.String("match", "Fig3aPacketDeliveryRate/QLEC", "regexp selecting which benchmarks the -against gate compares")
 	tolerance := flag.Float64("tolerance", 1.0, "fail when current metric exceeds baseline times this factor")
+	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "qlecbench:", err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 	if flag.NArg() > 1 {
 		fmt.Fprintln(os.Stderr, "qlecbench: at most one input (file path or -) expected")
 		os.Exit(1)

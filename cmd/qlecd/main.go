@@ -17,10 +17,11 @@
 //	      [-drain-timeout 30s] [-log-level info] [-log-format text]
 //	      [-self http://host:8080] [-peers url,url] [-join url]
 //	      [-cell-workers 0] [-lease-ttl 15s]
-//	      [-trace-history 64] [-audit-history 64]
+//	      [-trace-history 64] [-audit-history 64] [-profile-history 32]
+//	      [-runtime-sample 10s] [-auto-profile 5m]
 //	      [-scale-slo 0] [-scale-fast-window 1m] [-scale-slow-window 5m]
 //	      [-scale-hysteresis 30s] [-scale-hook CMD]
-//	      [-pprof] [-version] [-quiet]
+//	      [-pprof] [-pprof-block] [-pprof-mutex] [-version] [-quiet]
 //
 // API (see README "Running as a service" for curl examples):
 //
@@ -45,6 +46,14 @@
 //	GET    /v1/fleet            peer roster + work-pool counters (+ the
 //	                            autoscale advisor's advice with -scale-slo)
 //	GET    /v1/batches/{id}/trace fleet-merged Chrome trace of a batch
+//	POST   /v1/profiles         capture a profile now (cpu/heap/goroutine/
+//	                            block/mutex; fleet=true fans out to peers)
+//	GET    /v1/profiles         captured-profile metadata (?fleet=1 merges
+//	                            every ready peer's listing)
+//	GET    /v1/profiles/{id}    raw profile bytes ("latest" = newest;
+//	                            fetch and inspect with cmd/qlecprof)
+//	GET    /v1/runtime          continuous runtime-sampler trend (heap,
+//	                            GC, scheduler latency)
 //	GET    /metrics             Prometheus text exposition
 //	GET    /metrics/federate    fleet-merged exposition (all ready peers;
 //	                            watch it live with cmd/qlecstat)
@@ -70,6 +79,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -89,6 +99,8 @@ func main() {
 		retries      = flag.Int("retries", 1, "re-queues per job on transient failure")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		enablePprof  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		pprofBlock   = flag.Bool("pprof-block", false, "enable runtime block profiling (rate 1) so block captures have data")
+		pprofMutex   = flag.Bool("pprof-mutex", false, "enable runtime mutex profiling (fraction 1) so mutex captures have data")
 		version      = flag.Bool("version", false, "print build/VCS metadata and exit")
 		quiet        = flag.Bool("quiet", false, "suppress the operational log")
 
@@ -98,8 +110,11 @@ func main() {
 		cellWorkers = flag.Int("cell-workers", 0, "fleet cell executors (0 = same as -workers)")
 		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "fleet work-lease TTL; a dead peer's cells re-pool after this")
 
-		traceHistory = flag.Int("trace-history", 64, "per-job trace recorders retained (FIFO eviction)")
-		auditHistory = flag.Int("audit-history", 64, "per-job audit artifacts retained (FIFO eviction)")
+		traceHistory   = flag.Int("trace-history", 64, "per-job trace recorders retained (FIFO eviction)")
+		auditHistory   = flag.Int("audit-history", 64, "per-job audit artifacts retained (FIFO eviction)")
+		profileHistory = flag.Int("profile-history", 32, "captured profile artifacts retained (FIFO eviction)")
+		runtimeSample  = flag.Duration("runtime-sample", 10*time.Second, "runtime sampler cadence behind qlecd_runtime_* and /v1/runtime (0 = off)")
+		autoProfile    = flag.Duration("auto-profile", 5*time.Minute, "min gap between anomaly-triggered profile captures per reason (negative = off)")
 
 		scaleSLO        = flag.Duration("scale-slo", 0, "queue-wait SLO driving the autoscale advisor (0 = advisor off)")
 		scaleFastWindow = flag.Duration("scale-fast-window", time.Minute, "advisor fast burn-rate window")
@@ -108,11 +123,23 @@ func main() {
 		scaleHook       = flag.String("scale-hook", "", "shell command run when the recommendation changes to a non-zero delta (QLECD_SCALE_DELTA/QLECD_SCALE_REASON exported)")
 	)
 	logCfg := cli.LogFlags(flag.CommandLine)
+	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *version {
 		fmt.Println(obs.Version())
 		return
+	}
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "qlecd:", err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
+	if *pprofBlock {
+		runtime.SetBlockProfileRate(1)
+	}
+	if *pprofMutex {
+		runtime.SetMutexProfileFraction(1)
 	}
 
 	var logDst io.Writer = os.Stderr
@@ -131,15 +158,18 @@ func main() {
 		}
 	}
 	srv, err := service.New(service.Options{
-		DataDir:      *dataDir,
-		Workers:      *workers,
-		SimWorkers:   *simWorkers,
-		QueueLimit:   *queueLimit,
-		MaxRetries:   *retries,
-		Logger:       logger,
-		Pprof:        *enablePprof,
-		TraceHistory: *traceHistory,
-		AuditHistory: *auditHistory,
+		DataDir:               *dataDir,
+		Workers:               *workers,
+		SimWorkers:            *simWorkers,
+		QueueLimit:            *queueLimit,
+		MaxRetries:            *retries,
+		Logger:                logger,
+		Pprof:                 *enablePprof,
+		TraceHistory:          *traceHistory,
+		AuditHistory:          *auditHistory,
+		ProfileHistory:        *profileHistory,
+		RuntimeSampleInterval: *runtimeSample,
+		AutoProfileMinGap:     *autoProfile,
 		Fleet: service.FleetOptions{
 			Self:        *self,
 			Peers:       peers,

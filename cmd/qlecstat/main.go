@@ -44,8 +44,13 @@ func main() {
 	once := flag.Bool("once", false, "render one snapshot and exit")
 	check := flag.Bool("check", false, "fetch /metrics/federate, lint it, report and exit (CI mode)")
 	logCfg := cli.LogFlags(flag.CommandLine)
+	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 	logCfg.MustSetup(os.Stderr)
+	if err := prof.Start(); err != nil {
+		fail(err)
+	}
+	defer prof.Stop()
 
 	ctx, stop := cli.Context(0)
 	defer stop()
@@ -144,6 +149,11 @@ func snapshot(ctx context.Context, hc *http.Client, base string) (string, error)
 	busy := gaugeByInstance(exp, "qlecd_workers_busy")
 	pendingCells := gaugeByInstance(exp, "qlecd_fleet_cells_pending")
 	scale := gaugeByInstance(exp, "qlecd_fleet_scale_recommendation")
+	// Runtime-sampler gauges; absent entirely when a daemon runs with
+	// -runtime-sample 0, so missing entries render as "-".
+	goroutines := gaugeByInstance(exp, "qlecd_runtime_goroutines")
+	heapLive := gaugeByInstance(exp, "qlecd_runtime_heap_live_bytes")
+	gcFrac := gaugeByInstance(exp, "qlecd_runtime_gc_cpu_fraction")
 
 	var rows [][]string
 	for _, name := range names {
@@ -159,16 +169,27 @@ func snapshot(ctx context.Context, hc *http.Client, base string) (string, error)
 		if !up {
 			status = "DOWN"
 		}
+		goro, heap, gc := "-", "-", "-"
+		if v, ok := goroutines[name]; ok {
+			goro = fmt.Sprintf("%.0f", v)
+		}
+		if v, ok := heapLive[name]; ok {
+			heap = fmtBytes(v)
+		}
+		if v, ok := gcFrac[name]; ok {
+			gc = fmt.Sprintf("%.2f%%", 100*v)
+		}
 		rows = append(rows, []string{
 			name, status,
 			fmt.Sprintf("%.0f", queue[name]),
 			fmt.Sprintf("%.0f", busy[name]),
 			fmt.Sprintf("%.0f", pendingCells[name]),
 			p50, p95,
+			goro, heap, gc,
 		})
 	}
 	b.WriteString(plot.Table(
-		[]string{"instance", "state", "queue", "busy", "cells", "wait p50", "wait p95"}, rows))
+		[]string{"instance", "state", "queue", "busy", "cells", "wait p50", "wait p95", "goro", "heap", "gc cpu"}, rows))
 	b.WriteString("\n\n")
 
 	// Fleet-wide rollups: counters in the federated view are already
@@ -330,6 +351,20 @@ func fmtSeconds(v float64) string {
 		return fmt.Sprintf("%.1fms", v*1000)
 	default:
 		return fmt.Sprintf("%.2fs", v)
+	}
+}
+
+// fmtBytes renders a byte gauge human-readably (binary units).
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
 	}
 }
 

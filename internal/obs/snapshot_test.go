@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCountAtMostEmptySnapshot: both a zero-value snapshot and one
+// taken from a histogram that never observed anything answer 0 for any
+// le — including bounds the snapshot doesn't declare.
+func TestCountAtMostEmptySnapshot(t *testing.T) {
+	var zero HistogramSnapshot
+	for _, le := range []float64{0, 1, math.Inf(1)} {
+		if got := zero.CountAtMost(le); got != 0 {
+			t.Errorf("zero snapshot CountAtMost(%g) = %d, want 0", le, got)
+		}
+	}
+
+	r := NewRegistry()
+	h := r.Histogram("empty_seconds", "help", []float64{1, 2, 5})
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Inf != 0 {
+		t.Fatalf("fresh histogram snapshot = %+v, want all-zero", s)
+	}
+	for _, le := range []float64{0.5, 1, 5, 10, math.Inf(1)} {
+		if got := s.CountAtMost(le); got != 0 {
+			t.Errorf("empty histogram CountAtMost(%g) = %d, want 0", le, got)
+		}
+	}
+}
+
+// TestCountAtMostInf: le=+Inf covers every declared bucket, but NOT
+// the overflow bucket — those observations exceeded every declared
+// bound, so they are never "known to be within" any le. The advisor
+// relies on this: an SLO of +Inf still reports over-bound burn.
+func TestCountAtMostInf(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("inf_seconds", "help", []float64{1, 2})
+	for _, v := range []float64{0.5, 1.5, 2, 100, math.Inf(1)} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got := s.CountAtMost(math.Inf(1)); got != 3 {
+		t.Errorf("CountAtMost(+Inf) = %d, want 3 (declared buckets only)", got)
+	}
+	if s.Inf != 2 {
+		t.Errorf("overflow bucket = %d, want 2", s.Inf)
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+}
+
+// TestCountAtMostBoundary pins le-inclusiveness end to end: an
+// observation exactly on a bucket's upper bound is counted by
+// CountAtMost of that bound, and an le between bounds conservatively
+// rounds down to the previous bound.
+func TestCountAtMostBoundary(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "help", []float64{1, 2, 5})
+	for _, v := range []float64{1, 2, 2, 3} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	cases := []struct {
+		le   float64
+		want uint64
+	}{
+		{1, 1},    // the observation exactly on the bound counts
+		{2, 3},    // both boundary observations count
+		{3, 3},    // between bounds: rounds down to le=2's answer
+		{4.99, 3}, // still short of the 5 bucket
+		{5, 4},    // the (2,5] bucket's 3 joins at its own bound
+	}
+	for _, c := range cases {
+		if got := s.CountAtMost(c.le); got != c.want {
+			t.Errorf("CountAtMost(%g) = %d, want %d", c.le, got, c.want)
+		}
+	}
+}

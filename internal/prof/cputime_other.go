@@ -1,0 +1,7 @@
+//go:build !unix
+
+package prof
+
+// processCPUSeconds is unavailable off unix; brackets there report
+// zero CPU seconds but still measure wall time, allocs and GC counts.
+func processCPUSeconds() float64 { return 0 }

@@ -1,0 +1,21 @@
+//go:build unix
+
+package prof
+
+import "syscall"
+
+// processCPUSeconds returns the process's cumulative user+system CPU
+// time. getrusage is used instead of the /cpu/classes/* runtime
+// metrics because those only refresh at GC boundaries — between GCs
+// their deltas read as zero, which would zero out every short
+// bracket. getrusage is a single cheap syscall and always current.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	tv := func(t syscall.Timeval) float64 {
+		return float64(t.Sec) + float64(t.Usec)/1e6
+	}
+	return tv(ru.Utime) + tv(ru.Stime)
+}

@@ -1,0 +1,151 @@
+// Package prof is the continuous-profiling and resource-attribution
+// layer for qlecd (DESIGN.md §16). It has three parts:
+//
+//   - Bracket / Usage: cheap begin/end deltas (CPU seconds via
+//     getrusage, alloc bytes / GC cycles / live heap via
+//     runtime/metrics) used to attribute cost to every job and sweep
+//     cell the daemon executes.
+//   - Sampler: a background loop over runtime/metrics that feeds
+//     qlecd_runtime_* gauges and histograms plus a bounded in-memory
+//     ring for trend queries (GET /v1/runtime).
+//   - Store / Capture / AutoCapturer: a FIFO-capped in-memory store of
+//     pprof artifacts (cpu/heap/goroutine/block/mutex) behind
+//     POST/GET /v1/profiles, with rate-limited capture-on-anomaly
+//     driven by the autoscale advisor.
+//
+// Everything is stdlib-only and registers into the internal/obs
+// registry. Nothing here touches the simulation hot path: a daemon
+// with the sampler disabled and no brackets active pays nothing, and
+// the bench binaries never import this package's runtime loop.
+package prof
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// Usage is the resource bill for one unit of executed work (a job or
+// a sweep cell). All fields are deltas over the execution bracket.
+//
+// CPUSeconds and AllocBytes are process-wide deltas: under concurrent
+// workers a bracket also observes its neighbours' activity, so usage
+// over-attributes on a busy daemon. That trade keeps the bracket at
+// two syscalls + two metrics.Read calls instead of per-goroutine
+// accounting; DESIGN.md §16 discusses why that is the right point.
+type Usage struct {
+	// CPUSeconds is user+system CPU time consumed by the process
+	// during the bracket (getrusage, not runtime/metrics — the
+	// /cpu/classes/* metrics only refresh at GC boundaries).
+	CPUSeconds float64 `json:"cpuSeconds"`
+	// WallSeconds is elapsed wall-clock time for the bracket.
+	WallSeconds float64 `json:"wallSeconds"`
+	// AllocBytes is the cumulative heap allocation delta
+	// (/gc/heap/allocs:bytes), which runtime/metrics tracks
+	// accurately between GCs.
+	AllocBytes uint64 `json:"allocBytes"`
+	// PeakHeapDelta is the observed growth of the live heap over the
+	// bracket: max(live seen during/after bracket) - live at start,
+	// floored at zero. Without a running Sampler only the endpoint is
+	// seen, making this a lower bound on the true peak.
+	PeakHeapDelta uint64 `json:"peakHeapDelta"`
+	// GCCount is the number of completed GC cycles during the bracket.
+	GCCount uint64 `json:"gcCount"`
+}
+
+// Add accumulates o into u (used to roll cells up into jobs and jobs
+// up into batches). Wall time adds too: for work executed in parallel
+// the sum exceeds elapsed time, the same convention as CPU seconds.
+func (u *Usage) Add(o Usage) {
+	u.CPUSeconds += o.CPUSeconds
+	u.WallSeconds += o.WallSeconds
+	u.AllocBytes += o.AllocBytes
+	u.PeakHeapDelta += o.PeakHeapDelta
+	u.GCCount += o.GCCount
+}
+
+// IsZero reports whether the bill is empty (e.g. a pure cache hit).
+func (u Usage) IsZero() bool {
+	return u.CPUSeconds == 0 && u.WallSeconds == 0 && u.AllocBytes == 0 &&
+		u.PeakHeapDelta == 0 && u.GCCount == 0
+}
+
+// bracketSamples is the fixed runtime/metrics batch read at both ends
+// of a bracket. Order matters: indexes are hard-coded below.
+var bracketNames = []string{
+	"/gc/heap/allocs:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/memory/classes/heap/objects:bytes",
+}
+
+// Bracket measures resource usage between Begin and End.
+type Bracket struct {
+	start     time.Time
+	cpu       float64
+	allocs    uint64
+	gcCycles  uint64
+	heapLive  uint64
+	samples   [3]metrics.Sample
+	completed bool
+}
+
+// Begin starts a measurement bracket. The cost is one getrusage call
+// and one runtime/metrics batch read (no stop-the-world).
+func Begin() *Bracket {
+	b := &Bracket{}
+	for i, n := range bracketNames {
+		b.samples[i].Name = n
+	}
+	metrics.Read(b.samples[:])
+	b.start = time.Now()
+	b.cpu = processCPUSeconds()
+	b.allocs = b.samples[0].Value.Uint64()
+	b.gcCycles = b.samples[1].Value.Uint64()
+	b.heapLive = b.samples[2].Value.Uint64()
+	return b
+}
+
+// Start returns the wall-clock instant the bracket began.
+func (b *Bracket) Start() time.Time { return b.start }
+
+// PeakSource supplies an observed live-heap high-water mark since a
+// given instant; *Sampler implements it. A nil source (or one with no
+// samples in the window) degrades to the bracket's endpoint reading.
+type PeakSource interface {
+	PeakHeapSince(t time.Time) (bytes uint64, ok bool)
+}
+
+// End closes the bracket and returns the bill. Safe to call once;
+// subsequent calls return a zero Usage.
+func (b *Bracket) End() Usage { return b.EndWith(nil) }
+
+// EndWith closes the bracket, consulting ps (may be nil) for a live-
+// heap peak observed during the bracket window.
+func (b *Bracket) EndWith(ps PeakSource) Usage {
+	if b == nil || b.completed {
+		return Usage{}
+	}
+	b.completed = true
+	metrics.Read(b.samples[:])
+	u := Usage{
+		WallSeconds: time.Since(b.start).Seconds(),
+	}
+	if cpu := processCPUSeconds(); cpu > b.cpu {
+		u.CPUSeconds = cpu - b.cpu
+	}
+	if a := b.samples[0].Value.Uint64(); a > b.allocs {
+		u.AllocBytes = a - b.allocs
+	}
+	if g := b.samples[1].Value.Uint64(); g > b.gcCycles {
+		u.GCCount = g - b.gcCycles
+	}
+	peak := b.samples[2].Value.Uint64()
+	if ps != nil {
+		if p, ok := ps.PeakHeapSince(b.start); ok && p > peak {
+			peak = p
+		}
+	}
+	if peak > b.heapLive {
+		u.PeakHeapDelta = peak - b.heapLive
+	}
+	return u
+}

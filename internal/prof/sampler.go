@@ -1,0 +1,330 @@
+package prof
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+
+	"qlec/internal/obs"
+)
+
+// RuntimeSample is one row of the sampler's trend ring, served by
+// GET /v1/runtime. Values are instantaneous except GCCPUFraction,
+// which is cumulative-since-start (the runtime refreshes the
+// underlying /cpu/classes/* metrics at GC boundaries, so it can lag
+// by up to one GC cycle).
+type RuntimeSample struct {
+	At               time.Time `json:"at"`
+	HeapLiveBytes    uint64    `json:"heapLiveBytes"`
+	HeapGoalBytes    uint64    `json:"heapGoalBytes"`
+	Goroutines       int64     `json:"goroutines"`
+	GCCycles         uint64    `json:"gcCycles"`
+	GCCPUFraction    float64   `json:"gcCpuFraction"`
+	SchedLatencyP50  float64   `json:"schedLatencyP50"`
+	SchedLatencyP95  float64   `json:"schedLatencyP95"`
+	SchedLatencyP99  float64   `json:"schedLatencyP99"`
+	CPUSecondsTotal  float64   `json:"cpuSecondsTotal"`
+	PauseTotalCycles uint64    `json:"pauseCount"`
+}
+
+// samplerNames is the batch read every tick. Indexes are hard-coded
+// in sampleLocked.
+var samplerNames = []string{
+	"/memory/classes/heap/objects:bytes", // 0
+	"/gc/heap/goal:bytes",                // 1
+	"/sched/goroutines:goroutines",       // 2
+	"/gc/cycles/total:gc-cycles",         // 3
+	"/cpu/classes/gc/total:cpu-seconds",  // 4
+	"/cpu/classes/total:cpu-seconds",     // 5
+	"/sched/latencies:seconds",           // 6 histogram
+	"/sched/pauses/total/gc:seconds",     // 7 histogram
+}
+
+// gcPauseBuckets cover 10µs .. 1s stop-the-world pauses.
+var gcPauseBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
+
+// SamplerOptions configure NewSampler. Zero values pick defaults.
+type SamplerOptions struct {
+	// Interval between samples; <= 0 disables the background loop
+	// (SampleNow still works for on-demand reads).
+	Interval time.Duration
+	// RingSize bounds the trend ring; default 600 samples
+	// (10 minutes at the default 1s cadence).
+	RingSize int
+}
+
+// Sampler runs a background runtime/metrics loop feeding
+// qlecd_runtime_* series and a bounded trend ring.
+type Sampler struct {
+	interval time.Duration
+
+	heapLive   *obs.Gauge
+	heapGoal   *obs.Gauge
+	goroutines *obs.Gauge
+	gcCPU      *obs.Gauge
+	schedP50   *obs.Gauge
+	schedP95   *obs.Gauge
+	schedP99   *obs.Gauge
+	gcPause    *obs.Histogram
+
+	mu         sync.Mutex
+	samples    []metrics.Sample
+	ring       []RuntimeSample
+	ringStart  int
+	ringLen    int
+	prevSched  []uint64 // previous cumulative /sched/latencies counts
+	prevPause  []uint64 // previous cumulative pause histogram counts
+	pauseCount uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSampler registers the qlecd_runtime_* series on reg and returns
+// a stopped sampler; call Start to begin the loop.
+func NewSampler(reg *obs.Registry, opt SamplerOptions) *Sampler {
+	if opt.RingSize <= 0 {
+		opt.RingSize = 600
+	}
+	s := &Sampler{
+		interval: opt.Interval,
+		heapLive: reg.Gauge("qlecd_runtime_heap_live_bytes",
+			"Bytes of live heap objects at the last runtime sample."),
+		heapGoal: reg.Gauge("qlecd_runtime_heap_goal_bytes",
+			"GC heap goal at the last runtime sample."),
+		goroutines: reg.Gauge("qlecd_runtime_goroutines",
+			"Goroutine count at the last runtime sample."),
+		gcCPU: reg.Gauge("qlecd_runtime_gc_cpu_fraction",
+			"Fraction of available CPU spent in GC since process start (refreshes at GC boundaries)."),
+		gcPause: reg.Histogram("qlecd_runtime_gc_pause_seconds",
+			"Stop-the-world GC pause durations observed by the runtime sampler.",
+			gcPauseBuckets),
+		samples: make([]metrics.Sample, len(samplerNames)),
+		ring:    make([]RuntimeSample, opt.RingSize),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	sched := reg.GaugeVec("qlecd_runtime_sched_latency_seconds",
+		"Scheduler latency quantiles over the last sampler window.",
+		"quantile")
+	s.schedP50 = sched.With("0.5")
+	s.schedP95 = sched.With("0.95")
+	s.schedP99 = sched.With("0.99")
+	for i, n := range samplerNames {
+		s.samples[i].Name = n
+	}
+	return s
+}
+
+// Start launches the background loop; a no-op when Interval <= 0.
+func (s *Sampler) Start() {
+	if s.interval <= 0 {
+		close(s.done)
+		return
+	}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		s.SampleNow()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.SampleNow()
+			}
+		}
+	}()
+}
+
+// Stop terminates the loop and waits for it to exit. Idempotent.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.mu.Unlock()
+	<-s.done
+}
+
+// SampleNow takes one sample immediately, updates the exported
+// series and appends to the trend ring.
+func (s *Sampler) SampleNow() RuntimeSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sampleLocked()
+}
+
+func (s *Sampler) sampleLocked() RuntimeSample {
+	metrics.Read(s.samples)
+	row := RuntimeSample{
+		At:            time.Now(),
+		HeapLiveBytes: s.samples[0].Value.Uint64(),
+		HeapGoalBytes: s.samples[1].Value.Uint64(),
+		Goroutines:    int64(s.samples[2].Value.Uint64()),
+		GCCycles:      s.samples[3].Value.Uint64(),
+	}
+	gcCPU := s.samples[4].Value.Float64()
+	totCPU := s.samples[5].Value.Float64()
+	if totCPU > 0 {
+		row.GCCPUFraction = gcCPU / totCPU
+	}
+	row.CPUSecondsTotal = processCPUSeconds()
+
+	// Scheduler latency quantiles over the window since the previous
+	// sample (cumulative histogram diffed against the last read);
+	// when the window is empty the previous values are retained.
+	if h := s.samples[6].Value.Float64Histogram(); h != nil {
+		delta, total := diffCounts(&s.prevSched, h.Counts)
+		if total > 0 {
+			row.SchedLatencyP50 = histQuantile(h.Buckets, delta, total, 0.50)
+			row.SchedLatencyP95 = histQuantile(h.Buckets, delta, total, 0.95)
+			row.SchedLatencyP99 = histQuantile(h.Buckets, delta, total, 0.99)
+			s.schedP50.Set(row.SchedLatencyP50)
+			s.schedP95.Set(row.SchedLatencyP95)
+			s.schedP99.Set(row.SchedLatencyP99)
+		} else if s.ringLen > 0 {
+			prev := s.ring[(s.ringStart+s.ringLen-1)%len(s.ring)]
+			row.SchedLatencyP50 = prev.SchedLatencyP50
+			row.SchedLatencyP95 = prev.SchedLatencyP95
+			row.SchedLatencyP99 = prev.SchedLatencyP99
+		}
+	}
+
+	// New GC pauses since the last sample feed the pause histogram:
+	// each new count in a runtime bucket is observed at that bucket's
+	// representative edge. Pause counts per tick are tiny (a few per
+	// GC cycle) so the replay cost is negligible.
+	if h := s.samples[7].Value.Float64Histogram(); h != nil {
+		delta, total := diffCounts(&s.prevPause, h.Counts)
+		if total > 0 {
+			s.pauseCount += total
+			for i, c := range delta {
+				if c == 0 {
+					continue
+				}
+				v := bucketValue(h.Buckets, i)
+				for j := uint64(0); j < c; j++ {
+					s.gcPause.Observe(v)
+				}
+			}
+		}
+	}
+	row.PauseTotalCycles = s.pauseCount
+
+	s.heapLive.Set(float64(row.HeapLiveBytes))
+	s.heapGoal.Set(float64(row.HeapGoalBytes))
+	s.goroutines.Set(float64(row.Goroutines))
+	s.gcCPU.Set(row.GCCPUFraction)
+
+	// Append to the ring.
+	if s.ringLen < len(s.ring) {
+		s.ring[(s.ringStart+s.ringLen)%len(s.ring)] = row
+		s.ringLen++
+	} else {
+		s.ring[s.ringStart] = row
+		s.ringStart = (s.ringStart + 1) % len(s.ring)
+	}
+	return row
+}
+
+// Trend returns the ring contents oldest-first.
+func (s *Sampler) Trend() []RuntimeSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RuntimeSample, s.ringLen)
+	for i := 0; i < s.ringLen; i++ {
+		out[i] = s.ring[(s.ringStart+i)%len(s.ring)]
+	}
+	return out
+}
+
+// PeakHeapSince implements PeakSource: the highest live-heap reading
+// in the ring at or after t. ok is false when no sample qualifies
+// (sampler off, or the window is shorter than one tick). Nil-safe.
+func (s *Sampler) PeakHeapSince(t time.Time) (uint64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var peak uint64
+	ok := false
+	for i := 0; i < s.ringLen; i++ {
+		row := s.ring[(s.ringStart+i)%len(s.ring)]
+		if row.At.Before(t) {
+			continue
+		}
+		ok = true
+		if row.HeapLiveBytes > peak {
+			peak = row.HeapLiveBytes
+		}
+	}
+	return peak, ok
+}
+
+// Interval reports the configured cadence (0 when disabled).
+func (s *Sampler) Interval() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// diffCounts updates *prev to cur and returns the per-bucket delta
+// plus its sum. A length change (shouldn't happen for a fixed metric)
+// resets the baseline.
+func diffCounts(prev *[]uint64, cur []uint64) ([]uint64, uint64) {
+	if len(*prev) != len(cur) {
+		*prev = make([]uint64, len(cur))
+		copy(*prev, cur)
+		return make([]uint64, len(cur)), 0
+	}
+	delta := make([]uint64, len(cur))
+	var total uint64
+	for i, c := range cur {
+		if c >= (*prev)[i] {
+			delta[i] = c - (*prev)[i]
+		}
+		total += delta[i]
+		(*prev)[i] = c
+	}
+	return delta, total
+}
+
+// bucketValue picks a representative value for runtime histogram
+// bucket i given its boundary slice (len(counts)+1, ±Inf at the
+// ends): the midpoint of finite bounds, else the finite edge.
+func bucketValue(bounds []float64, i int) float64 {
+	lo, hi := bounds[i], bounds[i+1]
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}
+
+// histQuantile computes quantile q over a windowed runtime histogram.
+func histQuantile(bounds []float64, counts []uint64, total uint64, q float64) float64 {
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen >= target {
+			return bucketValue(bounds, i)
+		}
+	}
+	return bucketValue(bounds, len(counts)-1)
+}

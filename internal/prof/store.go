@@ -1,0 +1,121 @@
+package prof
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"qlec/internal/obs"
+)
+
+// Artifact is one captured profile held in the store. Data is omitted
+// from list responses (SizeBytes stands in) and streamed by
+// GET /v1/profiles/{id}.
+type Artifact struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"` // cpu | heap | goroutine | block | mutex
+	// Format is "pprof" (gzipped protobuf, for go tool pprof) for cpu
+	// captures and "text" (debug=1) for the lookup profiles, which
+	// qlecprof can summarise and diff without the pprof toolchain.
+	Format string `json:"format"`
+	// Reason records why the capture happened: "manual" for API
+	// requests, or the anomaly trigger ("scale-up", ...).
+	Reason    string    `json:"reason"`
+	Instance  string    `json:"instance,omitempty"` // set on fleet-aggregated listings
+	CreatedAt time.Time `json:"createdAt"`
+	// DurationSeconds is the sampling window for cpu captures.
+	DurationSeconds float64 `json:"durationSeconds,omitempty"`
+	SizeBytes       int     `json:"sizeBytes"`
+	Data            []byte  `json:"-"`
+}
+
+// meta returns a copy without the payload, for listings.
+func (a *Artifact) meta() Artifact {
+	m := *a
+	m.Data = nil
+	return m
+}
+
+// Store holds captured profiles FIFO-capped at max, mirroring the
+// trace and audit tables: old artifacts are dropped as new ones
+// arrive, and qlecd_profiles_held reports the current count.
+type Store struct {
+	mu   sync.Mutex
+	arts []*Artifact
+	max  int
+	seq  uint64
+}
+
+// NewStore creates a store capped at max artifacts (min 1) and
+// registers the qlecd_profiles_held gauge on reg.
+func NewStore(max int, reg *obs.Registry) *Store {
+	if max < 1 {
+		max = 1
+	}
+	st := &Store{max: max}
+	if reg != nil {
+		reg.GaugeFunc("qlecd_profiles_held",
+			"Profile artifacts currently held in the in-memory store.",
+			func() float64 {
+				st.mu.Lock()
+				defer st.mu.Unlock()
+				return float64(len(st.arts))
+			})
+	}
+	return st
+}
+
+// Add assigns an ID and inserts the artifact, evicting the oldest
+// entries beyond the cap. Returns the stored artifact.
+func (st *Store) Add(a *Artifact) *Artifact {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	a.ID = fmt.Sprintf("p%08d", st.seq)
+	if a.CreatedAt.IsZero() {
+		a.CreatedAt = time.Now()
+	}
+	a.SizeBytes = len(a.Data)
+	st.arts = append(st.arts, a)
+	if over := len(st.arts) - st.max; over > 0 {
+		st.arts = append([]*Artifact(nil), st.arts[over:]...)
+	}
+	return a
+}
+
+// List returns artifact metadata, newest first, without payloads.
+func (st *Store) List() []Artifact {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Artifact, 0, len(st.arts))
+	for i := len(st.arts) - 1; i >= 0; i-- {
+		out = append(out, st.arts[i].meta())
+	}
+	return out
+}
+
+// Get returns the artifact with the given ID (payload included), or
+// nil. An empty id returns the newest artifact, if any.
+func (st *Store) Get(id string) *Artifact {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if id == "" {
+		if len(st.arts) == 0 {
+			return nil
+		}
+		return st.arts[len(st.arts)-1]
+	}
+	for _, a := range st.arts {
+		if a.ID == id {
+			return a
+		}
+	}
+	return nil
+}
+
+// Len reports the current artifact count.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.arts)
+}

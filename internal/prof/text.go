@@ -1,0 +1,245 @@
+package prof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextProfile is a parsed debug=1 pprof text capture (heap,
+// goroutine, block or mutex — the formats runtime/pprof emits when
+// WriteTo is called with debug=1). CPU profiles are protobuf-only
+// and are not parsed here; fetch those and open them with
+// `go tool pprof`.
+type TextProfile struct {
+	// Kind is "heap", "goroutine" or "contention" (block and mutex
+	// share the contention text format).
+	Kind string
+	// CyclesPerSecond converts contention cycle counts to seconds;
+	// zero for heap/goroutine profiles.
+	CyclesPerSecond float64
+	Entries         []TextEntry
+}
+
+// TextEntry is one stack record.
+type TextEntry struct {
+	// Count / Value depend on Kind: heap = in-use objects / in-use
+	// bytes; goroutine = goroutines / goroutines; contention =
+	// events / cycles blocked.
+	Count int64
+	Value int64
+	// AllocCount / AllocValue are the bracketed cumulative pair on
+	// heap entries; zero elsewhere.
+	AllocCount int64
+	AllocValue int64
+	// Stack holds symbolised frames (innermost first) when the text
+	// carried "#" frame lines, else the raw hex addresses.
+	Stack []string
+	addrs []string
+}
+
+// Key identifies the entry's call stack for diffing.
+func (e *TextEntry) Key() string { return strings.Join(e.Stack, ";") }
+
+// Leaf is the innermost frame, or "?" for an empty stack.
+func (e *TextEntry) Leaf() string {
+	if len(e.Stack) == 0 {
+		return "?"
+	}
+	return e.Stack[0]
+}
+
+// ParseText parses a debug=1 text profile.
+func ParseText(r io.Reader) (*TextProfile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	p := &TextProfile{}
+	var cur *TextEntry
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(trimmed, "heap profile:"):
+			p.Kind = "heap"
+			continue
+		case strings.HasPrefix(trimmed, "goroutine profile:"):
+			p.Kind = "goroutine"
+			continue
+		case strings.HasPrefix(trimmed, "---"):
+			// "--- contention:" (block) or "--- mutex:".
+			p.Kind = "contention"
+			continue
+		case strings.HasPrefix(trimmed, "cycles/second="):
+			p.CyclesPerSecond, _ = strconv.ParseFloat(
+				strings.TrimPrefix(trimmed, "cycles/second="), 64)
+			continue
+		case strings.HasPrefix(trimmed, "sampling period="):
+			continue
+		case strings.HasPrefix(trimmed, "#"):
+			// Frame line: "#\t0xADDR\tsymbol+0xOFF\tfile:line". The
+			// heap tail ("# runtime.MemStats", "# Alloc = ...")
+			// doesn't match and terminates the current entry.
+			fields := strings.Fields(trimmed)
+			if cur != nil && len(fields) >= 3 && strings.HasPrefix(fields[1], "0x") {
+				sym := fields[2]
+				if i := strings.LastIndex(sym, "+0x"); i > 0 {
+					sym = sym[:i]
+				}
+				cur.Stack = append(cur.Stack, sym)
+			} else {
+				cur = nil
+			}
+			continue
+		}
+		e, ok := parseEntryLine(trimmed, p.Kind)
+		if !ok {
+			continue
+		}
+		p.Entries = append(p.Entries, e)
+		cur = &p.Entries[len(p.Entries)-1]
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p.Kind == "" {
+		return nil, fmt.Errorf("prof: unrecognised text profile (no header line)")
+	}
+	// Entries without symbol frames fall back to their addresses so
+	// Key/Leaf still distinguish stacks.
+	for i := range p.Entries {
+		if len(p.Entries[i].Stack) == 0 {
+			p.Entries[i].Stack = p.Entries[i].addrs
+		}
+	}
+	return p, nil
+}
+
+func parseEntryLine(line, kind string) (TextEntry, bool) {
+	head, tail, found := strings.Cut(line, "@")
+	if !found {
+		return TextEntry{}, false
+	}
+	var e TextEntry
+	for _, a := range strings.Fields(tail) {
+		if strings.HasPrefix(a, "0x") {
+			e.addrs = append(e.addrs, a)
+		}
+	}
+	fields := strings.Fields(strings.ReplaceAll(head, ":", " "))
+	nums := make([]int64, 0, 4)
+	for _, f := range fields {
+		f = strings.Trim(f, "[]")
+		if f == "" {
+			continue
+		}
+		n, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return TextEntry{}, false
+		}
+		nums = append(nums, n)
+	}
+	switch {
+	case kind == "heap" && len(nums) == 4:
+		e.Count, e.Value, e.AllocCount, e.AllocValue = nums[0], nums[1], nums[2], nums[3]
+	case kind == "goroutine" && len(nums) == 1:
+		e.Count, e.Value = nums[0], nums[0]
+	case kind == "contention" && len(nums) == 2:
+		e.Value, e.Count = nums[0], nums[1]
+	default:
+		return TextEntry{}, false
+	}
+	return e, true
+}
+
+// TopRow is one line of a Top or Diff report.
+type TopRow struct {
+	Value int64   // primary metric (bytes, goroutines, or cycles)
+	Count int64   // record count (objects, goroutines, events)
+	Frac  float64 // share of the profile total (Top only)
+	Stack []string
+}
+
+// Top returns the n heaviest stacks. For heap profiles alloc=true
+// ranks by cumulative allocated bytes instead of in-use bytes.
+func (p *TextProfile) Top(n int, alloc bool) []TopRow {
+	rows := make([]TopRow, 0, len(p.Entries))
+	var total int64
+	for i := range p.Entries {
+		e := &p.Entries[i]
+		v, c := e.Value, e.Count
+		if alloc && p.Kind == "heap" {
+			v, c = e.AllocValue, e.AllocCount
+		}
+		total += v
+		rows = append(rows, TopRow{Value: v, Count: c, Stack: e.Stack})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Value > rows[j].Value })
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	for i := range rows {
+		if total > 0 {
+			rows[i].Frac = float64(rows[i].Value) / float64(total)
+		}
+	}
+	return rows
+}
+
+// Diff returns per-stack deltas (b - a), largest absolute delta
+// first, for two profiles of the same kind. Stacks present on only
+// one side count from zero. alloc selects the cumulative pair for
+// heap profiles.
+func Diff(a, b *TextProfile, n int, alloc bool) ([]TopRow, error) {
+	if a.Kind != b.Kind {
+		return nil, fmt.Errorf("prof: cannot diff %s against %s", a.Kind, b.Kind)
+	}
+	type pair struct {
+		v, c  int64
+		stack []string
+	}
+	acc := map[string]*pair{}
+	fold := func(p *TextProfile, sign int64) {
+		for i := range p.Entries {
+			e := &p.Entries[i]
+			v, c := e.Value, e.Count
+			if alloc && p.Kind == "heap" {
+				v, c = e.AllocValue, e.AllocCount
+			}
+			k := e.Key()
+			if acc[k] == nil {
+				acc[k] = &pair{stack: e.Stack}
+			}
+			acc[k].v += sign * v
+			acc[k].c += sign * c
+		}
+	}
+	fold(a, -1)
+	fold(b, +1)
+	rows := make([]TopRow, 0, len(acc))
+	for _, p := range acc {
+		if p.v == 0 && p.c == 0 {
+			continue
+		}
+		rows = append(rows, TopRow{Value: p.v, Count: p.c, Stack: p.stack})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		ai, aj := rows[i].Value, rows[j].Value
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		return ai > aj
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows, nil
+}

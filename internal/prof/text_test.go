@@ -1,0 +1,139 @@
+package prof
+
+import (
+	"strings"
+	"testing"
+)
+
+const heapText = `heap profile: 2: 2048 [4: 8192] @ heap/1048576
+1: 1024 [2: 4096] @ 0x4011aa 0x4020bb
+#	0x4011aa	qlec/internal/sim.(*Engine).step+0x2a	/root/repo/internal/sim/engine.go:100
+#	0x4020bb	main.main+0x1b	/root/repo/cmd/qlecsim/main.go:40
+1: 1024 [2: 4096] @ 0x4033cc
+#	0x4033cc	qlec/internal/qlearn.(*Table).Update+0x8c	/root/repo/internal/qlearn/table.go:55
+
+# runtime.MemStats
+# Alloc = 123456
+# TotalAlloc = 789012
+`
+
+const goroutineText = `goroutine profile: total 5
+3 @ 0x43aa11 0x43bb22
+#	0x43aa11	runtime.gopark+0xde	/usr/local/go/src/runtime/proc.go:402
+#	0x43bb22	qlec/internal/service.(*Server).worker+0x9a	/root/repo/internal/service/worker.go:30
+2 @ 0x43cc33
+#	0x43cc33	runtime.gopark+0xde	/usr/local/go/src/runtime/proc.go:402
+`
+
+const blockText = `--- contention:
+cycles/second=2500000000
+5000000000 4 @ 0x50aa11
+#	0x50aa11	sync.(*Mutex).Lock+0x45	/usr/local/go/src/sync/mutex.go:90
+2500000000 1 @ 0x50bb22
+#	0x50bb22	runtime.chanrecv1+0x12	/usr/local/go/src/runtime/chan.go:442
+`
+
+func TestParseHeapText(t *testing.T) {
+	p, err := ParseText(strings.NewReader(heapText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != "heap" || len(p.Entries) != 2 {
+		t.Fatalf("kind=%q entries=%d", p.Kind, len(p.Entries))
+	}
+	e := p.Entries[0]
+	if e.Count != 1 || e.Value != 1024 || e.AllocCount != 2 || e.AllocValue != 4096 {
+		t.Fatalf("entry 0: %+v", e)
+	}
+	if e.Leaf() != "qlec/internal/sim.(*Engine).step" {
+		t.Fatalf("leaf = %q (offset suffix should be stripped)", e.Leaf())
+	}
+	if len(e.Stack) != 2 || e.Stack[1] != "main.main" {
+		t.Fatalf("stack = %v", e.Stack)
+	}
+	// The MemStats tail must not leak frames into the last entry.
+	if got := len(p.Entries[1].Stack); got != 1 {
+		t.Fatalf("entry 1 stack len = %d, want 1 (MemStats tail leaked?)", got)
+	}
+}
+
+func TestParseGoroutineText(t *testing.T) {
+	p, err := ParseText(strings.NewReader(goroutineText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != "goroutine" || len(p.Entries) != 2 {
+		t.Fatalf("kind=%q entries=%d", p.Kind, len(p.Entries))
+	}
+	if p.Entries[0].Count != 3 || p.Entries[0].Value != 3 {
+		t.Fatalf("entry 0: %+v", p.Entries[0])
+	}
+}
+
+func TestParseContentionText(t *testing.T) {
+	p, err := ParseText(strings.NewReader(blockText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != "contention" || p.CyclesPerSecond != 2.5e9 {
+		t.Fatalf("kind=%q cps=%v", p.Kind, p.CyclesPerSecond)
+	}
+	if p.Entries[0].Value != 5000000000 || p.Entries[0].Count != 4 {
+		t.Fatalf("entry 0: %+v", p.Entries[0])
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	if _, err := ParseText(strings.NewReader("not a profile\n1 2 3\n")); err == nil {
+		t.Fatal("expected error for unrecognised input")
+	}
+}
+
+func TestTopOrderingAndFractions(t *testing.T) {
+	p, _ := ParseText(strings.NewReader(blockText))
+	rows := p.Top(10, false)
+	if len(rows) != 2 || rows[0].Value < rows[1].Value {
+		t.Fatalf("top not sorted desc: %+v", rows)
+	}
+	if rows[0].Frac <= rows[1].Frac || rows[0].Frac > 1 {
+		t.Fatalf("fractions wrong: %+v", rows)
+	}
+	// n truncates.
+	if got := len(p.Top(1, false)); got != 1 {
+		t.Fatalf("Top(1) len = %d", got)
+	}
+}
+
+func TestTopHeapAllocSwitch(t *testing.T) {
+	p, _ := ParseText(strings.NewReader(heapText))
+	inuse := p.Top(10, false)
+	alloc := p.Top(10, true)
+	if inuse[0].Value != 1024 || alloc[0].Value != 4096 {
+		t.Fatalf("inuse=%d alloc=%d", inuse[0].Value, alloc[0].Value)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a, _ := ParseText(strings.NewReader(heapText))
+	grown := strings.Replace(heapText,
+		"1: 1024 [2: 4096] @ 0x4033cc",
+		"3: 9216 [6: 20480] @ 0x4033cc", 1)
+	b, _ := ParseText(strings.NewReader(grown))
+	rows, err := Diff(a, b, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("diff rows = %+v, want exactly the grown stack", rows)
+	}
+	if rows[0].Value != 9216-1024 || rows[0].Count != 2 {
+		t.Fatalf("delta = %+v", rows[0])
+	}
+	if rows[0].Stack[0] != "qlec/internal/qlearn.(*Table).Update" {
+		t.Fatalf("stack = %v", rows[0].Stack)
+	}
+	gp, _ := ParseText(strings.NewReader(goroutineText))
+	if _, err := Diff(a, gp, 10, false); err == nil {
+		t.Fatal("cross-kind diff must error")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"qlec/internal/obs"
+	"qlec/internal/prof"
 )
 
 // maxBatchConfigs bounds one submission; thousands are the design
@@ -25,6 +26,9 @@ type BatchConfig struct {
 	// Proxied marks a cache hit served by the hash's ring owner.
 	Proxied bool   `json:"proxied,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// Resources sums the config's cell bills wherever they executed;
+	// nil for cache hits (a hit costs nothing new).
+	Resources *prof.Usage `json:"resources,omitempty"`
 }
 
 // Batch is one POST /v1/batches submission: an ordered list of configs
@@ -50,6 +54,9 @@ type Batch struct {
 	CellsDone  int       `json:"cellsDone"`
 	CreatedAt  time.Time `json:"createdAt"`
 	FinishedAt time.Time `json:"finishedAt"`
+	// Resources rolls the per-config bills up: the batch's total
+	// execution cost across the fleet (this process's resume epoch).
+	Resources *prof.Usage `json:"resources,omitempty"`
 	// Requests holds the normalized submissions; persisted for restart
 	// resume, omitted from API views (fetch results by config hash).
 	Requests []Request `json:"requests,omitempty"`
@@ -221,6 +228,7 @@ type batchEntry struct {
 	plan     *cellPlan
 	futures  map[int]*cellFuture
 	outcomes []*ResultEnvelope
+	usage    prof.Usage // summed cell bills as futures resolve
 }
 
 // runBatch drives one batch to completion: resolve or schedule every
@@ -282,13 +290,20 @@ func (s *Server) runBatch(id string) {
 		s.mu.Unlock()
 		return Event{Type: EventBatch, Batch: p}
 	}
-	finishConfig := func(i int, state JobState, cacheHit, proxied bool, errMsg string) {
+	finishConfig := func(i int, state JobState, cacheHit, proxied bool, errMsg string, usage *prof.Usage) {
 		s.mu.Lock()
 		c := &b.Configs[i]
 		c.State = state
 		c.CacheHit = cacheHit
 		c.Proxied = proxied
 		c.Error = errMsg
+		if usage != nil && !usage.IsZero() {
+			c.Resources = usage
+			if b.Resources == nil {
+				b.Resources = &prof.Usage{}
+			}
+			b.Resources.Add(*usage)
+		}
 		b.ConfigsDone++
 		if state == StateFailed {
 			b.Failed++
@@ -322,12 +337,12 @@ func (s *Server) runBatch(id string) {
 			proxied = hit
 		}
 		if hit && env != nil {
-			finishConfig(i, StateDone, true, proxied, "")
+			finishConfig(i, StateDone, true, proxied, "", nil)
 			continue
 		}
 		plan, err := planCells(reqs[i])
 		if err != nil {
-			finishConfig(i, StateFailed, false, false, err.Error())
+			finishConfig(i, StateFailed, false, false, err.Error(), nil)
 			continue
 		}
 		e := &batchEntry{
@@ -354,7 +369,7 @@ func (s *Server) runBatch(id string) {
 			for _, f := range e.futures {
 				s.fleet.release(f)
 			}
-			finishConfig(i, StateFailed, false, false, err.Error())
+			finishConfig(i, StateFailed, false, false, err.Error(), nil)
 			continue
 		}
 		s.mu.Lock()
@@ -389,6 +404,9 @@ func (s *Server) runBatch(id string) {
 				continue
 			}
 			delete(e.futures, ci)
+			if f.usage != nil {
+				e.usage.Add(*f.usage)
+			}
 			if f.err != nil && cellErr == nil {
 				cellErr = fmt.Errorf("cell %s: %w", f.hash[:12], f.err)
 			}
@@ -405,12 +423,12 @@ func (s *Server) runBatch(id string) {
 			continue
 		}
 		if cellErr != nil {
-			finishConfig(e.idx, StateFailed, false, false, cellErr.Error())
+			finishConfig(e.idx, StateFailed, false, false, cellErr.Error(), &e.usage)
 			continue
 		}
 		env, err := e.plan.assemble(e.outcomes)
 		if err != nil {
-			finishConfig(e.idx, StateFailed, false, false, err.Error())
+			finishConfig(e.idx, StateFailed, false, false, err.Error(), &e.usage)
 			continue
 		}
 		s.mu.Lock()
@@ -423,7 +441,7 @@ func (s *Server) runBatch(id string) {
 		if s.fleet != nil {
 			s.fleet.replicateToOwner(ctx, hash, env)
 		}
-		finishConfig(e.idx, StateDone, false, false, "")
+		finishConfig(e.idx, StateDone, false, false, "", &e.usage)
 	}
 
 	if interrupted || ctx.Err() != nil {

@@ -65,6 +65,9 @@ type Stats struct {
 	StreamReconnects int64 `json:"streamReconnects"`
 }
 
+// BaseURL reports the daemon base URL this client targets.
+func (c *Client) BaseURL() string { return c.base }
+
 // Stats snapshots the client's cumulative transport telemetry: how many
 // requests it sent, how often it had to retry, and how often event
 // streams dropped and resumed. Logged fields on WithLogger debug lines

@@ -14,6 +14,7 @@ import (
 
 	"qlec/internal/fleet"
 	"qlec/internal/obs"
+	"qlec/internal/prof"
 )
 
 // FleetOptions configures a daemon's membership in a qlecd fleet
@@ -97,7 +98,10 @@ type cellFuture struct {
 	done chan struct{}
 	env  *ResultEnvelope
 	err  error
-	refs int // guarded by runtime mu
+	// usage is the executing daemon's resource bill for the cell (nil
+	// when it resolved from a cache); set before done closes.
+	usage *prof.Usage
+	refs  int // guarded by runtime mu
 }
 
 func newFleetRuntime(s *Server, opt FleetOptions) (*fleetRuntime, error) {
@@ -293,7 +297,7 @@ func (r *fleetRuntime) release(f *cellFuture) {
 // (content-addressed, persisted), the pool entry removed, and every
 // waiter woken. errMsg reports execution failure; duplicate and
 // unsolicited completions are no-ops beyond the (idempotent) cache put.
-func (r *fleetRuntime) complete(hash string, env *ResultEnvelope, errMsg string) {
+func (r *fleetRuntime) complete(hash string, env *ResultEnvelope, errMsg string, usage *prof.Usage) {
 	if r.table.Complete(hash) {
 		// First completion of a live cell under this coordinator: the
 		// federated sum of this counter is the fleet's exact total.
@@ -313,6 +317,7 @@ func (r *fleetRuntime) complete(hash string, env *ResultEnvelope, errMsg string)
 		return
 	}
 	f.env = env
+	f.usage = usage
 	if errMsg != "" {
 		f.err = errors.New(errMsg)
 	}
@@ -407,7 +412,7 @@ func (r *fleetRuntime) executeLocal(l fleet.Lease) {
 	sc := cellSpan(l.Cell)
 	ctx := obs.ContextWithSpan(r.s.hardCtx, sc)
 	start := time.Now()
-	env, err := r.resolveOrRun(ctx, l.Cell)
+	env, usage, err := r.resolveOrRun(ctx, l.Cell)
 	state := "done"
 	if err != nil {
 		state = "failed"
@@ -418,10 +423,10 @@ func (r *fleetRuntime) executeLocal(l fleet.Lease) {
 		if r.s.hardCtx.Err() != nil {
 			return // shutdown: leave the cell to expiry/restart, not failure
 		}
-		r.complete(hash, nil, err.Error())
+		r.complete(hash, nil, err.Error(), usage)
 		return
 	}
-	r.complete(hash, env, "")
+	r.complete(hash, env, "", usage)
 	r.replicateToOwner(ctx, hash, env)
 }
 
@@ -445,7 +450,7 @@ func (r *fleetRuntime) executeStolen(peer string, l fleet.Lease) {
 	defer stopRenew()
 	hash := l.Cell.Hash
 	start := time.Now()
-	env, err := r.resolveOrRun(spanCtx, l.Cell)
+	env, usage, err := r.resolveOrRun(spanCtx, l.Cell)
 	state := "done"
 	if err != nil {
 		state = "failed"
@@ -455,7 +460,9 @@ func (r *fleetRuntime) executeStolen(peer string, l fleet.Lease) {
 	if err != nil && r.s.hardCtx.Err() != nil {
 		return // shutdown: the peer's lease expires and the cell re-pools
 	}
-	creq := fleet.CompleteRequest{Worker: r.self, LeaseID: l.ID, Hash: hash}
+	// The thief's bill travels back so the coordinator's job/batch
+	// rollups reflect true cost no matter where the cell ran.
+	creq := fleet.CompleteRequest{Worker: r.self, LeaseID: l.ID, Hash: hash, Usage: usage}
 	if err != nil {
 		creq.Error = err.Error()
 	} else {
@@ -491,33 +498,40 @@ func (r *fleetRuntime) executeStolen(peer string, l fleet.Lease) {
 // resolveOrRun answers a cell from the local cache, the ring owner's
 // cache, or by executing it. ctx carries the cell's span context so
 // downstream peer calls (proxy fetch, replication) stay on-trace.
-func (r *fleetRuntime) resolveOrRun(ctx context.Context, c fleet.Cell) (*ResultEnvelope, error) {
+// The usage bill is non-nil only when the cell actually executed here
+// (cache and proxy resolutions cost nothing new); execution is
+// bracketed and accounted to the kind="cell" cost counters on this
+// daemon — the one that burned the cycles.
+func (r *fleetRuntime) resolveOrRun(ctx context.Context, c fleet.Cell) (*ResultEnvelope, *prof.Usage, error) {
 	if env, ok := r.s.cache.peek(c.Hash); ok {
-		return env, nil
+		return env, nil, nil
 	}
 	if env, ok := r.proxyFetch(ctx, c.Hash); ok {
-		return env, nil
+		return env, nil, nil
 	}
 	var req Request
 	if err := json.Unmarshal(c.Spec, &req); err != nil {
-		return nil, fmt.Errorf("decode cell spec: %w", err)
+		return nil, nil, fmt.Errorf("decode cell spec: %w", err)
 	}
 	req = req.Normalize()
 	if err := req.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if r.s.opt.SimWorkers > 0 {
 		req.Config.Workers = r.s.opt.SimWorkers
 	}
+	bracket := prof.Begin()
 	env, err := r.s.opt.Run(obs.ContextWithMetrics(ctx, r.s.reg), req, func(Event) {})
+	usage := bracket.EndWith(r.s.sampler)
+	r.s.om.accountUsage("cell", protocolLabel(req), usage)
 	if err != nil {
-		return nil, err
+		return nil, &usage, err
 	}
 	if env == nil {
 		env = &ResultEnvelope{Kind: req.Kind}
 	}
 	env.Hash = c.Hash
-	return env, nil
+	return env, &usage, nil
 }
 
 // keepRenewed renews a lease at ttl/3 cadence until the returned stop
@@ -623,6 +637,23 @@ func (r *fleetRuntime) observeAdvisor(now time.Time) {
 			"delta", adv.Delta, "reason", adv.Reason,
 			"fastBurn", adv.FastBurn, "slowBurn", adv.SlowBurn)
 		r.fireScaleHook(adv)
+		r.noteScaleFlip(prev, adv)
+	}
+}
+
+// noteScaleFlip auto-captures a CPU+heap profile pair the moment the
+// advisor flips from "fine/shrink" to "add peers" — the point where
+// the queue-wait SLO burn crossed both thresholds and the daemon is
+// provably saturated, i.e. exactly when a profile of the saturation
+// is worth keeping. The AutoCapturer dedupes and rate-limits, so a
+// flapping advisor cannot flood the store.
+func (r *fleetRuntime) noteScaleFlip(prev int, adv fleet.Advice) {
+	if adv.Delta <= 0 || prev > 0 {
+		return
+	}
+	if r.s.autoProf.Trigger("scale-up") {
+		r.s.log.Info("fleet: auto-capturing cpu+heap profiles on scale-up flip",
+			"delta", adv.Delta, "reason", adv.Reason)
 	}
 }
 
@@ -728,11 +759,13 @@ func (r *fleetRuntime) replicateToOwner(ctx context.Context, hash string, env *R
 // publishing per-cell progress, then fold. The plan and the fold are
 // the same code the in-process path runs, so the result is
 // byte-identical to a single-daemon execution no matter where the
-// cells ran.
-func (r *fleetRuntime) runSweep(ctx context.Context, req Request, publish func(Event)) (*ResultEnvelope, error) {
+// cells ran. The returned usage sums the cells' execution bills
+// wherever they ran (cache hits contribute zero).
+func (r *fleetRuntime) runSweep(ctx context.Context, req Request, publish func(Event)) (*ResultEnvelope, prof.Usage, error) {
+	var usage prof.Usage
 	plan, err := planCells(req)
 	if err != nil {
-		return nil, err
+		return nil, usage, err
 	}
 	total := len(plan.cells)
 	outcomes := make([]*ResultEnvelope, total)
@@ -766,7 +799,7 @@ func (r *fleetRuntime) runSweep(ctx context.Context, req Request, publish func(E
 		}
 		f, err := r.schedule(plan.cells[i], hash, trace)
 		if err != nil {
-			return nil, err
+			return nil, usage, err
 		}
 		futures[i] = f
 	}
@@ -783,17 +816,21 @@ func (r *fleetRuntime) runSweep(ctx context.Context, req Request, publish func(E
 		select {
 		case <-f.done:
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, usage, ctx.Err()
+		}
+		if f.usage != nil {
+			usage.Add(*f.usage)
 		}
 		if f.err != nil {
-			return nil, fmt.Errorf("service: cell %s: %w", f.hash[:12], f.err)
+			return nil, usage, fmt.Errorf("service: cell %s: %w", f.hash[:12], f.err)
 		}
 		outcomes[i] = f.env
 		done++
 		progress()
 	}
 	releaseAll()
-	return plan.assemble(outcomes)
+	env, err := plan.assemble(outcomes)
+	return env, usage, err
 }
 
 // distributable reports whether a request should route through the cell
@@ -895,14 +932,14 @@ func (s *Server) handleFleetComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Error != "" {
-		s.fleet.complete(req.Hash, nil, req.Error)
+		s.fleet.complete(req.Hash, nil, req.Error, req.Usage)
 	} else {
 		var env ResultEnvelope
 		if err := json.Unmarshal(req.Result, &env); err != nil {
 			writeErr(w, http.StatusBadRequest, "complete: decode result: %v", err)
 			return
 		}
-		s.fleet.complete(req.Hash, &env, "")
+		s.fleet.complete(req.Hash, &env, "", req.Usage)
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }

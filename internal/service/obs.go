@@ -5,6 +5,7 @@ import (
 
 	"qlec/internal/audit"
 	"qlec/internal/obs"
+	"qlec/internal/prof"
 )
 
 // serverMetrics holds qlecd's operational instruments. Scrape-time
@@ -18,6 +19,8 @@ type serverMetrics struct {
 	jobsTotal   *obs.CounterVec   // {state} terminal transitions
 	busyWorkers *obs.Gauge
 	sseSubs     *obs.Gauge
+	jobCPU      *obs.CounterVec // {kind, protocol} attributed CPU seconds
+	jobAlloc    *obs.CounterVec // {kind, protocol} attributed alloc bytes
 }
 
 // queueWaitBuckets span instant dequeues to long backlogs; job-duration
@@ -41,6 +44,19 @@ func newServerMetrics(r *obs.Registry, s *Server) *serverMetrics {
 			"Workers currently executing a job."),
 		sseSubs: r.Gauge("qlecd_sse_subscribers",
 			"Open SSE event streams."),
+		// The job-cost counters increment where execution actually
+		// happens: direct-run jobs on their worker's daemon under their
+		// own kind, sweep cells on the executing daemon (local or thief)
+		// under kind="cell". Distributed sweep jobs add nothing directly
+		// — their cost IS their cells' — so the federated sum over all
+		// label sets is the fleet's exact execution cost, with no double
+		// counting and trivially equal to the per-peer sums.
+		jobCPU: r.CounterVec("qlecd_job_cpu_seconds_total",
+			"Process CPU seconds attributed to executed jobs and cells, by kind and protocol.",
+			"kind", "protocol"),
+		jobAlloc: r.CounterVec("qlecd_job_alloc_bytes_total",
+			"Heap bytes allocated during executed jobs and cells, by kind and protocol.",
+			"kind", "protocol"),
 	}
 	r.GaugeFunc("qlecd_queue_depth", "Jobs waiting in the dispatch queue.",
 		func() float64 { return float64(s.queue.depth()) })
@@ -79,6 +95,30 @@ func newServerMetrics(r *obs.Registry, s *Server) *serverMetrics {
 			}, "state", string(st))
 	}
 	return m
+}
+
+// accountUsage feeds one execution bill into the job-cost counters.
+func (m *serverMetrics) accountUsage(kind, protocol string, u prof.Usage) {
+	if u.CPUSeconds > 0 {
+		m.jobCPU.With(kind, protocol).Add(u.CPUSeconds)
+	}
+	if u.AllocBytes > 0 {
+		m.jobAlloc.With(kind, protocol).Add(float64(u.AllocBytes))
+	}
+}
+
+// protocolLabel folds a request's protocol list into one bounded
+// label value: the protocol for single-protocol runs, "multi" for
+// comparison figures that run several.
+func protocolLabel(req Request) string {
+	switch len(req.Protocols) {
+	case 0:
+		return "default"
+	case 1:
+		return string(req.Protocols[0])
+	default:
+		return "multi"
+	}
 }
 
 // newFleetCollectors exports the fleet pool and roster as callback

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"qlec/internal/fleet"
+)
+
+// TestScaleFlipAutoCapture: the advisor's recommendation flipping from
+// "hold" to "add peers" snapshots cpu+heap profiles automatically,
+// tagged with the trigger reason, and the min-gap rate limit swallows
+// an immediate second flip.
+func TestScaleFlipAutoCapture(t *testing.T) {
+	s, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.autoProf.SetCPUDuration(150 * time.Millisecond)
+
+	// prev > 0 or a non-positive delta is not a flip: no capture.
+	s.fleet.noteScaleFlip(1, fleet.Advice{Delta: 2})
+	s.fleet.noteScaleFlip(0, fleet.Advice{Delta: 0})
+	s.autoProf.Wait()
+	if n := s.profiles.Len(); n != 0 {
+		t.Fatalf("%d profiles captured without a scale-up flip, want 0", n)
+	}
+
+	s.fleet.noteScaleFlip(0, fleet.Advice{Delta: 2, Reason: "queue-wait burn"})
+	s.autoProf.Wait()
+	arts := s.profiles.List()
+	if len(arts) != 2 {
+		t.Fatalf("flip captured %d profiles, want 2 (cpu+heap)", len(arts))
+	}
+	kinds := map[string]bool{}
+	for _, a := range arts {
+		if a.Reason != "scale-up" {
+			t.Errorf("artifact %s reason = %q, want scale-up", a.ID, a.Reason)
+		}
+		if a.SizeBytes == 0 {
+			t.Errorf("artifact %s (%s) is empty", a.ID, a.Kind)
+		}
+		kinds[a.Kind] = true
+	}
+	if !kinds["cpu"] || !kinds["heap"] {
+		t.Errorf("captured kinds = %v, want cpu and heap", kinds)
+	}
+
+	// A second flip inside the min gap is deduped.
+	s.fleet.noteScaleFlip(0, fleet.Advice{Delta: 3, Reason: "still burning"})
+	s.autoProf.Wait()
+	if n := s.profiles.Len(); n != 2 {
+		t.Errorf("rate-limited flip grew the store to %d artifacts, want 2", n)
+	}
+}
+
+// TestAutoCaptureDisabled: a negative min gap disables the auto
+// capturer entirely; flips are recorded nowhere and nothing panics.
+func TestAutoCaptureDisabled(t *testing.T) {
+	s, err := New(Options{Workers: 1, AutoProfileMinGap: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.autoProf != nil {
+		t.Fatal("auto capturer constructed despite a negative min gap")
+	}
+	s.fleet.noteScaleFlip(0, fleet.Advice{Delta: 2})
+	if n := s.profiles.Len(); n != 0 {
+		t.Errorf("%d profiles captured with auto-capture disabled, want 0", n)
+	}
+}

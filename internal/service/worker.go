@@ -6,6 +6,7 @@ import (
 
 	"qlec/internal/audit"
 	"qlec/internal/obs"
+	"qlec/internal/prof"
 )
 
 // workerLoop is one pool worker: pop job IDs until the queue closes.
@@ -131,13 +132,22 @@ func (s *Server) runJob(id string) {
 	runStart := time.Now()
 	var env *ResultEnvelope
 	var err error
+	var usage prof.Usage
 	if s.fleet.distributable(req.Kind) {
 		// Fleet mode: sweeps decompose into content-addressed cells that
 		// local executors and stealing peers drain in parallel; the
-		// reassembled result is byte-identical to a local run.
-		env, err = s.fleet.runSweep(ctx, req, hub.publish)
+		// reassembled result is byte-identical to a local run. The usage
+		// bill is the sum of the cells' bills wherever they executed —
+		// NOT a process-wide bracket here, which would double-count the
+		// local cell executors and charge this job for its neighbours.
+		env, usage, err = s.fleet.runSweep(ctx, req, hub.publish)
 	} else {
+		// Direct runs get a process-wide bracket; this daemon burned the
+		// cycles, so it also owns the cost-counter increment.
+		bracket := prof.Begin()
 		env, err = s.opt.Run(ctx, req, hub.publish)
+		usage = bracket.EndWith(s.sampler)
+		s.om.accountUsage(string(req.Kind), protocolLabel(req), usage)
 	}
 	elapsed := time.Since(runStart)
 	s.om.busyWorkers.Dec()
@@ -169,6 +179,14 @@ func (s *Server) runJob(id string) {
 	s.mu.Lock()
 	delete(s.cancels, id)
 	now := time.Now().UTC()
+	if !usage.IsZero() {
+		// Accumulate across attempts: a retried job's bill includes the
+		// failed attempts that preceded success.
+		if j.Resources == nil {
+			j.Resources = &prof.Usage{}
+		}
+		j.Resources.Add(usage)
+	}
 	var requeue, closeHub bool
 	switch {
 	case err == nil:
@@ -215,6 +233,7 @@ func (s *Server) runJob(id string) {
 	}
 	s.persistLocked(j)
 	state, errMsg, hash := j.State, j.Error, j.Hash
+	resources := j.Resources // immutable once set; safe to share
 	s.mu.Unlock()
 
 	if state == StateDone && env != nil {
@@ -245,7 +264,7 @@ func (s *Server) runJob(id string) {
 		if auditSum != nil && state == StateDone {
 			hub.publish(Event{Type: EventAudit, Audit: auditSum})
 		}
-		hub.publish(Event{Type: EventState, State: state, Error: errMsg})
+		hub.publish(Event{Type: EventState, State: state, Error: errMsg, Resources: resources})
 		hub.close()
 		if state == StateDone {
 			log.Info("job done", "durationMs", float64(elapsed.Microseconds())/1000)
